@@ -1,0 +1,76 @@
+// Ablation — "template hierarchy" compilation (Section 4.3): compile the
+// layouts once against the template's reference capacities and run on
+// topologies from the same family at different absolute capacities. The
+// paper predicts a single compilation per template suffices "with some
+// performance loss, of course" — this bench quantifies that loss against
+// exact per-topology compilation.
+#include "bench/bench_common.hpp"
+#include "layout/internode.hpp"
+#include "layout/template_hierarchy.hpp"
+#include "trace/generator.hpp"
+
+namespace {
+
+using namespace flo;
+
+/// Optimizes `app` against `compile_topology` but simulates on
+/// `run_config`'s topology — the template-compilation scenario.
+double run_with_layouts(const workloads::Workload& app,
+                        const storage::StorageTopology& compile_topology,
+                        const core::ExperimentConfig& run_config) {
+  const storage::StorageTopology run_topology(run_config.topology);
+  parallel::ParallelSchedule schedule(app.program, run_config.threads);
+  const core::FileLayoutOptimizer optimizer(compile_topology);
+  auto opt = optimizer.optimize(app.program, schedule);
+  const auto trace = trace::generate_trace(app.program, schedule, opt.layouts,
+                                           run_topology);
+  std::vector<storage::NodeId> io(run_config.threads);
+  for (storage::NodeId t = 0; t < io.size(); ++t) {
+    io[t] = run_topology.io_node_of(t);
+  }
+  storage::HierarchySimulator sim(run_topology, run_config.policy, io);
+  return sim.run(trace).exec_time;
+}
+
+}  // namespace
+
+int main() {
+  const auto suite = workloads::workload_suite();
+  // Run topology: same template family as the default, 1.5x capacities.
+  core::ExperimentConfig run;
+  run.topology.io_cache_bytes = run.topology.io_cache_bytes * 3 / 2;
+  run.topology.storage_cache_bytes = run.topology.storage_cache_bytes * 3 / 2;
+  const storage::StorageTopology run_topo(run.topology);
+
+  // Template compiled at the family's reference capacities (the default).
+  const storage::StorageTopology reference(
+      storage::TopologyConfig::paper_default());
+  const auto tmpl = layout::HierarchyTemplate::from(reference);
+  std::cout << "compiling against " << tmpl.describe() << '\n';
+  std::cout << "running on        " << run_topo.describe() << '\n';
+  std::cout << "family member:    " << (tmpl.matches(run_topo) ? "yes" : "no")
+            << "\n\n";
+
+  util::Table table({"Application", "default", "template-compiled",
+                     "exact-compiled"});
+  double tmpl_sum = 0, exact_sum = 0;
+  for (const auto& app : suite) {
+    core::ExperimentConfig base = run;
+    const double def = core::run_experiment(app.program, base).sim.exec_time;
+    const double with_template =
+        run_with_layouts(app, reference, run) / def;
+    const double with_exact = run_with_layouts(app, run_topo, run) / def;
+    tmpl_sum += 1.0 - with_template;
+    exact_sum += 1.0 - with_exact;
+    table.add_row({app.name, "1.00", util::format_fixed(with_template, 2),
+                   util::format_fixed(with_exact, 2)});
+  }
+  std::cout << table << '\n';
+  std::cout << "average improvement, template compilation: "
+            << util::format_percent(tmpl_sum / suite.size()) << '\n';
+  std::cout << "average improvement, exact compilation:    "
+            << util::format_percent(exact_sum / suite.size()) << '\n';
+  std::cout << "paper: one compilation per template family suffices with "
+               "some loss\n";
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Shared helpers for the bench binaries: run the suite under a scheme pair
+// and print paper-style comparison tables.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/report.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+#include "workloads/suite.hpp"
+
+namespace flo::bench {
+
+/// Runs every application under `baseline` and `optimized` configs (only
+/// the scheme usually differs) and returns the per-app measurement pairs.
+inline std::vector<core::AppMeasurement> run_suite_pair(
+    const core::ExperimentConfig& baseline,
+    const core::ExperimentConfig& optimized,
+    const std::vector<workloads::Workload>& suite) {
+  std::vector<core::AppMeasurement> rows;
+  rows.reserve(suite.size());
+  for (const auto& app : suite) {
+    core::AppMeasurement m;
+    m.name = app.name;
+    m.baseline = core::run_experiment(app.program, baseline).sim;
+    m.optimized = core::run_experiment(app.program, optimized).sim;
+    rows.push_back(std::move(m));
+  }
+  return rows;
+}
+
+}  // namespace flo::bench

@@ -1,0 +1,124 @@
+// Micro-benchmarks (google-benchmark): throughput of the pieces that
+// dominate compile time and simulation time — Step I partitioning, chunk
+// addressing, LRU operations, trace generation, and hierarchy simulation.
+#include <benchmark/benchmark.h>
+
+#include "core/optimizer.hpp"
+#include "ir/builder.hpp"
+#include "layout/chunk_pattern.hpp"
+#include "layout/canonical.hpp"
+#include "layout/internode.hpp"
+#include "storage/lru_cache.hpp"
+#include "storage/simulator.hpp"
+#include "trace/generator.hpp"
+#include "workloads/suite.hpp"
+
+namespace {
+
+using namespace flo;
+
+ir::Program transposed_program(std::int64_t n) {
+  return ir::ProgramBuilder("bench")
+      .array("A", {n, n})
+      .nest("sweep", {{0, n - 1}, {0, n - 1}}, 0)
+      .read("A", {{0, 1}, {1, 0}})
+      .done()
+      .build();
+}
+
+void BM_StepIPartitioning(benchmark::State& state) {
+  const auto app = workloads::workload_by_name("sp");
+  const parallel::ParallelSchedule schedule(app.program, 64);
+  for (auto _ : state) {
+    for (ir::ArrayId a = 0; a < app.program.arrays().size(); ++a) {
+      benchmark::DoNotOptimize(
+          layout::partition_array(app.program, a, schedule));
+    }
+  }
+}
+BENCHMARK(BM_StepIPartitioning);
+
+void BM_FullOptimize(benchmark::State& state) {
+  const auto app = workloads::workload_by_name("sp");
+  const parallel::ParallelSchedule schedule(app.program, 64);
+  const core::FileLayoutOptimizer optimizer(
+      storage::StorageTopology(storage::TopologyConfig::paper_default()));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimizer.optimize(app.program, schedule));
+  }
+}
+BENCHMARK(BM_FullOptimize);
+
+void BM_ChunkStart(benchmark::State& state) {
+  layout::ChunkPattern pattern({{128 << 10, 16}, {256 << 10, 4}}, 64, 8);
+  std::uint64_t x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        pattern.chunk_start(static_cast<parallel::ThreadId>(x % 64), x));
+    ++x;
+  }
+}
+BENCHMARK(BM_ChunkStart);
+
+void BM_InterNodeLayoutSlot(benchmark::State& state) {
+  const auto p = transposed_program(512);
+  const parallel::ParallelSchedule schedule(p, 64);
+  const storage::StorageTopology topo(storage::TopologyConfig::paper_default());
+  const auto layout = layout::build_internode_layout(p, 0, schedule, topo);
+  const std::vector<std::int64_t> point{123, 456};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(layout->slot(point));
+  }
+}
+BENCHMARK(BM_InterNodeLayoutSlot);
+
+void BM_LruCacheAccess(benchmark::State& state) {
+  storage::LruCache cache(static_cast<std::size_t>(state.range(0)));
+  std::uint64_t b = 0;
+  for (auto _ : state) {
+    cache.insert({0, b % (2ull * state.range(0))});
+    ++b;
+  }
+}
+BENCHMARK(BM_LruCacheAccess)->Arg(64)->Arg(8192);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  const auto p = transposed_program(256);
+  const parallel::ParallelSchedule schedule(p, 64);
+  const storage::StorageTopology topo(storage::TopologyConfig::paper_default());
+  layout::LayoutMap layouts;
+  layouts.push_back(
+      std::make_unique<layout::RowMajorLayout>(p.array(0).space()));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trace::generate_trace(p, schedule, layouts, topo));
+  }
+  state.SetItemsProcessed(state.iterations() * 256 * 256);
+}
+BENCHMARK(BM_TraceGeneration);
+
+void BM_HierarchySimulation(benchmark::State& state) {
+  const auto p = transposed_program(256);
+  const parallel::ParallelSchedule schedule(p, 64);
+  const storage::StorageTopology topo(storage::TopologyConfig::paper_default());
+  layout::LayoutMap layouts;
+  layouts.push_back(
+      std::make_unique<layout::RowMajorLayout>(p.array(0).space()));
+  const auto trace = trace::generate_trace(p, schedule, layouts, topo);
+  std::vector<storage::NodeId> io(64);
+  for (storage::NodeId t = 0; t < 64; ++t) io[t] = topo.io_node_of(t);
+  std::uint64_t events = 0;
+  for (const auto& phase : trace.phases) {
+    for (const auto& tt : phase.per_thread) events += tt.size();
+  }
+  for (auto _ : state) {
+    storage::HierarchySimulator sim(topo, storage::PolicyKind::kLruInclusive,
+                                    io);
+    benchmark::DoNotOptimize(sim.run(trace));
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_HierarchySimulation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

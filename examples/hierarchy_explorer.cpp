@@ -1,0 +1,68 @@
+// Domain example: explore how the benefit of the inter-node layout depends
+// on the storage hierarchy — sweep cache capacity, sharing degree and
+// cache-management policy for one application, entirely through the public
+// API. (A miniature of the paper's Section 5.3 sensitivity study.)
+//
+//   $ ./build/examples/hierarchy_explorer [app]
+#include <iostream>
+
+#include "core/experiment.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+#include "workloads/suite.hpp"
+
+int main(int argc, char** argv) {
+  using namespace flo;
+  const std::string name = argc > 1 ? argv[1] : "applu";
+  const auto app = workloads::workload_by_name(name);
+  std::cout << "application: " << app.name << " — " << app.description
+            << "\n\n";
+
+  auto normalized = [&](core::ExperimentConfig base) {
+    auto opt = base;
+    opt.scheme = core::Scheme::kInterNode;
+    const double b = core::run_experiment(app.program, base).sim.exec_time;
+    const double o = core::run_experiment(app.program, opt).sim.exec_time;
+    return o / b;
+  };
+
+  util::Table table({"experiment", "normalized exec", "improvement"});
+  auto add = [&](const std::string& label, double norm) {
+    table.add_row({label, util::format_fixed(norm, 2),
+                   util::format_percent(1.0 - norm)});
+  };
+
+  {
+    core::ExperimentConfig c;
+    add("default topology (Table 1)", normalized(c));
+  }
+  {
+    core::ExperimentConfig c;
+    c.topology.io_cache_bytes /= 2;
+    c.topology.storage_cache_bytes /= 2;
+    add("0.5x cache capacities", normalized(c));
+  }
+  {
+    core::ExperimentConfig c;
+    c.topology.io_nodes = 8;
+    c.topology.storage_nodes = 2;
+    add("more sharing: (64, 8, 2) nodes", normalized(c));
+  }
+  {
+    core::ExperimentConfig c;
+    c.topology.block_size /= 2;
+    add("0.5x block size", normalized(c));
+  }
+  {
+    core::ExperimentConfig c;
+    c.policy = storage::PolicyKind::kKarma;
+    add("KARMA exclusive caching", normalized(c));
+  }
+  {
+    core::ExperimentConfig c;
+    c.policy = storage::PolicyKind::kDemoteLru;
+    add("DEMOTE-LRU exclusive caching", normalized(c));
+  }
+  std::cout << table;
+  return 0;
+}

@@ -1,0 +1,137 @@
+#include "baselines/computation_mapping.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+namespace flo::baselines {
+
+namespace {
+
+using BlockSet = std::unordered_set<std::uint64_t>;
+
+/// Footprint of one iteration block: the set of (file, data-block) pairs it
+/// touches through every reference of the nest, under `layouts`.
+BlockSet block_footprint(const ir::Program& program, const ir::LoopNest& nest,
+                         const parallel::IterationBlock& block,
+                         const layout::LayoutMap& layouts,
+                         std::uint64_t block_size, std::size_t parallel_dim) {
+  BlockSet fp;
+  const std::size_t depth = nest.depth();
+  std::vector<std::int64_t> iter(depth);
+  for (std::size_t k = 0; k < depth; ++k) {
+    iter[k] = k == parallel_dim ? block.lower
+                                : nest.iterations().bound(k).lower;
+  }
+  bool more = true;
+  while (more) {
+    for (const auto& ref : nest.references()) {
+      const linalg::IntVector element = ref.map.evaluate(iter);
+      const std::uint64_t byte =
+          static_cast<std::uint64_t>(layouts[ref.array]->slot(element)) *
+          static_cast<std::uint64_t>(program.array(ref.array).element_size());
+      fp.insert((static_cast<std::uint64_t>(ref.array) << 40) |
+                (byte / block_size));
+    }
+    more = false;
+    for (std::size_t k = depth; k-- > 0;) {
+      const std::int64_t hi = k == parallel_dim
+                                  ? block.upper
+                                  : nest.iterations().bound(k).upper;
+      if (iter[k] < hi) {
+        ++iter[k];
+        for (std::size_t j = k + 1; j < depth; ++j) {
+          iter[j] = j == parallel_dim ? block.lower
+                                      : nest.iterations().bound(j).lower;
+        }
+        more = true;
+        break;
+      }
+    }
+  }
+  return fp;
+}
+
+std::size_t overlap(const BlockSet& a, const BlockSet& b) {
+  const BlockSet& small = a.size() <= b.size() ? a : b;
+  const BlockSet& large = a.size() <= b.size() ? b : a;
+  std::size_t n = 0;
+  for (std::uint64_t key : small) n += large.count(key);
+  return n;
+}
+
+}  // namespace
+
+parallel::ParallelSchedule apply_computation_mapping(
+    const ir::Program& program, const parallel::ParallelSchedule& schedule,
+    const layout::LayoutMap& layouts,
+    const storage::StorageTopology& topology) {
+  parallel::ParallelSchedule remapped = schedule;
+  const std::size_t threads = schedule.thread_count();
+  const std::size_t threads_per_io =
+      threads / topology.config().io_nodes == 0
+          ? threads
+          : threads / topology.config().io_nodes;
+
+  for (std::size_t n = 0; n < program.nests().size(); ++n) {
+    const auto& nest = program.nests()[n];
+    auto& decomp = remapped.decomposition(n);
+    const auto& blocks = decomp.blocks();
+    if (blocks.size() < 2) continue;
+
+    // Profile per-block footprints.
+    std::vector<BlockSet> footprints;
+    footprints.reserve(blocks.size());
+    for (const auto& block : blocks) {
+      footprints.push_back(block_footprint(program, nest, block, layouts,
+                                           topology.config().block_size,
+                                           decomp.parallel_dim()));
+    }
+
+    // Greedy clustering: seed with the largest unassigned footprint, grow
+    // the cluster with the blocks sharing the most data blocks with it,
+    // and hand each full cluster to the next I/O group's threads.
+    std::vector<bool> assigned(blocks.size(), false);
+    std::vector<parallel::ThreadId> owner(blocks.size(), 0);
+    parallel::ThreadId next_thread = 0;
+    for (;;) {
+      std::size_t seed = blocks.size();
+      for (std::size_t b = 0; b < blocks.size(); ++b) {
+        if (!assigned[b] &&
+            (seed == blocks.size() ||
+             footprints[b].size() > footprints[seed].size())) {
+          seed = b;
+        }
+      }
+      if (seed == blocks.size()) break;
+      std::vector<std::size_t> cluster = {seed};
+      assigned[seed] = true;
+      while (cluster.size() < threads_per_io) {
+        std::size_t best = blocks.size();
+        std::size_t best_score = 0;
+        for (std::size_t b = 0; b < blocks.size(); ++b) {
+          if (assigned[b]) continue;
+          std::size_t score = 0;
+          for (std::size_t c : cluster) score += overlap(footprints[b],
+                                                         footprints[c]);
+          if (best == blocks.size() || score > best_score) {
+            best = b;
+            best_score = score;
+          }
+        }
+        if (best == blocks.size()) break;
+        assigned[best] = true;
+        cluster.push_back(best);
+      }
+      for (std::size_t b : cluster) {
+        owner[b] = next_thread;
+        next_thread = static_cast<parallel::ThreadId>((next_thread + 1) %
+                                                      threads);
+      }
+    }
+    decomp.reassign(owner);
+  }
+  return remapped;
+}
+
+}  // namespace flo::baselines

@@ -1,0 +1,30 @@
+// Baseline [26]: computation mapping for multi-level storage cache
+// hierarchies (Kandemir et al., HPDC'10).
+//
+// A code-restructuring strategy: instead of changing file layouts, it
+// re-clusters loop-iteration blocks onto threads so that blocks sharing
+// data blocks land on threads that share a cache, layer by layer. We
+// implement the iterative clustering faithfully: per nest, iteration
+// blocks are profiled for their data-block footprints (under the default
+// layouts), greedily clustered by footprint overlap into groups of
+// threads-per-I/O-cache size, and clusters are assigned to I/O groups.
+// File layouts remain the defaults (that is the point of the comparison in
+// Fig. 7(g)).
+#pragma once
+
+#include "ir/program.hpp"
+#include "layout/file_layout.hpp"
+#include "parallel/schedule.hpp"
+#include "storage/topology.hpp"
+
+namespace flo::baselines {
+
+/// Returns a schedule whose block -> thread assignments are re-clustered
+/// for cache sharing. `layouts` are the (default) layouts used to profile
+/// footprints.
+parallel::ParallelSchedule apply_computation_mapping(
+    const ir::Program& program, const parallel::ParallelSchedule& schedule,
+    const layout::LayoutMap& layouts,
+    const storage::StorageTopology& topology);
+
+}  // namespace flo::baselines

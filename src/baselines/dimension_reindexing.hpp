@@ -1,0 +1,36 @@
+// Baseline [27]: profile-based dimension reindexing (Kandemir et al.,
+// FAST'08).
+//
+// A file-layout strategy that is restricted to dimension permutations of
+// each array (e.g. converting row-major to column-major). Following the
+// paper's methodology ("using profiling, we exhaustively tried all possible
+// dimension reindexings ... and selected the one that generated the best
+// execution time"), we profile each candidate layout by simulating the
+// resulting trace and keep the fastest, greedily per array.
+#pragma once
+
+#include <functional>
+
+#include "ir/program.hpp"
+#include "layout/file_layout.hpp"
+#include "parallel/schedule.hpp"
+#include "storage/topology.hpp"
+
+namespace flo::baselines {
+
+/// Callback that measures the execution time of a candidate layout map.
+/// (Provided by the experiment driver so the baseline reuses the exact
+/// simulator configuration under test.)
+using LayoutProfiler = std::function<double(const layout::LayoutMap&)>;
+
+struct ReindexResult {
+  layout::LayoutMap layouts;
+  std::size_t evaluations = 0;  ///< simulator runs performed
+};
+
+/// Exhaustive per-array permutation search (greedy across arrays in
+/// declaration order, holding other arrays at their current best).
+ReindexResult apply_dimension_reindexing(const ir::Program& program,
+                                         const LayoutProfiler& profiler);
+
+}  // namespace flo::baselines

@@ -1,0 +1,128 @@
+#include "core/experiment.hpp"
+
+#include <stdexcept>
+
+#include "baselines/computation_mapping.hpp"
+#include "baselines/dimension_reindexing.hpp"
+#include "layout/canonical.hpp"
+#include "trace/analysis.hpp"
+#include "trace/generator.hpp"
+
+namespace flo::core {
+
+const char* scheme_name(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kDefault:
+      return "default";
+    case Scheme::kInterNode:
+      return "inter-node";
+    case Scheme::kInterNodeIoOnly:
+      return "inter-node (I/O layer only)";
+    case Scheme::kInterNodeStorageOnly:
+      return "inter-node (storage layer only)";
+    case Scheme::kComputationMapping:
+      return "computation mapping [26]";
+    case Scheme::kDimensionReindexing:
+      return "dimension reindexing [27]";
+  }
+  return "?";
+}
+
+namespace {
+
+std::vector<storage::NodeId> io_nodes_of_threads(
+    const parallel::ParallelSchedule& schedule,
+    const storage::StorageTopology& topology) {
+  std::vector<storage::NodeId> out(schedule.thread_count());
+  for (parallel::ThreadId t = 0; t < schedule.thread_count(); ++t) {
+    out[t] = topology.io_node_of(schedule.mapping().node_of(t));
+  }
+  return out;
+}
+
+/// Simulates one (schedule, layouts) pair under the configured policy.
+storage::SimulationResult simulate(const ir::Program& program,
+                                   const parallel::ParallelSchedule& schedule,
+                                   const layout::LayoutMap& layouts,
+                                   const storage::StorageTopology& topology,
+                                   storage::PolicyKind policy) {
+  const storage::TraceProgram trace =
+      trace::generate_trace(program, schedule, layouts, topology);
+  std::vector<storage::RangeHint> hints;
+  if (policy == storage::PolicyKind::kKarma) {
+    // KARMA's application hints: access densities of file segments, one
+    // eighth of an I/O cache each (profiling pass, Section 5.4).
+    const std::uint64_t segment =
+        std::max<std::uint64_t>(1, topology.io_cache_blocks() / 8);
+    hints = trace::profile_range_hints(trace, segment);
+  }
+  storage::HierarchySimulator simulator(
+      topology, policy, io_nodes_of_threads(schedule, topology),
+      std::move(hints));
+  return simulator.run(trace);
+}
+
+}  // namespace
+
+ExperimentResult run_experiment(const ir::Program& program,
+                                const ExperimentConfig& config) {
+  const storage::StorageTopology topology(config.topology);
+  if (config.threads != config.topology.compute_nodes) {
+    throw std::invalid_argument(
+        "run_experiment: one thread per compute node is assumed");
+  }
+  parallel::ParallelSchedule schedule(program, config.threads, config.mapping);
+
+  ExperimentResult result;
+  switch (config.scheme) {
+    case Scheme::kDefault: {
+      const layout::LayoutMap layouts = layout::default_layouts(program);
+      result.sim =
+          simulate(program, schedule, layouts, topology, config.policy);
+      break;
+    }
+    case Scheme::kInterNode:
+    case Scheme::kInterNodeIoOnly:
+    case Scheme::kInterNodeStorageOnly: {
+      OptimizerOptions options;
+      options.mask = config.scheme == Scheme::kInterNodeIoOnly
+                         ? layout::LayerMask::kIoOnly
+                     : config.scheme == Scheme::kInterNodeStorageOnly
+                         ? layout::LayerMask::kStorageOnly
+                         : layout::LayerMask::kBoth;
+      options.partitioning.weighted = !config.unweighted_step1;
+      const FileLayoutOptimizer optimizer(topology);
+      OptimizationResult opt = optimizer.optimize(program, schedule, options);
+      result.plan = std::move(opt.plan);
+      result.sim =
+          simulate(program, schedule, opt.layouts, topology, config.policy);
+      break;
+    }
+    case Scheme::kComputationMapping: {
+      const layout::LayoutMap layouts = layout::default_layouts(program);
+      const parallel::ParallelSchedule remapped =
+          baselines::apply_computation_mapping(program, schedule, layouts,
+                                               topology);
+      result.sim =
+          simulate(program, remapped, layouts, topology, config.policy);
+      break;
+    }
+    case Scheme::kDimensionReindexing: {
+      std::size_t runs = 0;
+      const auto profiler = [&](const layout::LayoutMap& candidate) {
+        ++runs;
+        return simulate(program, schedule, candidate, topology, config.policy)
+            .exec_time;
+      };
+      baselines::ReindexResult reindex =
+          baselines::apply_dimension_reindexing(program, profiler);
+      result.profiler_runs = runs;
+      result.sim = simulate(program, schedule, reindex.layouts, topology,
+                            config.policy);
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace flo::core

@@ -1,0 +1,49 @@
+// ExperimentRunner — one-call "simulate application X under scheme Y",
+// shared by every bench binary and the examples.
+#pragma once
+
+#include <string>
+
+#include "core/optimizer.hpp"
+#include "ir/program.hpp"
+#include "parallel/thread_mapping.hpp"
+#include "storage/policy.hpp"
+#include "storage/stats.hpp"
+#include "storage/topology.hpp"
+
+namespace flo::core {
+
+/// The layout/scheduling schemes compared in the paper's evaluation.
+enum class Scheme {
+  kDefault,               ///< original row-major layouts (Table 2 baseline)
+  kInterNode,             ///< this paper (Fig. 7(a) "inter")
+  kInterNodeIoOnly,       ///< Fig. 7(f), first bar
+  kInterNodeStorageOnly,  ///< Fig. 7(f), second bar
+  kComputationMapping,    ///< [26], Fig. 7(g) first bar
+  kDimensionReindexing,   ///< [27], Fig. 7(g) second bar
+};
+
+const char* scheme_name(Scheme scheme);
+
+struct ExperimentConfig {
+  storage::TopologyConfig topology = storage::TopologyConfig::paper_default();
+  std::size_t threads = 64;  ///< one per compute node, as in the paper
+  parallel::MappingKind mapping = parallel::MappingKind::kIdentity;
+  storage::PolicyKind policy = storage::PolicyKind::kLruInclusive;
+  Scheme scheme = Scheme::kDefault;
+  /// Unweighted Step I (ablation); only affects inter-node schemes.
+  bool unweighted_step1 = false;
+};
+
+struct ExperimentResult {
+  storage::SimulationResult sim;
+  layout::ProgramTransformPlan plan;  ///< empty for non-inter-node schemes
+  std::size_t profiler_runs = 0;      ///< extra sims (dimension reindexing)
+};
+
+/// Runs one experiment end to end: schedule, layouts per scheme, trace,
+/// KARMA hints (when the policy needs them), simulation.
+ExperimentResult run_experiment(const ir::Program& program,
+                                const ExperimentConfig& config);
+
+}  // namespace flo::core

@@ -1,0 +1,40 @@
+#include "core/report.hpp"
+
+#include <sstream>
+
+#include "util/format.hpp"
+
+namespace flo::core {
+
+namespace {
+double safe_ratio(double num, double den) { return den == 0 ? 1.0 : num / den; }
+}  // namespace
+
+double AppMeasurement::normalized_io_miss() const {
+  return safe_ratio(static_cast<double>(optimized.io.misses()),
+                    static_cast<double>(baseline.io.misses()));
+}
+
+double AppMeasurement::normalized_storage_miss() const {
+  return safe_ratio(static_cast<double>(optimized.storage.misses()),
+                    static_cast<double>(baseline.storage.misses()));
+}
+
+double average_improvement(const std::vector<AppMeasurement>& rows) {
+  if (rows.empty()) return 0.0;
+  double sum = 0;
+  for (const auto& row : rows) sum += row.improvement();
+  return sum / static_cast<double>(rows.size());
+}
+
+std::string describe_config(const ExperimentConfig& config) {
+  std::ostringstream os;
+  const storage::StorageTopology topo(config.topology);
+  os << "config: " << topo.describe() << "; " << config.threads
+     << " threads; " << parallel::mapping_name(config.mapping) << "; "
+     << storage::policy_name(config.policy) << "; scheme "
+     << scheme_name(config.scheme);
+  return os.str();
+}
+
+}  // namespace flo::core

@@ -1,0 +1,38 @@
+// Reporting helpers for the bench harness: paper-style tables comparing
+// simulated results to the published numbers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "util/table.hpp"
+
+namespace flo::core {
+
+/// One application's default + optimized measurements (Table 2 / Table 3 /
+/// Fig. 7(a) rows all derive from this pair).
+struct AppMeasurement {
+  std::string name;
+  storage::SimulationResult baseline;
+  storage::SimulationResult optimized;
+
+  double normalized_exec() const {
+    return baseline.exec_time == 0 ? 1.0
+                                   : optimized.exec_time / baseline.exec_time;
+  }
+  double improvement() const { return 1.0 - normalized_exec(); }
+  /// Table 3 metrics: miss *counts* after optimization, normalized to the
+  /// default execution.
+  double normalized_io_miss() const;
+  double normalized_storage_miss() const;
+};
+
+/// Geometric-mean-free average improvement (the paper reports arithmetic
+/// average over the 16 applications).
+double average_improvement(const std::vector<AppMeasurement>& rows);
+
+/// Renders a Table-1-style header describing the configuration in play.
+std::string describe_config(const ExperimentConfig& config);
+
+}  // namespace flo::core

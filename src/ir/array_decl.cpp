@@ -1,0 +1,34 @@
+#include "ir/array_decl.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "linalg/gcd.hpp"
+
+namespace flo::ir {
+
+ArrayDecl::ArrayDecl(std::string name, poly::DataSpace space,
+                     std::int64_t element_size)
+    : name_(std::move(name)),
+      space_(std::move(space)),
+      element_size_(element_size) {
+  if (name_.empty()) throw std::invalid_argument("ArrayDecl: empty name");
+  if (element_size_ <= 0) {
+    throw std::invalid_argument("ArrayDecl: non-positive element size");
+  }
+  if (space_.dims() == 0) {
+    throw std::invalid_argument("ArrayDecl: zero-dimensional array");
+  }
+}
+
+std::int64_t ArrayDecl::byte_size() const {
+  return linalg::checked_mul(space_.element_count(), element_size_);
+}
+
+std::string ArrayDecl::to_string() const {
+  std::ostringstream os;
+  os << name_ << space_.to_string() << " (" << element_size_ << " B/elem)";
+  return os.str();
+}
+
+}  // namespace flo::ir

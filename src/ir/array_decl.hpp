@@ -1,0 +1,41 @@
+// Disk-resident array declarations.
+//
+// Each array is stored in its own file (Section 4 of the paper, footnote 3),
+// so an ArrayDecl doubles as the file identity for the storage simulator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "polyhedral/data_space.hpp"
+
+namespace flo::ir {
+
+/// Index of an array within its Program; also the simulator's file id.
+using ArrayId = std::uint32_t;
+
+class ArrayDecl {
+ public:
+  ArrayDecl() = default;
+  ArrayDecl(std::string name, poly::DataSpace space,
+            std::int64_t element_size = 8);
+
+  const std::string& name() const { return name_; }
+  const poly::DataSpace& space() const { return space_; }
+  std::size_t dims() const { return space_.dims(); }
+
+  /// Bytes per element (8 for the double-precision data of the benchmarks).
+  std::int64_t element_size() const { return element_size_; }
+
+  /// Total bytes of the canonical dense file for this array.
+  std::int64_t byte_size() const;
+
+  std::string to_string() const;
+
+ private:
+  std::string name_;
+  poly::DataSpace space_;
+  std::int64_t element_size_ = 8;
+};
+
+}  // namespace flo::ir

@@ -1,0 +1,95 @@
+#include "ir/builder.hpp"
+
+#include <stdexcept>
+
+#include "ir/validate.hpp"
+
+namespace flo::ir {
+
+NestBuilder::NestBuilder(ProgramBuilder& parent, LoopNest nest)
+    : parent_(parent), nest_(std::move(nest)) {}
+
+NestBuilder& NestBuilder::add(
+    const std::string& array,
+    std::initializer_list<std::initializer_list<std::int64_t>> access_matrix,
+    linalg::IntVector offset, AccessKind kind) {
+  const auto id = parent_.program_.find_array(array);
+  if (!id) {
+    throw std::invalid_argument("NestBuilder: unknown array " + array);
+  }
+  linalg::IntMatrix q(access_matrix);
+  if (offset.empty()) offset.assign(q.rows(), 0);
+  Reference ref{*id, poly::AffineReference(std::move(q), std::move(offset)),
+                kind};
+  nest_.add_reference(std::move(ref));
+  return *this;
+}
+
+NestBuilder& NestBuilder::read(
+    const std::string& array,
+    std::initializer_list<std::initializer_list<std::int64_t>> access_matrix) {
+  return add(array, access_matrix, {}, AccessKind::kRead);
+}
+
+NestBuilder& NestBuilder::write(
+    const std::string& array,
+    std::initializer_list<std::initializer_list<std::int64_t>> access_matrix) {
+  return add(array, access_matrix, {}, AccessKind::kWrite);
+}
+
+NestBuilder& NestBuilder::read_ofs(
+    const std::string& array,
+    std::initializer_list<std::initializer_list<std::int64_t>> access_matrix,
+    std::initializer_list<std::int64_t> offset) {
+  return add(array, access_matrix, linalg::IntVector(offset),
+             AccessKind::kRead);
+}
+
+NestBuilder& NestBuilder::write_ofs(
+    const std::string& array,
+    std::initializer_list<std::initializer_list<std::int64_t>> access_matrix,
+    std::initializer_list<std::int64_t> offset) {
+  return add(array, access_matrix, linalg::IntVector(offset),
+             AccessKind::kWrite);
+}
+
+ProgramBuilder& NestBuilder::done() {
+  parent_.program_.add_nest(std::move(nest_));
+  return parent_;
+}
+
+ProgramBuilder::ProgramBuilder(std::string name)
+    : program_(std::move(name)) {}
+
+ProgramBuilder& ProgramBuilder::array(
+    const std::string& name, std::initializer_list<std::int64_t> extents,
+    std::int64_t element_size) {
+  program_.add_array(
+      ArrayDecl(name, poly::DataSpace(std::vector<std::int64_t>(extents)),
+                element_size));
+  return *this;
+}
+
+NestBuilder ProgramBuilder::nest(const std::string& name,
+                                 std::initializer_list<poly::LoopBound> bounds,
+                                 std::size_t parallel_dim,
+                                 std::int64_t repeat) {
+  return NestBuilder(
+      *this, LoopNest(name,
+                      poly::IterationSpace(std::vector<poly::LoopBound>(bounds)),
+                      parallel_dim, repeat));
+}
+
+Program ProgramBuilder::build() {
+  const auto issues = validate(program_);
+  if (!issues.empty()) {
+    std::string message = "ProgramBuilder: validation failed:";
+    for (const auto& issue : issues) {
+      message += "\n  - " + issue;
+    }
+    throw std::invalid_argument(message);
+  }
+  return std::move(program_);
+}
+
+}  // namespace flo::ir

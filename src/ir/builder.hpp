@@ -1,0 +1,84 @@
+// Fluent builder for IR programs — the workload suite and the examples use
+// this instead of hand-assembling matrices.
+//
+//   Program p = ProgramBuilder("matmul")
+//       .array("W", {N, N})
+//       .array("X", {N, N})
+//       .nest("mm", {{0, N - 1}, {0, N - 1}, {0, N - 1}}, /*parallel_dim=*/0)
+//         .read("W", {{1, 0, 0}, {0, 1, 0}})     // W[i, j]
+//         .read("X", {{0, 0, 1}, {0, 1, 0}})     // X[k, j]
+//       .done()
+//       .build();
+#pragma once
+
+#include <initializer_list>
+#include <string>
+
+#include "ir/program.hpp"
+
+namespace flo::ir {
+
+class ProgramBuilder;
+
+/// Scoped builder for one loop nest; created by ProgramBuilder::nest().
+class NestBuilder {
+ public:
+  /// Adds a read reference; each inner list is one row of the access matrix
+  /// (optionally with offsets supplied separately via read_ofs/write_ofs).
+  NestBuilder& read(const std::string& array,
+                    std::initializer_list<std::initializer_list<std::int64_t>>
+                        access_matrix);
+  NestBuilder& write(const std::string& array,
+                     std::initializer_list<std::initializer_list<std::int64_t>>
+                         access_matrix);
+
+  /// Read/write with an explicit offset vector q (a = Q*i + q).
+  NestBuilder& read_ofs(
+      const std::string& array,
+      std::initializer_list<std::initializer_list<std::int64_t>> access_matrix,
+      std::initializer_list<std::int64_t> offset);
+  NestBuilder& write_ofs(
+      const std::string& array,
+      std::initializer_list<std::initializer_list<std::int64_t>> access_matrix,
+      std::initializer_list<std::int64_t> offset);
+
+  /// Finishes the nest and returns to the program builder.
+  ProgramBuilder& done();
+
+ private:
+  friend class ProgramBuilder;
+  NestBuilder(ProgramBuilder& parent, LoopNest nest);
+
+  NestBuilder& add(const std::string& array,
+                   std::initializer_list<std::initializer_list<std::int64_t>>
+                       access_matrix,
+                   linalg::IntVector offset, AccessKind kind);
+
+  ProgramBuilder& parent_;
+  LoopNest nest_;
+};
+
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(std::string name);
+
+  /// Declares a disk-resident array with the given extents.
+  ProgramBuilder& array(const std::string& name,
+                        std::initializer_list<std::int64_t> extents,
+                        std::int64_t element_size = 8);
+
+  /// Opens a nest with inclusive bounds per level, parallelized along
+  /// `parallel_dim`, repeated `repeat` times.
+  NestBuilder nest(const std::string& name,
+                   std::initializer_list<poly::LoopBound> bounds,
+                   std::size_t parallel_dim, std::int64_t repeat = 1);
+
+  /// Finalizes (validates) and returns the program.
+  Program build();
+
+ private:
+  friend class NestBuilder;
+  Program program_;
+};
+
+}  // namespace flo::ir

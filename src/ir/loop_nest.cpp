@@ -1,0 +1,37 @@
+#include "ir/loop_nest.hpp"
+
+#include <stdexcept>
+
+#include "linalg/gcd.hpp"
+
+namespace flo::ir {
+
+LoopNest::LoopNest(std::string name, poly::IterationSpace iters,
+                   std::size_t parallel_dim, std::int64_t repeat)
+    : name_(std::move(name)),
+      iters_(std::move(iters)),
+      parallel_dim_(parallel_dim),
+      repeat_(repeat) {
+  if (name_.empty()) throw std::invalid_argument("LoopNest: empty name");
+  if (iters_.depth() == 0) {
+    throw std::invalid_argument("LoopNest: zero-depth nest");
+  }
+  if (parallel_dim_ >= iters_.depth()) {
+    throw std::invalid_argument("LoopNest: parallel_dim out of range");
+  }
+  if (repeat_ <= 0) throw std::invalid_argument("LoopNest: repeat must be > 0");
+}
+
+void LoopNest::add_reference(Reference ref) {
+  if (ref.map.nest_depth() != iters_.depth()) {
+    throw std::invalid_argument(
+        "LoopNest::add_reference: access matrix depth mismatch");
+  }
+  refs_.push_back(std::move(ref));
+}
+
+std::int64_t LoopNest::reference_trip_count() const {
+  return linalg::checked_mul(repeat_, iters_.total_iterations());
+}
+
+}  // namespace flo::ir

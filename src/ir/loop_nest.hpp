@@ -1,0 +1,54 @@
+// Parallelizable affine loop nests with disk-array references.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/array_decl.hpp"
+#include "polyhedral/iteration_space.hpp"
+#include "polyhedral/reference.hpp"
+
+namespace flo::ir {
+
+enum class AccessKind { kRead, kWrite };
+
+/// One array reference inside a nest.
+struct Reference {
+  ArrayId array = 0;
+  poly::AffineReference map;
+  AccessKind kind = AccessKind::kRead;
+};
+
+/// An n-deep rectangular loop nest. The nest is parallelized along loop
+/// `parallel_dim` (the paper's user-chosen u, Section 3) and executed
+/// `repeat` times back to back (modeling outer time-stepping; repeats
+/// multiply reference weights, Eq. 5, and replay the access stream).
+class LoopNest {
+ public:
+  LoopNest() = default;
+  LoopNest(std::string name, poly::IterationSpace iters,
+           std::size_t parallel_dim, std::int64_t repeat = 1);
+
+  const std::string& name() const { return name_; }
+  const poly::IterationSpace& iterations() const { return iters_; }
+  std::size_t depth() const { return iters_.depth(); }
+  std::size_t parallel_dim() const { return parallel_dim_; }
+  std::int64_t repeat() const { return repeat_; }
+
+  void add_reference(Reference ref);
+  const std::vector<Reference>& references() const { return refs_; }
+
+  /// Dynamic access count of one reference in this nest:
+  /// repeat * total iterations (Eq. 5's n_j).
+  std::int64_t reference_trip_count() const;
+
+ private:
+  std::string name_;
+  poly::IterationSpace iters_;
+  std::size_t parallel_dim_ = 0;
+  std::int64_t repeat_ = 1;
+  std::vector<Reference> refs_;
+};
+
+}  // namespace flo::ir

@@ -1,0 +1,45 @@
+// Text front end for IR programs — a small declarative format so the
+// optimizer can be driven as a standalone tool (tools/flo_opt) without
+// writing C++:
+//
+//   # out-of-core transpose
+//   program transpose
+//   array A 512 512
+//   array B 512 512
+//   nest tr parallel=1 repeat=2 {
+//     for i1 = 0..511
+//     for i2 = 0..511
+//     read  A[i1, i2]
+//     write B[i2, i1]
+//   }
+//
+// Index expressions are affine in the loop iterators: terms like `i2`,
+// `3*i1`, `i1+2*i2-4`, or plain constants, separated by commas per array
+// dimension. `parallel=` is 1-based (the paper's u); `repeat=` defaults
+// to 1. `#` starts a comment.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "ir/program.hpp"
+
+namespace flo::ir {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::size_t line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Parses (and validates) a program from the text format above.
+/// Throws ParseError on syntax problems and std::invalid_argument when the
+/// assembled program fails semantic validation.
+Program parse_program(const std::string& text);
+
+}  // namespace flo::ir

@@ -1,0 +1,39 @@
+#include "ir/printer.hpp"
+
+#include <sstream>
+
+namespace flo::ir {
+
+namespace {
+std::string render_reference(const Program& program, const Reference& ref) {
+  // AffineReference::to_string prints a generic "A[...]"; substitute the
+  // real array name.
+  std::string body = ref.map.to_string();
+  return program.array(ref.array).name() + body.substr(1);
+}
+}  // namespace
+
+std::string to_pseudocode(const Program& program) {
+  std::ostringstream os;
+  os << "program " << program.name() << '\n';
+  for (const auto& array : program.arrays()) {
+    os << "array " << array.to_string() << '\n';
+  }
+  for (const auto& nest : program.nests()) {
+    os << "nest " << nest.name() << " (parallel on i"
+       << (nest.parallel_dim() + 1) << ", repeat " << nest.repeat() << "):\n";
+    for (std::size_t level = 0; level < nest.depth(); ++level) {
+      os << std::string(level + 1, ' ') << "for i" << (level + 1) << " in ["
+         << nest.iterations().bound(level).lower << ", "
+         << nest.iterations().bound(level).upper << "]:\n";
+    }
+    const std::string indent(nest.depth() + 2, ' ');
+    for (const auto& ref : nest.references()) {
+      os << indent << (ref.kind == AccessKind::kRead ? "read  " : "write ")
+         << render_reference(program, ref) << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace flo::ir

@@ -1,0 +1,22 @@
+// Pretty-printer for IR programs (pseudo-source in the style of Fig. 3(b)).
+#pragma once
+
+#include <string>
+
+#include "ir/program.hpp"
+
+namespace flo::ir {
+
+/// Renders the program as annotated pseudo-code, e.g.:
+///
+///   program matmul
+///   array W[1024 x 1024] (8 B/elem)
+///   nest mm (parallel on i1, repeat 1):
+///     for i1 in [0, 1023]:
+///      for i2 in [0, 1023]:
+///       for i3 in [0, 1023]:
+///         read  W[i1, i2]
+///         ...
+std::string to_pseudocode(const Program& program);
+
+}  // namespace flo::ir

@@ -1,0 +1,61 @@
+#include "ir/program.hpp"
+
+#include <stdexcept>
+
+namespace flo::ir {
+
+Program::Program(std::string name) : name_(std::move(name)) {}
+
+ArrayId Program::add_array(ArrayDecl decl) {
+  for (const auto& existing : arrays_) {
+    if (existing.name() == decl.name()) {
+      throw std::invalid_argument("Program: duplicate array name " +
+                                  decl.name());
+    }
+  }
+  arrays_.push_back(std::move(decl));
+  return static_cast<ArrayId>(arrays_.size() - 1);
+}
+
+void Program::add_nest(LoopNest nest) {
+  for (const auto& ref : nest.references()) {
+    if (ref.array >= arrays_.size()) {
+      throw std::invalid_argument("Program: reference to unknown array id");
+    }
+    if (ref.map.array_dims() != arrays_[ref.array].dims()) {
+      throw std::invalid_argument(
+          "Program: reference dimensionality mismatch for array " +
+          arrays_[ref.array].name());
+    }
+  }
+  nests_.push_back(std::move(nest));
+}
+
+const ArrayDecl& Program::array(ArrayId id) const {
+  if (id >= arrays_.size()) {
+    throw std::out_of_range("Program::array: bad id");
+  }
+  return arrays_[id];
+}
+
+std::optional<ArrayId> Program::find_array(const std::string& name) const {
+  for (std::size_t i = 0; i < arrays_.size(); ++i) {
+    if (arrays_[i].name() == name) return static_cast<ArrayId>(i);
+  }
+  return std::nullopt;
+}
+
+std::vector<Program::ArrayUse> Program::uses_of(ArrayId id) const {
+  std::vector<ArrayUse> uses;
+  for (std::size_t n = 0; n < nests_.size(); ++n) {
+    const auto& refs = nests_[n].references();
+    for (std::size_t r = 0; r < refs.size(); ++r) {
+      if (refs[r].array == id) {
+        uses.push_back({n, r, nests_[n].reference_trip_count()});
+      }
+    }
+  }
+  return uses;
+}
+
+}  // namespace flo::ir

@@ -1,0 +1,50 @@
+// A whole application: disk-resident arrays plus a sequence of parallelized
+// loop nests (the output of the "loop parallelization and distribution"
+// phase that precedes the layout optimizer in Fig. 4 of the paper).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/array_decl.hpp"
+#include "ir/loop_nest.hpp"
+
+namespace flo::ir {
+
+class Program {
+ public:
+  Program() = default;
+  explicit Program(std::string name);
+
+  const std::string& name() const { return name_; }
+
+  /// Registers an array; returns its id (== file id).
+  ArrayId add_array(ArrayDecl decl);
+
+  void add_nest(LoopNest nest);
+
+  const std::vector<ArrayDecl>& arrays() const { return arrays_; }
+  const std::vector<LoopNest>& nests() const { return nests_; }
+
+  const ArrayDecl& array(ArrayId id) const;
+
+  /// Finds an array id by name.
+  std::optional<ArrayId> find_array(const std::string& name) const;
+
+  /// All references to `id` across all nests, paired with the dynamic trip
+  /// count of the enclosing nest (used for Eq. 5 weights).
+  struct ArrayUse {
+    std::size_t nest_index;
+    std::size_t ref_index;
+    std::int64_t trip_count;
+  };
+  std::vector<ArrayUse> uses_of(ArrayId id) const;
+
+ private:
+  std::string name_;
+  std::vector<ArrayDecl> arrays_;
+  std::vector<LoopNest> nests_;
+};
+
+}  // namespace flo::ir

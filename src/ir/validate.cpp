@@ -1,0 +1,44 @@
+#include "ir/validate.hpp"
+
+#include <sstream>
+
+namespace flo::ir {
+
+std::vector<std::string> validate(const Program& program) {
+  std::vector<std::string> issues;
+  if (program.nests().empty()) {
+    issues.push_back("program has no loop nests");
+  }
+  if (program.arrays().empty()) {
+    issues.push_back("program has no arrays");
+  }
+  for (std::size_t n = 0; n < program.nests().size(); ++n) {
+    const auto& nest = program.nests()[n];
+    for (std::size_t r = 0; r < nest.references().size(); ++r) {
+      const auto& ref = nest.references()[r];
+      std::ostringstream where;
+      where << "nest '" << nest.name() << "' reference #" << r;
+      if (ref.array >= program.arrays().size()) {
+        issues.push_back(where.str() + ": unknown array id");
+        continue;
+      }
+      const auto& decl = program.array(ref.array);
+      if (ref.map.array_dims() != decl.dims()) {
+        issues.push_back(where.str() + ": dimensionality mismatch for array " +
+                         decl.name());
+        continue;
+      }
+      if (ref.map.nest_depth() != nest.depth()) {
+        issues.push_back(where.str() + ": access matrix width != nest depth");
+        continue;
+      }
+      if (!ref.map.stays_within(nest.iterations(), decl.space())) {
+        issues.push_back(where.str() + ": indexes outside array " +
+                         decl.name() + decl.space().to_string());
+      }
+    }
+  }
+  return issues;
+}
+
+}  // namespace flo::ir

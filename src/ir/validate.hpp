@@ -1,0 +1,18 @@
+// Structural validation for IR programs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/program.hpp"
+
+namespace flo::ir {
+
+/// Returns a list of human-readable problems; empty means valid.
+///
+/// Checks: at least one nest, every reference targets a declared array with
+/// matching dimensionality, and every reference stays inside its array's
+/// data space over the whole iteration domain.
+std::vector<std::string> validate(const Program& program);
+
+}  // namespace flo::ir

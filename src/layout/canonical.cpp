@@ -1,0 +1,47 @@
+#include "layout/canonical.hpp"
+
+#include <stdexcept>
+
+namespace flo::layout {
+
+RowMajorLayout::RowMajorLayout(poly::DataSpace space)
+    : space_(std::move(space)) {}
+
+std::int64_t RowMajorLayout::slot(
+    std::span<const std::int64_t> element) const {
+  return space_.linearize_row_major(element);
+}
+
+std::int64_t RowMajorLayout::file_slots() const {
+  return space_.element_count();
+}
+
+std::string RowMajorLayout::describe() const {
+  return "row-major " + space_.to_string();
+}
+
+ColumnMajorLayout::ColumnMajorLayout(poly::DataSpace space)
+    : space_(std::move(space)) {}
+
+std::int64_t ColumnMajorLayout::slot(
+    std::span<const std::int64_t> element) const {
+  if (element.size() != space_.dims()) {
+    throw std::invalid_argument("ColumnMajorLayout::slot: dim mismatch");
+  }
+  // First dimension fastest.
+  std::int64_t offset = 0;
+  for (std::size_t k = space_.dims(); k-- > 0;) {
+    offset = offset * space_.extent(k) + element[k];
+  }
+  return offset;
+}
+
+std::int64_t ColumnMajorLayout::file_slots() const {
+  return space_.element_count();
+}
+
+std::string ColumnMajorLayout::describe() const {
+  return "column-major " + space_.to_string();
+}
+
+}  // namespace flo::layout

@@ -1,0 +1,45 @@
+// Canonical dense layouts: row-major (the "default file layout" of the
+// paper's baseline executions) and column-major.
+#pragma once
+
+#include "layout/file_layout.hpp"
+
+namespace flo::layout {
+
+class RowMajorLayout final : public FileLayout {
+ public:
+  explicit RowMajorLayout(poly::DataSpace space);
+
+  std::int64_t slot(std::span<const std::int64_t> element) const override;
+  std::int64_t file_slots() const override;
+  std::string describe() const override;
+
+ private:
+  poly::DataSpace space_;
+};
+
+class ColumnMajorLayout final : public FileLayout {
+ public:
+  explicit ColumnMajorLayout(poly::DataSpace space);
+
+  std::int64_t slot(std::span<const std::int64_t> element) const override;
+  std::int64_t file_slots() const override;
+  std::string describe() const override;
+
+ private:
+  poly::DataSpace space_;
+};
+
+/// Builds the default (row-major) layout for every array of a program.
+/// Convenience for "default execution" experiments.
+template <typename Program>
+LayoutMap default_layouts(const Program& program) {
+  LayoutMap layouts;
+  layouts.reserve(program.arrays().size());
+  for (const auto& array : program.arrays()) {
+    layouts.push_back(std::make_unique<RowMajorLayout>(array.space()));
+  }
+  return layouts;
+}
+
+}  // namespace flo::layout

@@ -1,0 +1,162 @@
+#include "layout/chunk_pattern.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace flo::layout {
+
+const char* layer_mask_name(LayerMask mask) {
+  switch (mask) {
+    case LayerMask::kBoth:
+      return "both layers";
+    case LayerMask::kIoOnly:
+      return "I/O layer only";
+    case LayerMask::kStorageOnly:
+      return "storage layer only";
+  }
+  return "?";
+}
+
+std::vector<PatternLayer> pattern_layers(const storage::StorageTopology& topo,
+                                         LayerMask mask) {
+  const auto& cfg = topo.config();
+  std::vector<PatternLayer> layers;
+  if (mask == LayerMask::kBoth || mask == LayerMask::kIoOnly) {
+    layers.push_back({cfg.io_cache_bytes, cfg.io_nodes});
+  }
+  if (mask == LayerMask::kBoth || mask == LayerMask::kStorageOnly) {
+    layers.push_back({cfg.storage_cache_bytes, cfg.storage_nodes});
+  }
+  return layers;
+}
+
+ChunkPattern::ChunkPattern(std::vector<PatternLayer> layers,
+                           std::size_t thread_count,
+                           std::uint64_t element_size,
+                           std::vector<std::size_t> leaf_cache_of_thread,
+                           std::uint64_t chunk_cap_elements)
+    : layers_(std::move(layers)), thread_count_(thread_count) {
+  if (layers_.empty()) {
+    throw std::invalid_argument("ChunkPattern: no layers");
+  }
+  if (thread_count_ == 0) {
+    throw std::invalid_argument("ChunkPattern: zero threads");
+  }
+  if (element_size == 0) {
+    throw std::invalid_argument("ChunkPattern: zero element size");
+  }
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    if (layers_[i].cache_count == 0 ||
+        thread_count_ % layers_[i].cache_count != 0) {
+      throw std::invalid_argument(
+          "ChunkPattern: cache count must divide thread count");
+    }
+    if (i > 0 && layers_[i - 1].cache_count % layers_[i].cache_count != 0) {
+      throw std::invalid_argument(
+          "ChunkPattern: layer cache counts must nest");
+    }
+  }
+
+  // l = threads per layer-1 cache; c = S1 / (l * element_size).
+  const std::size_t l = thread_count_ / layers_[0].cache_count;
+  chunk_elements_ =
+      std::max<std::uint64_t>(1, layers_[0].capacity_bytes /
+                                     (l * element_size));
+  if (chunk_cap_elements != 0) {
+    chunk_elements_ = std::min(chunk_elements_, chunk_cap_elements);
+    chunk_elements_ = std::max<std::uint64_t>(1, chunk_elements_);
+  }
+
+  const std::size_t n = layers_.size();
+  pattern_elements_.resize(n + 1);
+  reps_.resize(n);
+  pattern_elements_[0] = chunk_elements_ * l;  // P_1
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    // N_{i+1}: layer-i caches under one layer-(i+1) cache.
+    const std::size_t fanin =
+        layers_[i].cache_count / layers_[i + 1].cache_count;
+    const std::uint64_t upper_elems =
+        layers_[i + 1].capacity_bytes / element_size;
+    reps_[i] = std::max<std::uint64_t>(
+        1, upper_elems / (fanin * pattern_elements_[i]));
+    pattern_elements_[i + 1] = fanin * reps_[i] * pattern_elements_[i];
+  }
+  // Virtual root: concatenation of all top-layer patterns, repetition 1.
+  reps_[n - 1] = 1;
+  pattern_elements_[n] =
+      layers_[n - 1].cache_count * pattern_elements_[n - 1];
+
+  // Leaf cache and rank-within-cache per thread. A non-trivial thread ->
+  // node mapping changes which cache a thread shares; the compiler knows
+  // the mapping, so the pattern honors it.
+  std::vector<std::size_t> leaf(thread_count_);
+  std::vector<std::size_t> rank(thread_count_);
+  if (leaf_cache_of_thread.empty()) {
+    for (std::size_t t = 0; t < thread_count_; ++t) leaf[t] = t / l;
+  } else {
+    if (leaf_cache_of_thread.size() != thread_count_) {
+      throw std::invalid_argument("ChunkPattern: bad leaf mapping size");
+    }
+    leaf = std::move(leaf_cache_of_thread);
+  }
+  {
+    std::vector<std::size_t> occupancy(layers_[0].cache_count, 0);
+    for (std::size_t t = 0; t < thread_count_; ++t) {
+      if (leaf[t] >= layers_[0].cache_count) {
+        throw std::invalid_argument("ChunkPattern: leaf cache out of range");
+      }
+      rank[t] = occupancy[leaf[t]]++;
+    }
+    for (std::size_t occ : occupancy) {
+      if (occ != l) {
+        throw std::invalid_argument("ChunkPattern: unbalanced leaf mapping");
+      }
+    }
+  }
+
+  // base_t = sum over layers of (group index within parent) * t_i * P_i,
+  // plus the rank within the leaf cache times the chunk size.
+  base_.resize(thread_count_);
+  for (std::size_t t = 0; t < thread_count_; ++t) {
+    std::uint64_t base = rank[t] * chunk_elements_;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t cache_i =
+          leaf[t] / (layers_[0].cache_count / layers_[i].cache_count);
+      const std::size_t parent_count =
+          i + 1 < n ? layers_[i + 1].cache_count : 1;
+      const std::size_t fanin = layers_[i].cache_count / parent_count;
+      const std::size_t group = cache_i % fanin;
+      base += group * reps_[i] * pattern_elements_[i];
+    }
+    base_[t] = base;
+  }
+}
+
+std::uint64_t ChunkPattern::chunk_start(parallel::ThreadId thread,
+                                        std::uint64_t x) const {
+  if (thread >= thread_count_) {
+    throw std::out_of_range("ChunkPattern::chunk_start: bad thread");
+  }
+  std::uint64_t start = base_[thread];
+  std::uint64_t div = 1;
+  const std::size_t n = layers_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    start += ((x / div) % reps_[i]) * pattern_elements_[i];
+    div *= reps_[i];
+  }
+  start += (x / div) * pattern_elements_[n];
+  return start;
+}
+
+std::string ChunkPattern::describe() const {
+  std::ostringstream os;
+  os << "chunk=" << chunk_elements_ << " elems;";
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    os << " P" << (i + 1) << "=" << pattern_elements_[i] << " (x" << reps_[i]
+       << ")";
+  }
+  os << " root=" << pattern_elements_.back();
+  return os.str();
+}
+
+}  // namespace flo::layout

@@ -1,0 +1,92 @@
+// Step II: storage-hierarchy-aware layout patterns (Section 4.2) and the
+// closed-form chunk addressing of Algorithm 1.
+//
+// The pattern is built top-down over the cache layers: the layer-1 (I/O
+// cache) pattern holds one chunk of S1/l elements per thread sharing that
+// cache; the layer-(i+1) pattern concatenates, for each layer-i cache below
+// it, t_i = S_{i+1} / (N_{i+1} * S_i) repetitions of that cache's layer-i
+// pattern. A virtual root above the last layer concatenates the top-layer
+// patterns and repeats over the whole file, so the construction is uniform
+// for any number of layers (including the single-layer variants of
+// Fig. 7(f)).
+//
+// chunk_start(t, x) evaluates base_t + b_n + ... + b_1 with
+//   b_i = ((x / (t_1 ... t_{i-1})) % t_i) * P_i
+// exactly as in Algorithm 1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "parallel/iteration_blocks.hpp"
+#include "storage/topology.hpp"
+
+namespace flo::layout {
+
+/// One cache layer of the pattern, bottom-up (layer 0 here == the paper's
+/// SC1). Threads are associated with caches contiguously:
+/// cache_of(t) = t * cache_count / thread_count.
+struct PatternLayer {
+  std::uint64_t capacity_bytes = 0;  ///< per cache (the paper's S_i)
+  std::size_t cache_count = 0;       ///< caches at this layer
+};
+
+/// Which layers of the hierarchy Step II targets (Fig. 7(f)).
+enum class LayerMask { kBoth, kIoOnly, kStorageOnly };
+
+const char* layer_mask_name(LayerMask mask);
+
+/// Builds the PatternLayer stack for a topology under a mask.
+std::vector<PatternLayer> pattern_layers(const storage::StorageTopology& topo,
+                                         LayerMask mask);
+
+class ChunkPattern {
+ public:
+  ChunkPattern() = default;
+
+  /// `layers` bottom-up; every layer's cache_count must divide
+  /// thread_count and each upper layer's count must divide the lower's.
+  /// `leaf_cache_of_thread` optionally gives each thread's layer-1 cache
+  /// (as produced by the thread -> compute-node mapping); empty means the
+  /// contiguous default cache_of(t) = t / (threads / caches). Occupancy
+  /// must be balanced (threads/caches per cache).
+  /// `chunk_cap_elements` (0 = none) caps the chunk size; the builder
+  /// passes ceil(array elements / threads) so that arrays smaller than one
+  /// chunk per thread stay dense instead of leaving large holes (an
+  /// engineering refinement of Algorithm 1 — see DESIGN.md §5.2).
+  ChunkPattern(std::vector<PatternLayer> layers, std::size_t thread_count,
+               std::uint64_t element_size,
+               std::vector<std::size_t> leaf_cache_of_thread = {},
+               std::uint64_t chunk_cap_elements = 0);
+
+  /// Elements per chunk (the paper's S1/l, in elements; >= 1).
+  std::uint64_t chunk_elements() const { return chunk_elements_; }
+
+  /// Pattern length in elements at each layer (P_1 .. P_n, plus the virtual
+  /// root at the back).
+  const std::vector<std::uint64_t>& pattern_elements() const {
+    return pattern_elements_;
+  }
+
+  /// Repetition counts t_1 .. t_n (t_n == 1 for the virtual root).
+  const std::vector<std::uint64_t>& repetitions() const { return reps_; }
+
+  std::size_t thread_count() const { return thread_count_; }
+
+  /// Starting element slot of thread t's x-th chunk (x from 0) —
+  /// Algorithm 1's base_t + b_n + ... + b_1.
+  std::uint64_t chunk_start(parallel::ThreadId thread, std::uint64_t x) const;
+
+  std::string describe() const;
+
+ private:
+  std::vector<PatternLayer> layers_;
+  std::size_t thread_count_ = 0;
+  std::uint64_t chunk_elements_ = 1;
+  std::vector<std::uint64_t> pattern_elements_;  ///< P_1..P_n, P_root last
+  std::vector<std::uint64_t> reps_;              ///< t_1..t_n
+  std::vector<std::uint64_t> base_;              ///< base_t per thread
+};
+
+}  // namespace flo::layout

@@ -1,0 +1,61 @@
+#include "layout/conversion.hpp"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "util/format.hpp"
+
+namespace flo::layout {
+
+std::string ConversionPlan::to_string() const {
+  std::ostringstream os;
+  os << moved_elements << "/" << total_elements << " elements move, "
+     << source_blocks << " blocks read, " << target_blocks
+     << " blocks written, ~" << util::format_duration(estimated_seconds);
+  return os.str();
+}
+
+ConversionPlan plan_conversion(const ir::ArrayDecl& array,
+                               const FileLayout& from, const FileLayout& to,
+                               const storage::TopologyConfig& config) {
+  ConversionPlan plan;
+  const auto& space = array.space();
+  const std::int64_t elems_per_block = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(config.block_size) / array.element_size());
+
+  std::unordered_set<std::int64_t> src_blocks;
+  std::unordered_set<std::int64_t> dst_blocks;
+
+  std::vector<std::int64_t> point(space.dims(), 0);
+  const std::int64_t count = space.element_count();
+  plan.total_elements = count;
+  for (std::int64_t i = 0; i < count; ++i) {
+    const std::int64_t src = from.slot(point);
+    const std::int64_t dst = to.slot(point);
+    if (src != dst) {
+      ++plan.moved_elements;
+      src_blocks.insert(src / elems_per_block);
+      dst_blocks.insert(dst / elems_per_block);
+    }
+    for (std::size_t k = space.dims(); k-- > 0;) {
+      if (++point[k] < space.extent(k)) break;
+      point[k] = 0;
+    }
+  }
+  plan.source_blocks = src_blocks.size();
+  plan.target_blocks = dst_blocks.size();
+
+  // Stream the source at bandwidth; scatter-write the destination with an
+  // average seek + half-rotation per block.
+  const double transfer =
+      static_cast<double>(config.block_size) / config.disk.bandwidth;
+  const double scattered =
+      0.5 * (config.disk.min_seek + config.disk.max_seek) +
+      0.5 * 60.0 / config.disk.rpm + transfer;
+  plan.estimated_seconds =
+      static_cast<double>(plan.source_blocks) * transfer +
+      static_cast<double>(plan.target_blocks) * scattered;
+  return plan;
+}
+
+}  // namespace flo::layout

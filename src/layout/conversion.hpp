@@ -1,0 +1,42 @@
+// Layout conversion planning — the extension Section 4.3 of the paper
+// sketches for making optimized files interoperable: "the input arrays can
+// be transformed — at the beginning of the program — from a canonical
+// layout ... and the output arrays — at the end — can be transformed
+// either into a canonical layout or into a layout desired by the
+// application that will use those arrays as input."
+//
+// A ConversionPlan quantifies that one-shot transformation between any two
+// FileLayouts of the same array: how many elements move, how many distinct
+// blocks each side touches, and an estimated wall time under a disk model
+// (stream the source, scatter-write the destination).
+#pragma once
+
+#include <string>
+
+#include "ir/array_decl.hpp"
+#include "layout/file_layout.hpp"
+#include "storage/topology.hpp"
+
+namespace flo::layout {
+
+struct ConversionPlan {
+  std::int64_t total_elements = 0;
+  std::int64_t moved_elements = 0;   ///< elements whose slot differs
+  std::uint64_t source_blocks = 0;   ///< distinct blocks read
+  std::uint64_t target_blocks = 0;   ///< distinct blocks written
+  double estimated_seconds = 0;      ///< sequential read + scattered write
+
+  /// True when the layouts are slot-identical (no I/O needed).
+  bool is_identity() const { return moved_elements == 0; }
+
+  std::string to_string() const;
+};
+
+/// Plans the conversion of `array` data from layout `from` to layout `to`.
+/// Cost model: the source is streamed once at disk bandwidth; destination
+/// blocks that differ are written with a scattered-access penalty.
+ConversionPlan plan_conversion(const ir::ArrayDecl& array,
+                               const FileLayout& from, const FileLayout& to,
+                               const storage::TopologyConfig& config);
+
+}  // namespace flo::layout

@@ -1,0 +1,5 @@
+#include "layout/file_layout.hpp"
+
+// Interface-only translation unit: anchors the FileLayout vtable.
+
+namespace flo::layout {}

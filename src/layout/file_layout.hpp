@@ -1,0 +1,37 @@
+// FileLayout: the mapping between array elements and linear file locations
+// (the paper's "file layout", distinct from the array layout seen by the
+// program and the disk layout produced by striping — Section 2).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "polyhedral/data_space.hpp"
+
+namespace flo::layout {
+
+class FileLayout {
+ public:
+  virtual ~FileLayout() = default;
+
+  /// Linear file slot (in element units) of an array element. Slots need
+  /// not be dense: Algorithm 1's chunk addressing can leave holes, which
+  /// the simulator treats as a sparse file.
+  virtual std::int64_t slot(std::span<const std::int64_t> element) const = 0;
+
+  /// File length in element slots (1 + highest assigned slot).
+  virtual std::int64_t file_slots() const = 0;
+
+  /// One-line human description ("row-major", "inter-node (D=...)").
+  virtual std::string describe() const = 0;
+};
+
+using FileLayoutPtr = std::unique_ptr<FileLayout>;
+
+/// Per-array layouts for a whole program, indexed by ArrayId.
+using LayoutMap = std::vector<FileLayoutPtr>;
+
+}  // namespace flo::layout

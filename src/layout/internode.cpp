@@ -1,0 +1,185 @@
+#include "layout/internode.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "linalg/gcd.hpp"
+
+namespace flo::layout {
+
+namespace {
+
+std::int64_t floor_div(std::int64_t a, std::int64_t b) {
+  std::int64_t q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+}  // namespace
+
+std::int64_t InterNodeLayout::owner_of_s(
+    std::int64_t s, const parallel::BlockDecomposition& decomp) const {
+  const std::int64_t iu =
+      floor_div(s - partitioning_.beta, partitioning_.alpha);
+  return decomp.thread_of(iu);
+}
+
+InterNodeLayout::InterNodeLayout(const ir::Program& program,
+                                 ir::ArrayId array,
+                                 const ArrayPartitioning& partitioning,
+                                 const parallel::ParallelSchedule& schedule,
+                                 std::vector<PatternLayer> layers,
+                                 std::vector<std::size_t> leaf_cache_of_thread,
+                                 std::uint64_t block_elems)
+    : space_(program.array(array).space()), partitioning_(partitioning) {
+  if (!partitioning_.partitioned) {
+    throw std::invalid_argument("InterNodeLayout: array not partitioned");
+  }
+  if (partitioning_.alpha == 0) {
+    throw std::invalid_argument("InterNodeLayout: zero parallel stride");
+  }
+  const parallel::BlockDecomposition& decomp =
+      schedule.decomposition(partitioning_.primary_nest);
+  const auto& d = partitioning_.hyperplane;
+
+  // Pass 1: gather the touched elements of this array across every
+  // reference of every nest (Algorithm 1 iterates "each data element
+  // accessed by thread j"), with their hyperplane value and owner.
+  struct Item {
+    std::int64_t s;
+    std::int64_t idx;
+  };
+  std::vector<std::vector<Item>> per_thread(schedule.thread_count());
+  slot_of_.reserve(1024);
+  owner_of_.reserve(1024);
+  for (const auto& nest : program.nests()) {
+    bool touches = false;
+    for (const auto& ref : nest.references()) {
+      if (ref.array == array) touches = true;
+    }
+    if (!touches) continue;
+    std::vector<std::int64_t> iter = nest.iterations().first();
+    bool more = true;
+    while (more) {
+      for (const auto& ref : nest.references()) {
+        if (ref.array != array) continue;
+        const linalg::IntVector element = ref.map.evaluate(iter);
+        const std::int64_t idx = space_.linearize_row_major(element);
+        if (slot_of_.emplace(idx, -1).second) {
+          const std::int64_t s = linalg::dot(d, element);
+          const parallel::ThreadId owner =
+              static_cast<parallel::ThreadId>(owner_of_s(s, decomp));
+          owner_of_.emplace(idx, owner);
+          per_thread[owner].push_back({s, idx});
+        }
+      }
+      more = nest.iterations().next(iter);
+    }
+  }
+
+  // Chunk size: Step II's S1/l, capped at the largest per-thread touched
+  // share so small or sparse arrays stay dense (block-aligned).
+  std::size_t max_share = 1;
+  for (const auto& items : per_thread) {
+    max_share = std::max(max_share, items.size());
+  }
+  const std::uint64_t cap =
+      (static_cast<std::uint64_t>(max_share) + block_elems - 1) /
+      block_elems * block_elems;
+  pattern_ = ChunkPattern(std::move(layers), schedule.thread_count(),
+                          static_cast<std::uint64_t>(
+                              program.array(array).element_size()),
+                          std::move(leaf_cache_of_thread), cap);
+
+  // Pass 2: slab-major order within each thread, then chunk addressing.
+  const std::uint64_t c = pattern_.chunk_elements();
+  for (parallel::ThreadId t = 0; t < per_thread.size(); ++t) {
+    auto& items = per_thread[t];
+    std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
+      if (a.s != b.s) return a.s < b.s;
+      return a.idx < b.idx;
+    });
+    for (std::size_t k = 0; k < items.size(); ++k) {
+      const std::uint64_t chunk = k / c;
+      const std::uint64_t within = k % c;
+      const std::int64_t slot =
+          static_cast<std::int64_t>(pattern_.chunk_start(t, chunk) + within);
+      slot_of_[items[k].idx] = slot;
+      patterned_slots_ = std::max(patterned_slots_, slot + 1);
+    }
+  }
+  file_slots_ = patterned_slots_;
+}
+
+std::int64_t InterNodeLayout::slot(
+    std::span<const std::int64_t> element) const {
+  const std::int64_t idx = space_.linearize_row_major(element);
+  const auto it = slot_of_.find(idx);
+  if (it != slot_of_.end()) return it->second;
+  // Untouched element: lives in the canonical-order tail past the
+  // patterned region (kept total and injective for robustness; the
+  // program's own traces never reach here).
+  return patterned_slots_ + idx;
+}
+
+std::int64_t InterNodeLayout::file_slots() const {
+  // Upper bound covering the untouched tail.
+  return patterned_slots_ + space_.element_count();
+}
+
+parallel::ThreadId InterNodeLayout::owner(
+    std::span<const std::int64_t> element) const {
+  const std::int64_t idx = space_.linearize_row_major(element);
+  const auto it = owner_of_.find(idx);
+  if (it != owner_of_.end()) return it->second;
+  // Untouched element: derive the owner from the hyperplane directly.
+  const std::int64_t s = linalg::dot(partitioning_.hyperplane, element);
+  const std::int64_t iu =
+      floor_div(s - partitioning_.beta, partitioning_.alpha);
+  const std::int64_t t = std::clamp<std::int64_t>(
+      iu, 0, static_cast<std::int64_t>(pattern_.thread_count()) - 1);
+  return static_cast<parallel::ThreadId>(t);
+}
+
+std::string InterNodeLayout::describe() const {
+  std::string out = "inter-node " + space_.to_string() + " d=(";
+  for (std::size_t k = 0; k < partitioning_.hyperplane.size(); ++k) {
+    if (k > 0) out += ",";
+    out += std::to_string(partitioning_.hyperplane[k]);
+  }
+  out += ") " + pattern_.describe();
+  return out;
+}
+
+std::vector<std::size_t> leaf_cache_of_threads(
+    const parallel::ParallelSchedule& schedule,
+    const storage::StorageTopology& topology, LayerMask mask) {
+  std::vector<std::size_t> leaf(schedule.thread_count());
+  for (parallel::ThreadId t = 0; t < schedule.thread_count(); ++t) {
+    const storage::NodeId io =
+        topology.io_node_of(schedule.mapping().node_of(t));
+    leaf[t] = mask == LayerMask::kStorageOnly
+                  ? topology.storage_node_of_io(io)
+                  : io;
+  }
+  return leaf;
+}
+
+FileLayoutPtr build_internode_layout(const ir::Program& program,
+                                     ir::ArrayId array,
+                                     const parallel::ParallelSchedule& schedule,
+                                     const storage::StorageTopology& topology,
+                                     LayerMask mask,
+                                     const PartitioningOptions& options) {
+  const ArrayPartitioning part =
+      partition_array(program, array, schedule, options);
+  if (!part.partitioned) return nullptr;
+  const std::uint64_t block_elems = std::max<std::uint64_t>(
+      1, topology.config().block_size /
+             static_cast<std::uint64_t>(program.array(array).element_size()));
+  return std::make_unique<InterNodeLayout>(
+      program, array, part, schedule, pattern_layers(topology, mask),
+      leaf_cache_of_threads(schedule, topology, mask), block_elems);
+}
+
+}  // namespace flo::layout

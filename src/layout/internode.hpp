@@ -1,0 +1,85 @@
+// The inter-node file layout: Step I ownership + Step II chunk addressing
+// materialized as a FileLayout.
+//
+// Following Algorithm 1 ("for each data element accessed by thread j"),
+// the layout packs the elements the program actually touches: ownership of
+// a touched element a follows from the partitioning hyperplane — s = d.a
+// determines the parallel-loop coordinate i_u = (s - beta) / alpha of the
+// iterations reaching it through the primary reference, and the block
+// decomposition maps i_u to its thread. Each thread's touched elements,
+// taken in slab-major order, fill its chunks; chunk x starts at the
+// Algorithm 1 address. Untouched elements (possible when the affine image
+// of the iteration space does not cover the declared box) are appended
+// past the patterned region in canonical order, so the mapping stays total
+// and injective.
+#pragma once
+
+#include <unordered_map>
+
+#include "ir/program.hpp"
+#include "layout/chunk_pattern.hpp"
+#include "layout/file_layout.hpp"
+#include "layout/partitioning.hpp"
+#include "parallel/schedule.hpp"
+#include "storage/topology.hpp"
+
+namespace flo::layout {
+
+class InterNodeLayout final : public FileLayout {
+ public:
+  /// Builds the layout for one partitioned array of `program`.
+  /// `partitioning` must have partitioned == true. The chunk pattern is
+  /// derived from `layers`/`leaf_cache_of_thread` with the chunk capped at
+  /// the largest per-thread touched share (rounded up to `block_elems`).
+  InterNodeLayout(const ir::Program& program, ir::ArrayId array,
+                  const ArrayPartitioning& partitioning,
+                  const parallel::ParallelSchedule& schedule,
+                  std::vector<PatternLayer> layers,
+                  std::vector<std::size_t> leaf_cache_of_thread,
+                  std::uint64_t block_elems);
+
+  std::int64_t slot(std::span<const std::int64_t> element) const override;
+  std::int64_t file_slots() const override;
+  std::string describe() const override;
+
+  /// The thread owning a given element (exposed for tests and hints).
+  parallel::ThreadId owner(std::span<const std::int64_t> element) const;
+
+  /// Number of elements the program touches in this array.
+  std::size_t touched_count() const { return slot_of_.size(); }
+
+  const ChunkPattern& pattern() const { return pattern_; }
+  const ArrayPartitioning& partitioning() const { return partitioning_; }
+
+ private:
+  std::int64_t owner_of_s(std::int64_t s,
+                          const parallel::BlockDecomposition& decomp) const;
+
+  poly::DataSpace space_;
+  ArrayPartitioning partitioning_;
+  ChunkPattern pattern_;
+
+  /// touched row-major index -> file slot (Algorithm 1 packing).
+  std::unordered_map<std::int64_t, std::int64_t> slot_of_;
+  std::unordered_map<std::int64_t, parallel::ThreadId> owner_of_;
+  std::int64_t patterned_slots_ = 0;  ///< end of the chunked region
+  std::int64_t file_slots_ = 0;
+};
+
+/// Convenience: runs Step I and Step II for one array; returns nullptr when
+/// the array cannot be partitioned (caller keeps the canonical layout).
+FileLayoutPtr build_internode_layout(const ir::Program& program,
+                                     ir::ArrayId array,
+                                     const parallel::ParallelSchedule& schedule,
+                                     const storage::StorageTopology& topology,
+                                     LayerMask mask = LayerMask::kBoth,
+                                     const PartitioningOptions& options = {});
+
+/// Each thread's cache index at the bottom layer of the Step II pattern:
+/// its I/O node for kBoth/kIoOnly, its storage node for kStorageOnly,
+/// derived from the schedule's thread -> compute-node mapping.
+std::vector<std::size_t> leaf_cache_of_threads(
+    const parallel::ParallelSchedule& schedule,
+    const storage::StorageTopology& topology, LayerMask mask);
+
+}  // namespace flo::layout

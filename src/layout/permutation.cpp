@@ -1,0 +1,65 @@
+#include "layout/permutation.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace flo::layout {
+
+DimensionPermutationLayout::DimensionPermutationLayout(
+    poly::DataSpace space, std::vector<std::size_t> order)
+    : space_(std::move(space)), order_(std::move(order)) {
+  if (order_.size() != space_.dims()) {
+    throw std::invalid_argument(
+        "DimensionPermutationLayout: order length mismatch");
+  }
+  std::vector<bool> seen(order_.size(), false);
+  for (std::size_t d : order_) {
+    if (d >= order_.size() || seen[d]) {
+      throw std::invalid_argument(
+          "DimensionPermutationLayout: order is not a permutation");
+    }
+    seen[d] = true;
+  }
+}
+
+std::int64_t DimensionPermutationLayout::slot(
+    std::span<const std::int64_t> element) const {
+  if (element.size() != space_.dims()) {
+    throw std::invalid_argument("DimensionPermutationLayout::slot: mismatch");
+  }
+  std::int64_t offset = 0;
+  for (std::size_t k = 0; k < order_.size(); ++k) {
+    const std::size_t dim = order_[k];
+    offset = offset * space_.extent(dim) + element[dim];
+  }
+  return offset;
+}
+
+std::int64_t DimensionPermutationLayout::file_slots() const {
+  return space_.element_count();
+}
+
+std::string DimensionPermutationLayout::describe() const {
+  std::ostringstream os;
+  os << "dim-permuted (";
+  for (std::size_t k = 0; k < order_.size(); ++k) {
+    if (k > 0) os << ", ";
+    os << "a" << (order_[k] + 1);
+  }
+  os << ") " << space_.to_string();
+  return os.str();
+}
+
+std::vector<std::vector<std::size_t>> all_dimension_orders(std::size_t dims) {
+  std::vector<std::size_t> order(dims);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<std::vector<std::size_t>> out;
+  do {
+    out.push_back(order);
+  } while (std::next_permutation(order.begin(), order.end()));
+  return out;
+}
+
+}  // namespace flo::layout

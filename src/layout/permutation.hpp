@@ -1,0 +1,35 @@
+// Dimension-reindexed layouts: the expressible space of the FAST'08
+// baseline [27], which converts e.g. a row-major file to column-major by
+// permuting the storage order of array dimensions.
+#pragma once
+
+#include <vector>
+
+#include "layout/file_layout.hpp"
+
+namespace flo::layout {
+
+class DimensionPermutationLayout final : public FileLayout {
+ public:
+  /// `order` lists array dimensions from slowest- to fastest-varying in the
+  /// file; it must be a permutation of 0..dims-1. order == {0, 1, ..., m-1}
+  /// is row-major; order == {m-1, ..., 1, 0} is column-major.
+  DimensionPermutationLayout(poly::DataSpace space,
+                             std::vector<std::size_t> order);
+
+  std::int64_t slot(std::span<const std::int64_t> element) const override;
+  std::int64_t file_slots() const override;
+  std::string describe() const override;
+
+  const std::vector<std::size_t>& order() const { return order_; }
+
+ private:
+  poly::DataSpace space_;
+  std::vector<std::size_t> order_;
+};
+
+/// All dimension orders for an m-dimensional array (m! permutations; the
+/// "six possible file layouts" of a 3-D array in Section 5.4).
+std::vector<std::vector<std::size_t>> all_dimension_orders(std::size_t dims);
+
+}  // namespace flo::layout

@@ -1,0 +1,67 @@
+#include "layout/template_hierarchy.hpp"
+
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace flo::layout {
+
+HierarchyTemplate HierarchyTemplate::from(
+    const storage::StorageTopology& topology, LayerMask mask,
+    std::uint64_t reference_bottom_bytes) {
+  const auto layers = pattern_layers(topology, mask);
+  if (layers.empty()) {
+    throw std::invalid_argument("HierarchyTemplate: no layers");
+  }
+  HierarchyTemplate t;
+  t.reference_bottom_bytes_ = reference_bottom_bytes != 0
+                                  ? reference_bottom_bytes
+                                  : layers.front().capacity_bytes;
+  for (const auto& layer : layers) {
+    t.cache_counts_.push_back(layer.cache_count);
+    const std::uint64_t g =
+        std::gcd(layer.capacity_bytes, layers.front().capacity_bytes);
+    t.ratio_num_.push_back(layer.capacity_bytes / g);
+    t.ratio_den_.push_back(layers.front().capacity_bytes / g);
+  }
+  return t;
+}
+
+bool HierarchyTemplate::matches(const storage::StorageTopology& topology,
+                                LayerMask mask) const {
+  const auto layers = pattern_layers(topology, mask);
+  if (layers.size() != cache_counts_.size()) return false;
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    if (layers[i].cache_count != cache_counts_[i]) return false;
+    // Same capacity ratio vs the bottom layer?
+    const auto num = layers[i].capacity_bytes * ratio_den_[i];
+    const auto den = layers.front().capacity_bytes * ratio_num_[i];
+    if (num != den) return false;
+  }
+  return true;
+}
+
+std::vector<PatternLayer> HierarchyTemplate::reference_layers() const {
+  std::vector<PatternLayer> layers;
+  layers.reserve(cache_counts_.size());
+  for (std::size_t i = 0; i < cache_counts_.size(); ++i) {
+    layers.push_back(
+        {reference_bottom_bytes_ * ratio_num_[i] / ratio_den_[i],
+         cache_counts_[i]});
+  }
+  return layers;
+}
+
+std::string HierarchyTemplate::describe() const {
+  std::ostringstream os;
+  os << "template {";
+  for (std::size_t i = 0; i < cache_counts_.size(); ++i) {
+    if (i > 0) os << " -> ";
+    os << cache_counts_[i] << " caches x" << ratio_num_[i];
+    if (ratio_den_[i] != 1) os << "/" << ratio_den_[i];
+  }
+  os << "} ref " << reference_bottom_bytes_ << " B";
+  return os.str();
+}
+
+}  // namespace flo::layout

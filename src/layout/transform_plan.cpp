@@ -1,0 +1,64 @@
+#include "layout/transform_plan.hpp"
+
+#include <sstream>
+
+namespace flo::layout {
+
+std::string ArrayTransformPlan::to_string() const {
+  std::ostringstream os;
+  os << array_name << ": ";
+  if (!optimized) {
+    os << "not optimized (kept canonical row-major)";
+    return os.str();
+  }
+  os << "optimized\n";
+  os << "  D =\n";
+  {
+    std::istringstream rows(partitioning.transform.to_string());
+    std::string line;
+    while (std::getline(rows, line)) os << "    " << line << '\n';
+  }
+  os << "  hyperplane d = (";
+  for (std::size_t k = 0; k < partitioning.hyperplane.size(); ++k) {
+    if (k > 0) os << ", ";
+    os << partitioning.hyperplane[k];
+  }
+  os << "), s = " << partitioning.alpha << "*i_u + " << partitioning.beta
+     << ", s in [" << partitioning.s_min << ", " << partitioning.s_max
+     << "]\n";
+  os << "  chunk = " << chunk_elements << " elements; pattern sizes:";
+  for (std::size_t i = 0; i < pattern_elements.size(); ++i) {
+    os << (i == 0 ? " " : " / ") << pattern_elements[i];
+  }
+  os << "\n  satisfied " << partitioning.satisfied_groups << "/"
+     << partitioning.total_groups << " access-matrix groups ("
+     << partitioning.satisfied_weight << "/" << partitioning.total_weight
+     << " weighted references)";
+  return os.str();
+}
+
+std::size_t ProgramTransformPlan::optimized_count() const {
+  std::size_t n = 0;
+  for (const auto& a : arrays) {
+    if (a.optimized) ++n;
+  }
+  return n;
+}
+
+double ProgramTransformPlan::optimized_fraction() const {
+  if (arrays.empty()) return 0.0;
+  return static_cast<double>(optimized_count()) /
+         static_cast<double>(arrays.size());
+}
+
+std::string ProgramTransformPlan::to_string() const {
+  std::ostringstream os;
+  os << "transform plan for " << program_name << " (" << optimized_count()
+     << "/" << arrays.size() << " arrays optimized)\n";
+  for (const auto& a : arrays) {
+    os << a.to_string() << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace flo::layout

@@ -1,0 +1,41 @@
+// TransformPlan: the compile-time artifact a production system would emit —
+// the symbolic description of the optimized layout (D matrix, chunk
+// geometry, per-layer pattern parameters) and the canonical <-> optimized
+// conversion the paper's Section 4.3 discusses for input/output arrays.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/program.hpp"
+#include "layout/chunk_pattern.hpp"
+#include "layout/partitioning.hpp"
+
+namespace flo::layout {
+
+struct ArrayTransformPlan {
+  std::string array_name;
+  bool optimized = false;
+  ArrayPartitioning partitioning;
+  /// Present only when optimized.
+  std::vector<std::uint64_t> pattern_elements;
+  std::uint64_t chunk_elements = 0;
+
+  /// Renders the plan as the index-transformation pseudocode a compiler
+  /// back end would emit (updated array index functions, Section 4).
+  std::string to_string() const;
+};
+
+struct ProgramTransformPlan {
+  std::string program_name;
+  std::vector<ArrayTransformPlan> arrays;
+
+  std::size_t optimized_count() const;
+  /// Fraction of arrays whose layout was optimized (the paper reports 72%
+  /// on average across the suite).
+  double optimized_fraction() const;
+
+  std::string to_string() const;
+};
+
+}  // namespace flo::layout

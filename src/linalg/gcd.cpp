@@ -1,0 +1,88 @@
+#include "linalg/gcd.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace flo::linalg {
+
+std::int64_t checked_add(std::int64_t a, std::int64_t b) {
+  std::int64_t out;
+  if (__builtin_add_overflow(a, b, &out)) {
+    throw std::overflow_error("integer addition overflow");
+  }
+  return out;
+}
+
+std::int64_t checked_sub(std::int64_t a, std::int64_t b) {
+  std::int64_t out;
+  if (__builtin_sub_overflow(a, b, &out)) {
+    throw std::overflow_error("integer subtraction overflow");
+  }
+  return out;
+}
+
+std::int64_t checked_mul(std::int64_t a, std::int64_t b) {
+  std::int64_t out;
+  if (__builtin_mul_overflow(a, b, &out)) {
+    throw std::overflow_error("integer multiplication overflow");
+  }
+  return out;
+}
+
+std::int64_t gcd(std::int64_t a, std::int64_t b) {
+  // std::abs(INT64_MIN) overflows; reject it up front. gcds of access-matrix
+  // entries are tiny in practice, so this is a guard, not a limitation.
+  if (a == INT64_MIN || b == INT64_MIN) {
+    throw std::overflow_error("gcd: INT64_MIN unsupported");
+  }
+  a = std::abs(a);
+  b = std::abs(b);
+  while (b != 0) {
+    const std::int64_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+std::int64_t gcd(std::span<const std::int64_t> values) {
+  std::int64_t g = 0;
+  for (std::int64_t v : values) {
+    g = gcd(g, v);
+    if (g == 1) return 1;
+  }
+  return g;
+}
+
+ExtendedGcd extended_gcd(std::int64_t a, std::int64_t b) {
+  // Iterative extended Euclid on (|a|, |b|); signs are fixed up at the end.
+  std::int64_t old_r = a, r = b;
+  std::int64_t old_s = 1, s = 0;
+  std::int64_t old_t = 0, t = 1;
+  while (r != 0) {
+    const std::int64_t q = old_r / r;
+    std::int64_t tmp = old_r - q * r;
+    old_r = r;
+    r = tmp;
+    tmp = old_s - q * s;
+    old_s = s;
+    s = tmp;
+    tmp = old_t - q * t;
+    old_t = t;
+    t = tmp;
+  }
+  if (old_r < 0) {
+    old_r = -old_r;
+    old_s = -old_s;
+    old_t = -old_t;
+  }
+  return {old_r, old_s, old_t};
+}
+
+std::int64_t lcm(std::int64_t a, std::int64_t b) {
+  if (a == 0 || b == 0) return 0;
+  const std::int64_t g = gcd(a, b);
+  return checked_mul(std::abs(a) / g, std::abs(b));
+}
+
+}  // namespace flo::linalg

@@ -1,0 +1,34 @@
+// Exact integer gcd helpers used by the unimodular-transformation machinery.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace flo::linalg {
+
+/// Non-negative gcd; gcd(0, 0) == 0.
+std::int64_t gcd(std::int64_t a, std::int64_t b);
+
+/// gcd over a span; returns 0 for an empty span or all-zero input.
+std::int64_t gcd(std::span<const std::int64_t> values);
+
+/// Result of the extended Euclidean algorithm: g = gcd(a, b) >= 0 and
+/// Bezout coefficients with x*a + y*b == g.
+struct ExtendedGcd {
+  std::int64_t g;
+  std::int64_t x;
+  std::int64_t y;
+};
+
+/// Extended Euclid. For (0, 0) returns {0, 0, 0}; otherwise g > 0.
+ExtendedGcd extended_gcd(std::int64_t a, std::int64_t b);
+
+/// Least common multiple with overflow checking (throws std::overflow_error).
+std::int64_t lcm(std::int64_t a, std::int64_t b);
+
+/// Checked arithmetic: throw std::overflow_error on 64-bit overflow.
+std::int64_t checked_add(std::int64_t a, std::int64_t b);
+std::int64_t checked_sub(std::int64_t a, std::int64_t b);
+std::int64_t checked_mul(std::int64_t a, std::int64_t b);
+
+}  // namespace flo::linalg

@@ -1,0 +1,76 @@
+#include "linalg/hermite.hpp"
+
+#include <cstdlib>
+
+#include "linalg/gcd.hpp"
+
+namespace flo::linalg {
+
+HermiteResult hermite_form(const IntMatrix& a) {
+  HermiteResult res;
+  res.h = a;
+  res.u = IntMatrix::identity(a.rows());
+  IntMatrix& h = res.h;
+  IntMatrix& u = res.u;
+
+  std::size_t pivot_row = 0;
+  for (std::size_t col = 0; col < h.cols() && pivot_row < h.rows(); ++col) {
+    // Gather all nonzero entries of this column at/below pivot_row into the
+    // pivot position via pairwise extended-gcd row combinations. Each 2x2
+    // block [[x, y], [-b/g, a/g]] has determinant +1, so u stays unimodular.
+    for (std::size_t r = pivot_row + 1; r < h.rows(); ++r) {
+      if (h.at(r, col) == 0) continue;
+      const std::int64_t p = h.at(pivot_row, col);
+      const std::int64_t q = h.at(r, col);
+      if (p == 0) {
+        h.swap_rows(pivot_row, r);
+        u.swap_rows(pivot_row, r);
+        continue;
+      }
+      const ExtendedGcd eg = extended_gcd(p, q);
+      const std::int64_t alpha = p / eg.g;
+      const std::int64_t beta = q / eg.g;
+      // new_pivot = x*pivot + y*r ; new_r = -beta*pivot + alpha*r
+      for (std::size_t c = 0; c < h.cols(); ++c) {
+        const std::int64_t hp = h.at(pivot_row, c);
+        const std::int64_t hr = h.at(r, c);
+        h.at(pivot_row, c) =
+            checked_add(checked_mul(eg.x, hp), checked_mul(eg.y, hr));
+        h.at(r, c) =
+            checked_add(checked_mul(-beta, hp), checked_mul(alpha, hr));
+      }
+      for (std::size_t c = 0; c < u.cols(); ++c) {
+        const std::int64_t up = u.at(pivot_row, c);
+        const std::int64_t ur = u.at(r, c);
+        u.at(pivot_row, c) =
+            checked_add(checked_mul(eg.x, up), checked_mul(eg.y, ur));
+        u.at(r, c) =
+            checked_add(checked_mul(-beta, up), checked_mul(alpha, ur));
+      }
+    }
+    std::int64_t pivot = h.at(pivot_row, col);
+    if (pivot == 0) continue;  // column already clean below; no pivot here
+    if (pivot < 0) {
+      h.scale_row(pivot_row, -1);
+      u.scale_row(pivot_row, -1);
+      pivot = -pivot;
+    }
+    // Reduce entries above the pivot into [0, pivot).
+    for (std::size_t r = 0; r < pivot_row; ++r) {
+      const std::int64_t v = h.at(r, col);
+      if (v == 0) continue;
+      // floor division so the remainder lands in [0, pivot)
+      std::int64_t q = v / pivot;
+      if (v % pivot < 0) --q;
+      if (q != 0) {
+        h.add_scaled_row(r, pivot_row, -q);
+        u.add_scaled_row(r, pivot_row, -q);
+      }
+    }
+    ++pivot_row;
+  }
+  res.rank = pivot_row;
+  return res;
+}
+
+}  // namespace flo::linalg

@@ -1,0 +1,27 @@
+// Row-style Hermite normal form with unimodular transform tracking.
+//
+// Used to (a) extract left null spaces (rows of U mapping A to zero rows of
+// H) and (b) implement "Integer Gaussian Elimination" as the paper calls it
+// when solving h_A * D * Q * E_u = 0 (Section 4.1, Eq. 3/4).
+#pragma once
+
+#include "linalg/int_matrix.hpp"
+
+namespace flo::linalg {
+
+/// Result of row Hermite reduction: `u * a == h`, `u` unimodular, `h` in
+/// row echelon form with non-negative pivots and zero rows at the bottom.
+struct HermiteResult {
+  IntMatrix h;  ///< echelon form, rows() == a.rows()
+  IntMatrix u;  ///< unimodular transform, square of size a.rows()
+  std::size_t rank = 0;  ///< number of nonzero rows of h
+};
+
+/// Computes the row-style Hermite normal form of `a`.
+///
+/// Pivots are made positive, entries above a pivot are reduced modulo the
+/// pivot, and all row operations are mirrored into `u` so that
+/// `result.u * a == result.h` holds exactly.
+HermiteResult hermite_form(const IntMatrix& a);
+
+}  // namespace flo::linalg

@@ -1,0 +1,74 @@
+#include "linalg/nullspace.hpp"
+
+#include <stdexcept>
+
+#include "linalg/hermite.hpp"
+
+namespace flo::linalg {
+
+std::vector<IntVector> left_null_space(const IntMatrix& m) {
+  std::vector<IntVector> basis;
+  if (m.rows() == 0) return basis;
+  if (m.cols() == 0) {
+    // Every vector annihilates a zero-width matrix; return the unit basis.
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+      IntVector e(m.rows(), 0);
+      e[r] = 1;
+      basis.push_back(std::move(e));
+    }
+    return basis;
+  }
+  const HermiteResult hf = hermite_form(m);
+  // Rows of U aligned with zero rows of H satisfy u_row * m == 0.
+  for (std::size_t r = hf.rank; r < hf.h.rows(); ++r) {
+    IntVector v = hf.u.row(r);
+    make_primitive(v);
+    basis.push_back(std::move(v));
+  }
+  return basis;
+}
+
+std::vector<IntVector> null_space(const IntMatrix& m) {
+  return left_null_space(m.transposed());
+}
+
+bool in_left_null_space(std::span<const std::int64_t> v, const IntMatrix& m) {
+  if (v.size() != m.rows()) {
+    throw std::invalid_argument("in_left_null_space: dimension mismatch");
+  }
+  const IntVector product = row_times_matrix(v, m);
+  return !is_nonzero(product);
+}
+
+IntMatrix hconcat(const std::vector<IntMatrix>& blocks) {
+  if (blocks.empty()) return {};
+  const std::size_t rows = blocks.front().rows();
+  std::size_t cols = 0;
+  for (const auto& b : blocks) {
+    if (b.rows() != rows) {
+      throw std::invalid_argument("hconcat: row count mismatch");
+    }
+    cols += b.cols();
+  }
+  IntMatrix out(rows, cols);
+  std::size_t offset = 0;
+  for (const auto& b : blocks) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < b.cols(); ++c) {
+        out.at(r, offset + c) = b.at(r, c);
+      }
+    }
+    offset += b.cols();
+  }
+  return out;
+}
+
+IntVector common_left_null_vector(const std::vector<IntMatrix>& blocks) {
+  if (blocks.empty()) return {};
+  const IntMatrix stacked = hconcat(blocks);
+  const auto basis = left_null_space(stacked);
+  if (basis.empty()) return {};
+  return basis.front();
+}
+
+}  // namespace flo::linalg

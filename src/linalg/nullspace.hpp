@@ -1,0 +1,33 @@
+// Left null space extraction over the integers.
+//
+// The core Step-I question — "does a hyperplane row d exist with
+// d * M == 0?" — is answered by computing a lattice basis of
+// { d : d * M = 0 } from the Hermite form of M.
+#pragma once
+
+#include <vector>
+
+#include "linalg/int_matrix.hpp"
+
+namespace flo::linalg {
+
+/// Returns a basis (as rows) of the left null space of `m`, i.e. all rows v
+/// with v * m == 0. Each basis row is primitive (entry gcd 1, first nonzero
+/// entry positive). Empty result means only the trivial solution exists.
+std::vector<IntVector> left_null_space(const IntMatrix& m);
+
+/// Returns a basis of the (right) null space of `m`: columns v, m * v == 0.
+std::vector<IntVector> null_space(const IntMatrix& m);
+
+/// Checks whether v * m == 0.
+bool in_left_null_space(std::span<const std::int64_t> v, const IntMatrix& m);
+
+/// Given stacked constraint matrices (horizontally concatenated), returns a
+/// primitive row annihilating all of them, or an empty vector if none exists.
+/// `blocks` must all have the same row count.
+IntVector common_left_null_vector(const std::vector<IntMatrix>& blocks);
+
+/// Horizontally concatenates matrices with equal row counts.
+IntMatrix hconcat(const std::vector<IntMatrix>& blocks);
+
+}  // namespace flo::linalg

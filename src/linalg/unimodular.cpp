@@ -1,0 +1,88 @@
+#include "linalg/unimodular.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "linalg/gcd.hpp"
+#include "linalg/hermite.hpp"
+
+namespace flo::linalg {
+
+bool is_unimodular(const IntMatrix& m) {
+  if (m.rows() != m.cols() || m.rows() == 0) return false;
+  const std::int64_t det = m.determinant();
+  return det == 1 || det == -1;
+}
+
+IntMatrix complete_to_unimodular(std::span<const std::int64_t> d,
+                                 std::size_t row_index) {
+  const std::size_t n = d.size();
+  if (n == 0 || !is_nonzero(d)) {
+    throw std::invalid_argument("complete_to_unimodular: zero row");
+  }
+  if (row_index >= n) {
+    throw std::invalid_argument("complete_to_unimodular: bad row index");
+  }
+  if (gcd(d) != 1) {
+    throw std::invalid_argument("complete_to_unimodular: row not primitive");
+  }
+
+  // Work vector c starts as d; we drive it to e_1 with unimodular column
+  // operations V (c <- c * E). W accumulates the inverses on the left
+  // (W <- E^{-1} * W), so at the end W == V^{-1} and row 0 of W equals d.
+  IntVector c(d.begin(), d.end());
+  IntMatrix w = IntMatrix::identity(n);
+
+  for (std::size_t j = 1; j < n; ++j) {
+    if (c[j] == 0) continue;
+    const std::int64_t a = c[0];
+    const std::int64_t b = c[j];
+    const ExtendedGcd eg = extended_gcd(a, b);
+    const std::int64_t alpha = a / eg.g;
+    const std::int64_t beta = b / eg.g;
+    // Column op E (det +1): col0' = x*col0 + y*colj ; colj' = -beta*col0 +
+    // alpha*colj. For the row vector c: c0' = x*a + y*b = g, cj' = 0.
+    c[0] = eg.g;
+    c[j] = 0;
+    // E^{-1} = [[alpha, beta], [-y, x]] acting on rows 0 and j of W:
+    // row0' = alpha*row0 + beta*rowj ; rowj' = -y*row0 + x*rowj.
+    for (std::size_t col = 0; col < n; ++col) {
+      const std::int64_t w0 = w.at(0, col);
+      const std::int64_t wj = w.at(j, col);
+      w.at(0, col) =
+          checked_add(checked_mul(alpha, w0), checked_mul(beta, wj));
+      w.at(j, col) =
+          checked_add(checked_mul(-eg.y, w0), checked_mul(eg.x, wj));
+    }
+  }
+  if (c[0] == -1) {
+    // Flip signs: V's first column negated; mirror as negated first row of W.
+    w.scale_row(0, -1);
+    c[0] = 1;
+  }
+  if (c[0] != 1) {
+    // Cannot happen for a primitive vector, but fail loudly if it does.
+    throw std::logic_error("complete_to_unimodular: reduction did not reach 1");
+  }
+
+  if (row_index != 0) {
+    w.swap_rows(0, row_index);
+  }
+  return w;
+}
+
+IntMatrix unimodular_inverse(const IntMatrix& m) {
+  if (!is_unimodular(m)) {
+    throw std::invalid_argument("unimodular_inverse: matrix not unimodular");
+  }
+  // Row-reduce [m | I] to [I | m^{-1}] using the Hermite machinery: for a
+  // unimodular matrix the Hermite form is the identity.
+  const HermiteResult hf = hermite_form(m);
+  if (!hf.h.is_identity()) {
+    // Hermite pivots of a unimodular matrix are all 1, so h must be I.
+    throw std::logic_error("unimodular_inverse: Hermite form not identity");
+  }
+  return hf.u;
+}
+
+}  // namespace flo::linalg

@@ -1,0 +1,35 @@
+// Unimodular matrix construction.
+//
+// Step I of the paper requires a unimodular data transformation D whose v-th
+// row is the partitioning hyperplane vector found by integer Gaussian
+// elimination. This module completes a primitive integer row to a full
+// unimodular matrix using exact extended-gcd column operations.
+#pragma once
+
+#include <optional>
+
+#include "linalg/int_matrix.hpp"
+
+namespace flo::linalg {
+
+/// True iff the matrix is square with determinant +1 or -1.
+bool is_unimodular(const IntMatrix& m);
+
+/// Completes the primitive row `d` (gcd of entries must be 1) to an n x n
+/// unimodular matrix whose row `row_index` equals `d`.
+///
+/// Implementation: find unimodular V with d * V = e_1 via pairwise extended
+/// gcd column operations while accumulating V^{-1}; the first row of V^{-1}
+/// is d, and remaining rows complete the basis. A final row permutation
+/// places d at `row_index`.
+///
+/// Throws std::invalid_argument if `d` is zero, not primitive, or
+/// `row_index >= d.size()`.
+IntMatrix complete_to_unimodular(std::span<const std::int64_t> d,
+                                 std::size_t row_index);
+
+/// Exact inverse of a unimodular matrix (the inverse is again integral).
+/// Throws std::invalid_argument if `m` is not unimodular.
+IntMatrix unimodular_inverse(const IntMatrix& m);
+
+}  // namespace flo::linalg

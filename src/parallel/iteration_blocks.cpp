@@ -1,0 +1,84 @@
+#include "parallel/iteration_blocks.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace flo::parallel {
+
+BlockDecomposition::BlockDecomposition(const poly::IterationSpace& space,
+                                       std::size_t parallel_dim,
+                                       std::size_t thread_count,
+                                       std::size_t block_count)
+    : thread_count_(thread_count), parallel_dim_(parallel_dim) {
+  if (thread_count == 0) {
+    throw std::invalid_argument("BlockDecomposition: zero threads");
+  }
+  if (parallel_dim >= space.depth()) {
+    throw std::invalid_argument("BlockDecomposition: parallel_dim out of range");
+  }
+  const auto& bound = space.bound(parallel_dim);
+  const std::int64_t trip = bound.trip_count();
+  if (block_count == 0) block_count = thread_count;
+  // Never create more blocks than iterations.
+  block_count = static_cast<std::size_t>(
+      std::min<std::int64_t>(trip, static_cast<std::int64_t>(block_count)));
+  dim_lower_ = bound.lower;
+  block_span_ = (trip + static_cast<std::int64_t>(block_count) - 1) /
+                static_cast<std::int64_t>(block_count);
+
+  for (std::size_t b = 0; b < block_count; ++b) {
+    const std::int64_t lo =
+        bound.lower + static_cast<std::int64_t>(b) * block_span_;
+    if (lo > bound.upper) break;  // trailing empty blocks are dropped
+    const std::int64_t hi = std::min(bound.upper, lo + block_span_ - 1);
+    blocks_.push_back(
+        {lo, hi, static_cast<ThreadId>(b % thread_count)});
+  }
+}
+
+std::vector<IterationBlock> BlockDecomposition::blocks_of(
+    ThreadId thread) const {
+  std::vector<IterationBlock> out;
+  for (const auto& block : blocks_) {
+    if (block.thread == thread) out.push_back(block);
+  }
+  return out;
+}
+
+std::size_t BlockDecomposition::block_of(std::int64_t iu) const {
+  if (blocks_.empty()) throw std::logic_error("block_of: empty decomposition");
+  std::int64_t idx = (iu - dim_lower_) / block_span_;
+  idx = std::clamp<std::int64_t>(idx, 0,
+                                 static_cast<std::int64_t>(blocks_.size()) - 1);
+  return static_cast<std::size_t>(idx);
+}
+
+ThreadId BlockDecomposition::thread_of(std::int64_t iu) const {
+  return blocks_[block_of(iu)].thread;
+}
+
+void BlockDecomposition::reassign(const std::vector<ThreadId>& assignment) {
+  if (assignment.size() != blocks_.size()) {
+    throw std::invalid_argument("reassign: wrong assignment length");
+  }
+  for (std::size_t b = 0; b < blocks_.size(); ++b) {
+    if (assignment[b] >= thread_count_) {
+      throw std::invalid_argument("reassign: thread id out of range");
+    }
+    blocks_[b].thread = assignment[b];
+  }
+}
+
+std::string BlockDecomposition::to_string() const {
+  std::ostringstream os;
+  os << blocks_.size() << " blocks on dim " << (parallel_dim_ + 1) << ": ";
+  for (std::size_t b = 0; b < blocks_.size(); ++b) {
+    if (b > 0) os << ", ";
+    os << "[" << blocks_[b].lower << ".." << blocks_[b].upper << "]->P"
+       << blocks_[b].thread;
+  }
+  return os.str();
+}
+
+}  // namespace flo::parallel

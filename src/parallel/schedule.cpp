@@ -1,0 +1,38 @@
+#include "parallel/schedule.hpp"
+
+#include <stdexcept>
+
+namespace flo::parallel {
+
+ParallelSchedule::ParallelSchedule(const ir::Program& program,
+                                   std::size_t thread_count,
+                                   MappingKind mapping,
+                                   std::size_t block_count)
+    : thread_count_(thread_count), mapping_(mapping, thread_count) {
+  decompositions_.reserve(program.nests().size());
+  for (const auto& nest : program.nests()) {
+    decompositions_.emplace_back(nest.iterations(), nest.parallel_dim(),
+                                 thread_count, block_count);
+  }
+}
+
+const BlockDecomposition& ParallelSchedule::decomposition(
+    std::size_t nest_index) const {
+  if (nest_index >= decompositions_.size()) {
+    throw std::out_of_range("ParallelSchedule::decomposition");
+  }
+  return decompositions_[nest_index];
+}
+
+BlockDecomposition& ParallelSchedule::decomposition(std::size_t nest_index) {
+  if (nest_index >= decompositions_.size()) {
+    throw std::out_of_range("ParallelSchedule::decomposition");
+  }
+  return decompositions_[nest_index];
+}
+
+void ParallelSchedule::set_mapping(MappingKind kind) {
+  mapping_ = ThreadMapping(kind, thread_count_);
+}
+
+}  // namespace flo::parallel

@@ -1,0 +1,41 @@
+// A ParallelSchedule couples a program with its block decompositions and the
+// thread -> compute-node mapping: everything downstream (layout optimizer,
+// trace generator, baselines) consumes the schedule, never raw nests.
+#pragma once
+
+#include <vector>
+
+#include "ir/program.hpp"
+#include "parallel/iteration_blocks.hpp"
+#include "parallel/thread_mapping.hpp"
+
+namespace flo::parallel {
+
+class ParallelSchedule {
+ public:
+  ParallelSchedule() = default;
+
+  /// Builds the default schedule: each nest is blocked along its declared
+  /// parallel dimension into `block_count` blocks (0 = one per thread),
+  /// distributed round-robin over `thread_count` threads placed by `mapping`.
+  ParallelSchedule(const ir::Program& program, std::size_t thread_count,
+                   MappingKind mapping = MappingKind::kIdentity,
+                   std::size_t block_count = 0);
+
+  std::size_t thread_count() const { return thread_count_; }
+  const ThreadMapping& mapping() const { return mapping_; }
+
+  const BlockDecomposition& decomposition(std::size_t nest_index) const;
+  BlockDecomposition& decomposition(std::size_t nest_index);
+  std::size_t nest_count() const { return decompositions_.size(); }
+
+  /// Replaces the thread placement (Fig. 7(b) sweeps).
+  void set_mapping(MappingKind kind);
+
+ private:
+  std::size_t thread_count_ = 0;
+  ThreadMapping mapping_;
+  std::vector<BlockDecomposition> decompositions_;
+};
+
+}  // namespace flo::parallel

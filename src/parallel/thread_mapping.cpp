@@ -1,0 +1,72 @@
+#include "parallel/thread_mapping.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace flo::parallel {
+
+const char* mapping_name(MappingKind kind) {
+  switch (kind) {
+    case MappingKind::kIdentity:
+      return "Mapping I";
+    case MappingKind::kPermutation2:
+      return "Mapping II";
+    case MappingKind::kPermutation3:
+      return "Mapping III";
+    case MappingKind::kPermutation4:
+      return "Mapping IV";
+  }
+  return "?";
+}
+
+ThreadMapping::ThreadMapping(MappingKind kind, std::size_t thread_count)
+    : kind_(kind) {
+  if (thread_count == 0) {
+    throw std::invalid_argument("ThreadMapping: zero threads");
+  }
+  node_of_.resize(thread_count);
+  thread_on_.resize(thread_count);
+  if (kind == MappingKind::kIdentity) {
+    for (std::size_t t = 0; t < thread_count; ++t) {
+      node_of_[t] = static_cast<NodeId>(t);
+    }
+  } else {
+    // Deterministic permutation seeded by the mapping number, so Mapping II
+    // is the same permutation in every experiment.
+    util::Rng rng(0xF1005EEDULL + static_cast<std::uint64_t>(kind) * 77);
+    std::vector<std::uint32_t> perm(thread_count);
+    rng.shuffle_indices(perm.data(), perm.size());
+    for (std::size_t t = 0; t < thread_count; ++t) node_of_[t] = perm[t];
+  }
+  for (std::size_t t = 0; t < thread_count; ++t) {
+    thread_on_[node_of_[t]] = static_cast<ThreadId>(t);
+  }
+}
+
+NodeId ThreadMapping::node_of(ThreadId thread) const {
+  if (thread >= node_of_.size()) {
+    throw std::out_of_range("ThreadMapping::node_of");
+  }
+  return node_of_[thread];
+}
+
+ThreadId ThreadMapping::thread_on(NodeId node) const {
+  if (node >= thread_on_.size()) {
+    throw std::out_of_range("ThreadMapping::thread_on");
+  }
+  return thread_on_[node];
+}
+
+std::string ThreadMapping::to_string() const {
+  std::ostringstream os;
+  os << mapping_name(kind_) << ": ";
+  for (std::size_t t = 0; t < node_of_.size(); ++t) {
+    if (t > 0) os << ' ';
+    os << 'P' << t << "->C" << node_of_[t];
+  }
+  return os.str();
+}
+
+}  // namespace flo::parallel

@@ -1,0 +1,52 @@
+// Thread -> compute-node mappings (Fig. 7(b) of the paper).
+//
+// Mapping I is the default identity placement (thread t on compute node t);
+// Mappings II-IV are deterministic random permutations, mirroring the
+// paper's "different random permutations of threads to compute nodes".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "parallel/iteration_blocks.hpp"
+
+namespace flo::parallel {
+
+using NodeId = std::uint32_t;
+
+enum class MappingKind : int {
+  kIdentity = 1,      ///< Mapping I (paper default)
+  kPermutation2 = 2,  ///< Mapping II
+  kPermutation3 = 3,  ///< Mapping III
+  kPermutation4 = 4,  ///< Mapping IV
+};
+
+const char* mapping_name(MappingKind kind);
+
+/// A bijection from threads to compute nodes. The paper runs one thread per
+/// compute node; `ThreadMapping` therefore requires
+/// thread_count == compute_node_count.
+class ThreadMapping {
+ public:
+  ThreadMapping() = default;
+
+  /// Builds the mapping for `thread_count` threads over the same number of
+  /// compute nodes.
+  ThreadMapping(MappingKind kind, std::size_t thread_count);
+
+  MappingKind kind() const { return kind_; }
+  std::size_t thread_count() const { return node_of_.size(); }
+
+  NodeId node_of(ThreadId thread) const;
+  ThreadId thread_on(NodeId node) const;
+
+  std::string to_string() const;
+
+ private:
+  MappingKind kind_ = MappingKind::kIdentity;
+  std::vector<NodeId> node_of_;
+  std::vector<ThreadId> thread_on_;
+};
+
+}  // namespace flo::parallel

@@ -1,0 +1,74 @@
+#include "polyhedral/data_space.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "linalg/gcd.hpp"
+
+namespace flo::poly {
+
+DataSpace::DataSpace(std::vector<std::int64_t> extents)
+    : extents_(std::move(extents)) {
+  for (std::int64_t e : extents_) {
+    if (e <= 0) throw std::invalid_argument("DataSpace: non-positive extent");
+  }
+}
+
+std::int64_t DataSpace::extent(std::size_t dim) const {
+  if (dim >= extents_.size()) {
+    throw std::out_of_range("DataSpace::extent: dim out of range");
+  }
+  return extents_[dim];
+}
+
+std::int64_t DataSpace::element_count() const {
+  std::int64_t total = 1;
+  for (std::int64_t e : extents_) total = linalg::checked_mul(total, e);
+  return total;
+}
+
+bool DataSpace::contains(std::span<const std::int64_t> point) const {
+  if (point.size() != extents_.size()) return false;
+  for (std::size_t k = 0; k < extents_.size(); ++k) {
+    if (point[k] < 0 || point[k] >= extents_[k]) return false;
+  }
+  return true;
+}
+
+std::int64_t DataSpace::linearize_row_major(
+    std::span<const std::int64_t> point) const {
+  if (point.size() != extents_.size()) {
+    throw std::invalid_argument("linearize_row_major: dimension mismatch");
+  }
+  std::int64_t offset = 0;
+  for (std::size_t k = 0; k < extents_.size(); ++k) {
+    offset = offset * extents_[k] + point[k];
+  }
+  return offset;
+}
+
+std::vector<std::int64_t> DataSpace::delinearize_row_major(
+    std::int64_t offset) const {
+  if (offset < 0 || offset >= element_count()) {
+    throw std::out_of_range("delinearize_row_major: offset out of range");
+  }
+  std::vector<std::int64_t> point(extents_.size());
+  for (std::size_t k = extents_.size(); k-- > 0;) {
+    point[k] = offset % extents_[k];
+    offset /= extents_[k];
+  }
+  return point;
+}
+
+std::string DataSpace::to_string() const {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t k = 0; k < extents_.size(); ++k) {
+    if (k > 0) os << " x ";
+    os << extents_[k];
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace flo::poly

@@ -1,0 +1,40 @@
+// Array data spaces: the m-dimensional polyhedra of Section 3 (boxes with
+// zero lower bounds, extents from the array declaration).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace flo::poly {
+
+/// The index domain of an m-dimensional array: points a = (a_1 ... a_m) with
+/// 0 <= a_k < extent_k.
+class DataSpace {
+ public:
+  DataSpace() = default;
+  explicit DataSpace(std::vector<std::int64_t> extents);
+
+  std::size_t dims() const { return extents_.size(); }
+  std::int64_t extent(std::size_t dim) const;
+  const std::vector<std::int64_t>& extents() const { return extents_; }
+
+  /// Product of extents.
+  std::int64_t element_count() const;
+
+  bool contains(std::span<const std::int64_t> point) const;
+
+  /// Row-major linearization (last dimension fastest).
+  std::int64_t linearize_row_major(std::span<const std::int64_t> point) const;
+
+  /// Inverse of linearize_row_major.
+  std::vector<std::int64_t> delinearize_row_major(std::int64_t offset) const;
+
+  std::string to_string() const;
+
+ private:
+  std::vector<std::int64_t> extents_;
+};
+
+}  // namespace flo::poly

@@ -1,0 +1,75 @@
+#include "polyhedral/hyperplane.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace flo::poly {
+
+Hyperplane::Hyperplane(linalg::IntVector normal, std::int64_t c)
+    : normal_(std::move(normal)), c_(c) {
+  if (!linalg::is_nonzero(normal_)) {
+    throw std::invalid_argument("Hyperplane: zero normal vector");
+  }
+}
+
+Hyperplane Hyperplane::unit(std::size_t dims, std::size_t axis) {
+  if (axis >= dims) {
+    throw std::invalid_argument("Hyperplane::unit: axis out of range");
+  }
+  linalg::IntVector normal(dims, 0);
+  normal[axis] = 1;
+  return Hyperplane(std::move(normal), 0);
+}
+
+bool Hyperplane::contains(std::span<const std::int64_t> point) const {
+  return evaluate(point) == 0;
+}
+
+std::int64_t Hyperplane::evaluate(std::span<const std::int64_t> point) const {
+  return linalg::dot(normal_, point) - c_;
+}
+
+bool Hyperplane::same_member(std::span<const std::int64_t> p,
+                             std::span<const std::int64_t> q) const {
+  return linalg::dot(normal_, p) == linalg::dot(normal_, q);
+}
+
+std::string Hyperplane::to_string() const {
+  std::ostringstream os;
+  bool printed = false;
+  for (std::size_t k = 0; k < normal_.size(); ++k) {
+    const std::int64_t g = normal_[k];
+    if (g == 0) continue;
+    if (printed && g > 0) os << " + ";
+    if (g == -1) {
+      os << "-";
+    } else if (g != 1) {
+      os << g << "*";
+    }
+    os << "b" << (k + 1);
+    printed = true;
+  }
+  os << " = " << c_;
+  return os.str();
+}
+
+linalg::IntMatrix hyperplane_direction_basis(std::size_t dims,
+                                             std::size_t axis) {
+  if (axis >= dims) {
+    throw std::invalid_argument(
+        "hyperplane_direction_basis: axis out of range");
+  }
+  if (dims == 0) {
+    throw std::invalid_argument("hyperplane_direction_basis: zero dims");
+  }
+  linalg::IntMatrix basis(dims, dims - 1);
+  std::size_t col = 0;
+  for (std::size_t j = 0; j < dims; ++j) {
+    if (j == axis) continue;
+    basis.at(j, col) = 1;
+    ++col;
+  }
+  return basis;
+}
+
+}  // namespace flo::poly

@@ -1,0 +1,56 @@
+// Hyperplanes and hyperplane families (Section 3).
+//
+// A hyperplane in an x-dimensional space is g . b = c; the hyperplane vector
+// g defines a family whose members differ only in the constant c. The
+// parallelizer uses unit iteration hyperplanes h_I = e_u, and Step I searches
+// for a data hyperplane family h_A = e_v in the transformed data space.
+#pragma once
+
+#include <string>
+
+#include "linalg/int_matrix.hpp"
+
+namespace flo::poly {
+
+class Hyperplane {
+ public:
+  Hyperplane() = default;
+
+  /// g . b = c with coefficient vector `normal` and constant `c`.
+  Hyperplane(linalg::IntVector normal, std::int64_t c);
+
+  /// The unit hyperplane family e_u in a `dims`-dimensional space
+  /// (coefficient 1 at position `axis`, zero elsewhere, constant 0).
+  static Hyperplane unit(std::size_t dims, std::size_t axis);
+
+  const linalg::IntVector& normal() const { return normal_; }
+  std::int64_t constant() const { return c_; }
+  std::size_t dims() const { return normal_.size(); }
+
+  /// True iff the point lies on the hyperplane.
+  bool contains(std::span<const std::int64_t> point) const;
+
+  /// Signed evaluation g . point - c.
+  std::int64_t evaluate(std::span<const std::int64_t> point) const;
+
+  /// True iff both points lie on the same member of this family
+  /// (g . p == g . q; the constant is irrelevant).
+  bool same_member(std::span<const std::int64_t> p,
+                   std::span<const std::int64_t> q) const;
+
+  std::string to_string() const;
+
+ private:
+  linalg::IntVector normal_;
+  std::int64_t c_ = 0;
+};
+
+/// The matrix E_u of Section 4.1, oriented so products type-check: the
+/// columns are the unit vectors e_j for j != u, i.e. an n x (n-1) matrix
+/// whose column space is the direction space of the iteration hyperplane
+/// family e_u. For any two iterations on one member hyperplane,
+/// (i1 - i2) lies in the column space of this matrix.
+linalg::IntMatrix hyperplane_direction_basis(std::size_t dims,
+                                             std::size_t axis);
+
+}  // namespace flo::poly

@@ -1,0 +1,76 @@
+#include "polyhedral/iteration_space.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "linalg/gcd.hpp"
+
+namespace flo::poly {
+
+IterationSpace::IterationSpace(std::vector<LoopBound> bounds)
+    : bounds_(std::move(bounds)) {
+  for (const auto& b : bounds_) {
+    if (b.upper < b.lower) {
+      throw std::invalid_argument("IterationSpace: empty loop bound");
+    }
+  }
+}
+
+const LoopBound& IterationSpace::bound(std::size_t level) const {
+  if (level >= bounds_.size()) {
+    throw std::out_of_range("IterationSpace::bound: level out of range");
+  }
+  return bounds_[level];
+}
+
+std::int64_t IterationSpace::total_iterations() const {
+  std::int64_t total = 1;
+  for (const auto& b : bounds_) {
+    total = linalg::checked_mul(total, b.trip_count());
+  }
+  return total;
+}
+
+bool IterationSpace::contains(std::span<const std::int64_t> iter) const {
+  if (iter.size() != bounds_.size()) return false;
+  for (std::size_t k = 0; k < bounds_.size(); ++k) {
+    if (iter[k] < bounds_[k].lower || iter[k] > bounds_[k].upper) return false;
+  }
+  return true;
+}
+
+bool IterationSpace::next(std::vector<std::int64_t>& iter) const {
+  if (iter.size() != bounds_.size()) {
+    throw std::invalid_argument("IterationSpace::next: dimension mismatch");
+  }
+  for (std::size_t k = bounds_.size(); k-- > 0;) {
+    if (iter[k] < bounds_[k].upper) {
+      ++iter[k];
+      for (std::size_t j = k + 1; j < bounds_.size(); ++j) {
+        iter[j] = bounds_[j].lower;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::int64_t> IterationSpace::first() const {
+  std::vector<std::int64_t> iter(bounds_.size());
+  for (std::size_t k = 0; k < bounds_.size(); ++k) iter[k] = bounds_[k].lower;
+  return iter;
+}
+
+std::string IterationSpace::to_string() const {
+  std::ostringstream os;
+  os << "{";
+  for (std::size_t k = 0; k < bounds_.size(); ++k) {
+    if (k > 0) os << ", ";
+    os << "i" << (k + 1) << " in [" << bounds_[k].lower << ", "
+       << bounds_[k].upper << "]";
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace flo::poly

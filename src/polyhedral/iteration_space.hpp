@@ -1,0 +1,53 @@
+// Rectangular iteration spaces in the polyhedral style of Section 3.
+//
+// The paper's framework handles affine loop bounds; every benchmark it
+// evaluates (and every workload model in this repository) uses rectangular
+// nests, so iteration domains here are boxes [lower_k, upper_k] per level.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace flo::poly {
+
+/// One loop level: inclusive bounds, unit stride.
+struct LoopBound {
+  std::int64_t lower = 0;
+  std::int64_t upper = 0;  ///< inclusive
+
+  std::int64_t trip_count() const { return upper - lower + 1; }
+};
+
+/// An n-deep rectangular loop nest's iteration domain. Points are iteration
+/// vectors i = (i_1 ... i_n), outermost first.
+class IterationSpace {
+ public:
+  IterationSpace() = default;
+  explicit IterationSpace(std::vector<LoopBound> bounds);
+
+  std::size_t depth() const { return bounds_.size(); }
+  const LoopBound& bound(std::size_t level) const;
+  const std::vector<LoopBound>& bounds() const { return bounds_; }
+
+  /// Product of per-level trip counts.
+  std::int64_t total_iterations() const;
+
+  /// True iff the iteration vector lies inside the box.
+  bool contains(std::span<const std::int64_t> iter) const;
+
+  /// Lexicographic successor in program order; returns false at the end.
+  /// `iter` must be a valid point (or the first point from `first()`).
+  bool next(std::vector<std::int64_t>& iter) const;
+
+  /// The lexicographically first iteration vector.
+  std::vector<std::int64_t> first() const;
+
+  std::string to_string() const;
+
+ private:
+  std::vector<LoopBound> bounds_;
+};
+
+}  // namespace flo::poly

@@ -1,0 +1,48 @@
+// Mechanical disk service-time model (one disk per storage node).
+//
+// service = seek(distance) + average rotational delay + transfer
+// with the classic square-root seek curve between track-to-track and
+// full-stroke times. Each disk tracks its last head position, so sequential
+// block streams are cheap and scattered streams pay near-full seeks — the
+// disk-level reason file layout matters even below the caches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/topology.hpp"
+
+namespace flo::storage {
+
+class DiskArray {
+ public:
+  DiskArray() = default;
+
+  DiskArray(std::size_t disks, const DiskModel& model,
+            std::uint64_t block_size);
+
+  /// Service time (s) for reading `lba` on `disk`; advances the head.
+  double service(NodeId disk, std::uint64_t lba);
+
+  /// Peeks the would-be service time without moving the head.
+  double peek_service(NodeId disk, std::uint64_t lba) const;
+
+  /// Moves the head without charging service time (readahead staging
+  /// physically streams the blocks while the disk is already positioned).
+  void advance_head(NodeId disk, std::uint64_t lba);
+
+  std::uint64_t total_reads() const { return reads_; }
+
+  void reset();
+
+ private:
+  double seek_time(std::uint64_t from, std::uint64_t to) const;
+
+  DiskModel model_;
+  double rotational_delay_ = 0;  ///< half a revolution (s)
+  double transfer_time_ = 0;     ///< block_size / bandwidth (s)
+  std::vector<std::uint64_t> head_;
+  std::uint64_t reads_ = 0;
+};
+
+}  // namespace flo::storage

@@ -1,0 +1,72 @@
+#include "storage/karma.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace flo::storage {
+
+KarmaAllocator::KarmaAllocator(std::vector<RangeHint> hints,
+                               std::uint64_t io_capacity_blocks,
+                               std::uint64_t storage_capacity_blocks) {
+  for (const auto& h : hints) {
+    if (h.end_block < h.begin_block) {
+      throw std::invalid_argument("KarmaAllocator: inverted range");
+    }
+  }
+  // Marginal gain ordering: densest ranges benefit most from the fastest
+  // level. Ties broken by (file, begin) for determinism.
+  std::stable_sort(hints.begin(), hints.end(),
+                   [](const RangeHint& a, const RangeHint& b) {
+                     if (a.accesses_per_block != b.accesses_per_block) {
+                       return a.accesses_per_block > b.accesses_per_block;
+                     }
+                     if (a.file != b.file) return a.file < b.file;
+                     return a.begin_block < b.begin_block;
+                   });
+
+  std::uint64_t io_left = io_capacity_blocks;
+  std::uint64_t storage_left = storage_capacity_blocks;
+  FileId max_file = 0;
+  for (const auto& h : hints) max_file = std::max(max_file, h.file);
+  per_file_.resize(hints.empty() ? 0 : max_file + 1);
+
+  for (const auto& h : hints) {
+    CacheLevel level = CacheLevel::kUncached;
+    const std::uint64_t size = h.size();
+    if (size == 0) continue;
+    if (size <= io_left) {
+      level = CacheLevel::kIo;
+      io_left -= size;
+    } else if (size <= storage_left) {
+      level = CacheLevel::kStorage;
+      storage_left -= size;
+    }
+    per_file_[h.file].push_back({h.begin_block, h.end_block, level});
+    ++counts_[static_cast<int>(level)];
+  }
+  for (auto& ranges : per_file_) {
+    std::sort(ranges.begin(), ranges.end(),
+              [](const Assigned& a, const Assigned& b) {
+                return a.begin < b.begin;
+              });
+  }
+}
+
+CacheLevel KarmaAllocator::level_of(BlockKey key) const {
+  if (key.file >= per_file_.size()) return CacheLevel::kUncached;
+  const auto& ranges = per_file_[key.file];
+  // First range whose begin > block, then step back.
+  auto it = std::upper_bound(
+      ranges.begin(), ranges.end(), key.block,
+      [](std::uint64_t block, const Assigned& r) { return block < r.begin; });
+  if (it == ranges.begin()) return CacheLevel::kUncached;
+  --it;
+  if (key.block < it->end) return it->level;
+  return CacheLevel::kUncached;
+}
+
+std::size_t KarmaAllocator::ranges_at(CacheLevel level) const {
+  return counts_[static_cast<int>(level)];
+}
+
+}  // namespace flo::storage

@@ -1,0 +1,54 @@
+#include "storage/lru_cache.hpp"
+
+#include <stdexcept>
+
+namespace flo::storage {
+
+LruCache::LruCache(std::size_t capacity_blocks) : capacity_(capacity_blocks) {
+  if (capacity_ == 0) {
+    throw std::invalid_argument("LruCache: zero capacity");
+  }
+  map_.reserve(capacity_ * 2);
+}
+
+bool LruCache::contains(BlockKey key) const {
+  return map_.find(key.packed()) != map_.end();
+}
+
+bool LruCache::touch(BlockKey key) {
+  const auto it = map_.find(key.packed());
+  if (it == map_.end()) return false;
+  order_.splice(order_.begin(), order_, it->second);
+  return true;
+}
+
+std::optional<BlockKey> LruCache::insert(BlockKey key) {
+  if (touch(key)) return std::nullopt;
+  order_.push_front(key.packed());
+  map_.emplace(key.packed(), order_.begin());
+  if (map_.size() <= capacity_) return std::nullopt;
+  const std::uint64_t victim = order_.back();
+  order_.pop_back();
+  map_.erase(victim);
+  return BlockKey::unpack(victim);
+}
+
+bool LruCache::erase(BlockKey key) {
+  const auto it = map_.find(key.packed());
+  if (it == map_.end()) return false;
+  order_.erase(it->second);
+  map_.erase(it);
+  return true;
+}
+
+std::optional<BlockKey> LruCache::lru_key() const {
+  if (order_.empty()) return std::nullopt;
+  return BlockKey::unpack(order_.back());
+}
+
+void LruCache::clear() {
+  order_.clear();
+  map_.clear();
+}
+
+}  // namespace flo::storage

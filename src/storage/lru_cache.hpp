@@ -1,0 +1,65 @@
+// Block-granularity LRU cache — the building block for every cache in the
+// hierarchy (Section 5.1: "managed using the LRU policy").
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+#include "storage/topology.hpp"
+
+namespace flo::storage {
+
+/// Identity of a cached unit: (file, block index within file).
+struct BlockKey {
+  FileId file = 0;
+  std::uint64_t block = 0;
+
+  bool operator==(const BlockKey&) const = default;
+
+  /// Packs into one 64-bit word (file ids are small; blocks < 2^40).
+  std::uint64_t packed() const {
+    return (static_cast<std::uint64_t>(file) << 40) | block;
+  }
+  static BlockKey unpack(std::uint64_t packed) {
+    return {static_cast<FileId>(packed >> 40),
+            packed & ((1ull << 40) - 1)};
+  }
+};
+
+/// Fixed-capacity LRU over BlockKeys. O(1) amortized lookup/insert/erase.
+class LruCache {
+ public:
+  LruCache() = default;
+  explicit LruCache(std::size_t capacity_blocks);
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return map_.size(); }
+
+  /// True iff resident (does NOT update recency).
+  bool contains(BlockKey key) const;
+
+  /// If resident, promotes to MRU and returns true.
+  bool touch(BlockKey key);
+
+  /// Inserts at MRU; returns the evicted key if capacity was exceeded.
+  /// Inserting a resident key just promotes it (returns nullopt).
+  std::optional<BlockKey> insert(BlockKey key);
+
+  /// Removes a key if resident; returns whether it was resident.
+  bool erase(BlockKey key);
+
+  /// Least-recently-used resident key, if any (for inspection/tests).
+  std::optional<BlockKey> lru_key() const;
+
+  void clear();
+
+ private:
+  std::size_t capacity_ = 0;
+  // MRU at front. The list stores packed keys; the map indexes into it.
+  std::list<std::uint64_t> order_;
+  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator> map_;
+};
+
+}  // namespace flo::storage

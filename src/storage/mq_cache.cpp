@@ -1,0 +1,123 @@
+#include "storage/mq_cache.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace flo::storage {
+
+MqCache::MqCache(std::size_t capacity_blocks, std::size_t queues,
+                 std::uint64_t life_time)
+    : capacity_(capacity_blocks),
+      queue_count_(queues),
+      life_time_(life_time) {
+  if (capacity_ == 0) throw std::invalid_argument("MqCache: zero capacity");
+  if (queue_count_ == 0) throw std::invalid_argument("MqCache: zero queues");
+  if (life_time_ == 0) {
+    // The customary heuristic: roughly the time to cycle the cache twice.
+    life_time_ = 2 * static_cast<std::uint64_t>(capacity_);
+  }
+  queues_.resize(queue_count_);
+  map_.reserve(capacity_ * 2);
+}
+
+std::size_t MqCache::queue_for(std::uint64_t freq) const {
+  if (freq <= 1) return 0;
+  const std::size_t q = std::bit_width(freq) - 1;  // floor(log2(freq))
+  return std::min(q, queue_count_ - 1);
+}
+
+void MqCache::enqueue(std::uint64_t packed, Entry& entry) {
+  entry.queue = queue_for(entry.freq);
+  auto& q = queues_[entry.queue];
+  q.push_back(packed);  // back == MRU
+  entry.pos = std::prev(q.end());
+  entry.expire = now_ + life_time_;
+}
+
+void MqCache::adjust() {
+  // Demote the head (LRU end) of each non-bottom queue when it expires.
+  for (std::size_t qi = queue_count_; qi-- > 1;) {
+    auto& q = queues_[qi];
+    if (q.empty()) continue;
+    const std::uint64_t head = q.front();
+    Entry& entry = map_.at(head);
+    if (entry.expire < now_) {
+      q.pop_front();
+      entry.queue = qi - 1;
+      auto& below = queues_[qi - 1];
+      below.push_back(head);
+      entry.pos = std::prev(below.end());
+      entry.expire = now_ + life_time_;
+    }
+  }
+}
+
+bool MqCache::contains(BlockKey key) const {
+  return map_.find(key.packed()) != map_.end();
+}
+
+bool MqCache::touch(BlockKey key) {
+  ++now_;
+  adjust();
+  const auto it = map_.find(key.packed());
+  if (it == map_.end()) return false;
+  Entry& entry = it->second;
+  queues_[entry.queue].erase(entry.pos);
+  ++entry.freq;
+  enqueue(key.packed(), entry);
+  return true;
+}
+
+std::optional<BlockKey> MqCache::insert(BlockKey key) {
+  if (touch(key)) return std::nullopt;  // resident: counted as a reference
+  const std::uint64_t packed = key.packed();
+  Entry entry;
+  // Ghost memory: a re-admitted block resumes its earlier frequency class.
+  const auto ghost = ghost_freq_.find(packed);
+  entry.freq = ghost != ghost_freq_.end() ? ghost->second + 1 : 1;
+  if (ghost != ghost_freq_.end()) ghost_freq_.erase(ghost);
+  enqueue(packed, map_.emplace(packed, entry).first->second);
+
+  if (map_.size() <= capacity_) return std::nullopt;
+  // Evict the LRU block of the lowest non-empty queue.
+  for (auto& q : queues_) {
+    if (q.empty()) continue;
+    const std::uint64_t victim = q.front();
+    q.pop_front();
+    const auto vit = map_.find(victim);
+    // Remember the victim's frequency in the ghost queue.
+    ghost_freq_[victim] = vit->second.freq;
+    ghost_order_.push_back(victim);
+    if (ghost_order_.size() > 2 * capacity_) {
+      ghost_freq_.erase(ghost_order_.front());
+      ghost_order_.pop_front();
+    }
+    map_.erase(vit);
+    return BlockKey::unpack(victim);
+  }
+  return std::nullopt;  // unreachable: map_ was over capacity
+}
+
+bool MqCache::erase(BlockKey key) {
+  const auto it = map_.find(key.packed());
+  if (it == map_.end()) return false;
+  queues_[it->second.queue].erase(it->second.pos);
+  map_.erase(it);
+  return true;
+}
+
+void MqCache::clear() {
+  for (auto& q : queues_) q.clear();
+  map_.clear();
+  ghost_order_.clear();
+  ghost_freq_.clear();
+  now_ = 0;
+}
+
+std::optional<std::size_t> MqCache::queue_of(BlockKey key) const {
+  const auto it = map_.find(key.packed());
+  if (it == map_.end()) return std::nullopt;
+  return it->second.queue;
+}
+
+}  // namespace flo::storage

@@ -1,0 +1,77 @@
+// MQ — the Multi-Queue replacement algorithm for second-level buffer
+// caches (Zhou, Philbin, Li; USENIX ATC 2001 — reference [50] of the
+// paper). The paper's related work singles it out as the classic answer to
+// "LRU is not suitable for managing storage cache": second-level accesses
+// have long, frequency-skewed reuse distances, so MQ keeps m LRU queues by
+// access-frequency class plus a history (ghost) queue of evicted metadata.
+//
+// Implemented here with the standard simplifications: m queues where a
+// block with reference count f sits in queue floor(log2(f)) (capped), a
+// per-block expiry of `life_time` logical accesses demoting idle blocks
+// one queue down, and a ghost queue of 2x capacity remembering reference
+// counts of evicted blocks.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/lru_cache.hpp"
+
+namespace flo::storage {
+
+class MqCache {
+ public:
+  MqCache() = default;
+
+  /// `queues` frequency classes; `life_time` in logical accesses (0 picks
+  /// a capacity-derived default, the common heuristic).
+  explicit MqCache(std::size_t capacity_blocks, std::size_t queues = 8,
+                   std::uint64_t life_time = 0);
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return map_.size(); }
+
+  bool contains(BlockKey key) const;
+
+  /// Resident-block reference: bumps the frequency, requeues, returns true.
+  bool touch(BlockKey key);
+
+  /// Inserts a missing block (ghost-queue frequency restored if present);
+  /// returns the evicted block if capacity was exceeded.
+  std::optional<BlockKey> insert(BlockKey key);
+
+  bool erase(BlockKey key);
+  void clear();
+
+  /// Queue index a resident block currently sits in (for tests).
+  std::optional<std::size_t> queue_of(BlockKey key) const;
+
+ private:
+  struct Entry {
+    std::uint64_t freq = 0;
+    std::uint64_t expire = 0;
+    std::size_t queue = 0;
+    std::list<std::uint64_t>::iterator pos;
+  };
+
+  std::size_t queue_for(std::uint64_t freq) const;
+  void enqueue(std::uint64_t packed, Entry& entry);
+  void adjust();  ///< demote expired queue heads
+
+  std::size_t capacity_ = 0;
+  std::size_t queue_count_ = 8;
+  std::uint64_t life_time_ = 0;
+  std::uint64_t now_ = 0;
+
+  std::vector<std::list<std::uint64_t>> queues_;  // LRU at front? back: MRU
+  std::unordered_map<std::uint64_t, Entry> map_;
+
+  // Ghost queue: frequency memory of evicted blocks (FIFO, 2x capacity).
+  std::list<std::uint64_t> ghost_order_;
+  std::unordered_map<std::uint64_t, std::uint64_t> ghost_freq_;
+};
+
+}  // namespace flo::storage

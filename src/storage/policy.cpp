@@ -1,0 +1,19 @@
+#include "storage/policy.hpp"
+
+namespace flo::storage {
+
+const char* policy_name(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kLruInclusive:
+      return "LRU (inclusive)";
+    case PolicyKind::kDemoteLru:
+      return "DEMOTE-LRU";
+    case PolicyKind::kKarma:
+      return "KARMA";
+    case PolicyKind::kMqInclusive:
+      return "MQ (storage level)";
+  }
+  return "?";
+}
+
+}  // namespace flo::storage

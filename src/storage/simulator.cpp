@@ -1,0 +1,366 @@
+#include "storage/simulator.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace flo::storage {
+
+HierarchySimulator::HierarchySimulator(StorageTopology topology,
+                                       PolicyKind policy,
+                                       std::vector<NodeId> io_node_of_thread,
+                                       std::vector<RangeHint> hints)
+    : topology_(std::move(topology)),
+      policy_(policy),
+      io_node_of_thread_(std::move(io_node_of_thread)),
+      network_(topology_.config().latency, topology_.config().block_size) {
+  const auto& cfg = topology_.config();
+  for (NodeId io : io_node_of_thread_) {
+    if (io >= cfg.io_nodes) {
+      throw std::invalid_argument("HierarchySimulator: bad io node for thread");
+    }
+  }
+  if (policy_ == PolicyKind::kKarma) {
+    karma_ = KarmaAllocator(
+        std::move(hints),
+        static_cast<std::uint64_t>(topology_.io_cache_blocks()) * cfg.io_nodes,
+        static_cast<std::uint64_t>(topology_.storage_cache_blocks()) *
+            cfg.storage_nodes);
+  }
+  io_caches_.reserve(cfg.io_nodes);
+  for (std::size_t i = 0; i < cfg.io_nodes; ++i) {
+    io_caches_.emplace_back(topology_.io_cache_blocks());
+  }
+  storage_caches_.reserve(cfg.storage_nodes);
+  for (std::size_t i = 0; i < cfg.storage_nodes; ++i) {
+    storage_caches_.emplace_back(topology_.storage_cache_blocks());
+    if (policy_ == PolicyKind::kMqInclusive) {
+      storage_mq_.emplace_back(topology_.storage_cache_blocks());
+    }
+  }
+  io_dirty_.resize(cfg.io_nodes);
+  storage_dirty_.resize(cfg.storage_nodes);
+}
+
+void HierarchySimulator::mark_io_dirty(NodeId io, BlockKey key) {
+  io_dirty_[io].insert(key.packed());
+}
+
+double HierarchySimulator::on_io_eviction(NodeId io, BlockKey victim,
+                                          SimulationResult& result) {
+  // Write-back: a dirty victim is shipped down to its storage cache; a
+  // clean one is simply dropped. A block may be cached dirty in several
+  // I/O caches; only this cache's copy is being evicted.
+  if (io_dirty_[io].erase(victim.packed()) == 0) return 0;
+  double t = network_.demotion();
+  ++result.writebacks;
+  const auto& cfg = topology_.config();
+  const NodeId node = striping_.storage_node_of(victim);
+  if (cfg.storage_cache_enabled) {
+    storage_insert(node, victim);
+    storage_dirty_[node].insert(victim.packed());
+  } else {
+    t += disks_.service(node, striping_.lba_of(victim));
+    ++result.disk_writes;
+  }
+  return t;
+}
+
+
+
+bool HierarchySimulator::storage_touch(NodeId node, BlockKey key) {
+  return policy_ == PolicyKind::kMqInclusive
+             ? storage_mq_[node].touch(key)
+             : storage_caches_[node].touch(key);
+}
+
+void HierarchySimulator::storage_insert(NodeId node, BlockKey key) {
+  const std::optional<BlockKey> victim =
+      policy_ == PolicyKind::kMqInclusive ? storage_mq_[node].insert(key)
+                                          : storage_caches_[node].insert(key);
+  if (victim && topology_.config().model_writes) {
+    // The write-back cost of a storage-level dirty eviction is accounted
+    // by the next request via pending_writeback_cost_.
+    if (storage_dirty_[node].erase(victim->packed()) != 0) {
+      pending_writeback_cost_ +=
+          disks_.peek_service(node, striping_.lba_of(*victim));
+      ++pending_writeback_count_;
+      disks_.advance_head(node, striping_.lba_of(*victim));
+    }
+  }
+}
+
+bool HierarchySimulator::storage_erase(NodeId node, BlockKey key) {
+  return policy_ == PolicyKind::kMqInclusive
+             ? storage_mq_[node].erase(key)
+             : storage_caches_[node].erase(key);
+}
+
+bool HierarchySimulator::storage_contains(NodeId node, BlockKey key) const {
+  return policy_ == PolicyKind::kMqInclusive
+             ? storage_mq_[node].contains(key)
+             : storage_caches_[node].contains(key);
+}
+
+void HierarchySimulator::after_storage_hit(BlockKey key, NodeId node,
+                                           SimulationResult& result) {
+  const auto& cfg = topology_.config();
+  if (cfg.prefetch_depth == 0) return;
+  const std::uint64_t stream_key =
+      (static_cast<std::uint64_t>(node) << 40) | key.file;
+  const auto it = stream_pos_.find(stream_key);
+  const bool sequential =
+      it != stream_pos_.end() &&
+      key.block == it->second + cfg.storage_nodes;
+  stream_pos_[stream_key] = key.block;
+  if (!sequential) return;
+  std::uint64_t staged_to = 0;
+  bool staged = false;
+  for (std::uint32_t d = 1; d <= cfg.prefetch_depth; ++d) {
+    const std::uint64_t next =
+        key.block + static_cast<std::uint64_t>(d) * cfg.storage_nodes;
+    if (next >= striping_.file_blocks(key.file)) break;
+    const BlockKey ahead{key.file, next};
+    staged_to = striping_.lba_of(ahead);
+    staged = true;
+    if (!storage_contains(node, ahead)) {
+      storage_insert(node, ahead);
+      ++result.prefetches;
+    }
+  }
+  if (staged) {
+    disks_.advance_head(node, staged_to);
+    last_lba_[node] = staged_to;
+  }
+}
+
+void HierarchySimulator::after_disk_read(BlockKey key, NodeId node,
+                                         std::uint64_t lba,
+                                         SimulationResult& result) {
+  const auto& cfg = topology_.config();
+  // Stream detection per (node, file): the previous block of this file on
+  // this node must be the preceding local stripe. This survives other
+  // threads' interleaved traffic, like a real per-file readahead window.
+  const std::uint64_t stream_key =
+      (static_cast<std::uint64_t>(node) << 40) | key.file;
+  const auto it = stream_pos_.find(stream_key);
+  const bool sequential =
+      it != stream_pos_.end() &&
+      key.block == it->second + cfg.storage_nodes;
+  stream_pos_[stream_key] = key.block;
+  last_lba_[node] = lba;
+  if (!sequential || cfg.prefetch_depth == 0 || !cfg.storage_cache_enabled) {
+    return;
+  }
+  // Readahead: stage the next local stripes of this file (they live on the
+  // same disk, `storage_nodes` file blocks apart). The staging transfer
+  // overlaps with the stream, so no latency is charged to the requester.
+  std::uint64_t staged_to = lba;
+  for (std::uint32_t d = 1; d <= cfg.prefetch_depth; ++d) {
+    const std::uint64_t next =
+        key.block + static_cast<std::uint64_t>(d) * cfg.storage_nodes;
+    if (next >= striping_.file_blocks(key.file)) break;
+    const BlockKey ahead{key.file, next};
+    staged_to = striping_.lba_of(ahead);
+    if (!storage_contains(node, ahead)) {
+      storage_insert(node, ahead);
+      ++result.prefetches;
+    }
+  }
+  // Staging streams the blocks under the already-positioned head; remember
+  // the staged frontier so the stream keeps extending through the hits.
+  if (staged_to != lba) {
+    disks_.advance_head(node, staged_to);
+    last_lba_[node] = staged_to;
+  }
+}
+
+double HierarchySimulator::storage_level(BlockKey key,
+                                         SimulationResult& result) {
+  const auto& cfg = topology_.config();
+  const NodeId node = striping_.storage_node_of(key);
+  double t = network_.io_storage_hop();
+  if (cfg.storage_cache_enabled) {
+    ++result.storage.lookups;
+    if (storage_touch(node, key)) {
+      ++result.storage.hits;
+      t += cfg.latency.storage_cache_hit;
+      // A hit on a staged block continues the stream: keep the detector
+      // and the readahead window moving.
+      after_storage_hit(key, node, result);
+      if (policy_ == PolicyKind::kDemoteLru) {
+        // Exclusive caching: a block read through the storage cache moves
+        // up to the client; keeping it below would duplicate it.
+        storage_erase(node, key);
+      }
+      return t;
+    }
+  }
+  const std::uint64_t lba = striping_.lba_of(key);
+  t += disks_.service(node, lba);
+  ++result.disk_reads;
+  if (cfg.storage_cache_enabled && (policy_ == PolicyKind::kLruInclusive ||
+                                    policy_ == PolicyKind::kMqInclusive)) {
+    // Inclusive fill: the block is retained below as well as above.
+    storage_insert(node, key);
+  }
+  after_disk_read(key, node, lba, result);
+  // DEMOTE-LRU deliberately does NOT insert on the read path: the storage
+  // cache is populated by demotions only (plus re-reads via LRU above).
+  return t;
+}
+
+double HierarchySimulator::service(std::uint32_t thread,
+                                   const AccessEvent& event,
+                                   SimulationResult& result) {
+  const auto& cfg = topology_.config();
+  const BlockKey key{event.file, event.block};
+  double t = cfg.latency.cpu_per_element *
+             static_cast<double>(event.element_count);
+  t += network_.compute_io_hop();
+  ++result.accesses;
+  result.elements += event.element_count;
+  if (pending_writeback_cost_ > 0) {
+    // Deferred storage-level write-backs are charged to the next request.
+    t += pending_writeback_cost_;
+    result.disk_writes += pending_writeback_count_;
+    pending_writeback_cost_ = 0;
+    pending_writeback_count_ = 0;
+  }
+
+  const NodeId io = io_node_of_thread_[thread];
+  const bool write = cfg.model_writes && event.is_write;
+
+  if (policy_ == PolicyKind::kKarma) {
+    const CacheLevel level = karma_.level_of(key);
+    if (level == CacheLevel::kIo && cfg.io_cache_enabled) {
+      LruCache& cache = io_caches_[io];
+      ++result.io.lookups;
+      if (cache.touch(key)) {
+        ++result.io.hits;
+        return t + cfg.latency.io_cache_hit;
+      }
+      // KARMA pins this range at the I/O level: the storage cache is
+      // bypassed entirely (exclusive placement).
+      const NodeId node = striping_.storage_node_of(key);
+      const std::uint64_t lba = striping_.lba_of(key);
+      t += network_.io_storage_hop();
+      t += disks_.service(node, lba);
+      ++result.disk_reads;
+      cache.insert(key);
+      last_lba_[node] = lba;  // keep the stream detector coherent
+      return t;
+    }
+    if (level == CacheLevel::kStorage && cfg.storage_cache_enabled) {
+      const NodeId node = striping_.storage_node_of(key);
+      LruCache& cache = storage_caches_[node];
+      t += network_.io_storage_hop();
+      ++result.storage.lookups;
+      if (cache.touch(key)) {
+        ++result.storage.hits;
+        return t + cfg.latency.storage_cache_hit;
+      }
+      const std::uint64_t lba = striping_.lba_of(key);
+      t += disks_.service(node, lba);
+      ++result.disk_reads;
+      cache.insert(key);
+      after_disk_read(key, node, lba, result);
+      return t;
+    }
+    // Uncached range class: straight to disk.
+    const NodeId node = striping_.storage_node_of(key);
+    const std::uint64_t lba = striping_.lba_of(key);
+    t += network_.io_storage_hop();
+    t += disks_.service(node, lba);
+    ++result.disk_reads;
+    last_lba_[node] = lba;
+    return t;
+  }
+
+  // LRU-inclusive and DEMOTE-LRU share the I/O-level flow.
+  if (cfg.io_cache_enabled) {
+    LruCache& cache = io_caches_[io];
+    ++result.io.lookups;
+    if (cache.touch(key)) {
+      ++result.io.hits;
+      if (write) mark_io_dirty(io, key);
+      return t + cfg.latency.io_cache_hit;
+    }
+    t += storage_level(key, result);
+    const std::optional<BlockKey> victim = cache.insert(key);
+    if (write) mark_io_dirty(io, key);
+    if (victim) {
+      if (cfg.model_writes) t += on_io_eviction(io, *victim, result);
+      if (policy_ == PolicyKind::kDemoteLru) {
+        // Ship the evicted block down instead of dropping it
+        // (Wong & Wilkes).
+        storage_insert(striping_.storage_node_of(*victim), *victim);
+        t += network_.demotion();
+        ++result.demotions;
+      }
+    }
+    return t;
+  }
+  return t + storage_level(key, result);
+}
+
+SimulationResult HierarchySimulator::run(const TraceProgram& trace) {
+  SimulationResult result;
+  const std::size_t threads = io_node_of_thread_.size();
+  striping_ = Striping(topology_.config().storage_nodes, trace.file_blocks);
+  disks_ = DiskArray(topology_.config().storage_nodes,
+                     topology_.config().disk, topology_.config().block_size);
+  last_lba_.assign(topology_.config().storage_nodes,
+                   std::numeric_limits<std::uint64_t>::max() - 1);
+  stream_pos_.clear();
+  for (auto& d : io_dirty_) d.clear();
+  for (auto& d : storage_dirty_) d.clear();
+  pending_writeback_cost_ = 0;
+  pending_writeback_count_ = 0;
+  for (auto& c : io_caches_) c.clear();
+  for (auto& c : storage_caches_) c.clear();
+  for (auto& c : storage_mq_) c.clear();
+
+  std::vector<double> clock(threads, 0.0);
+  std::vector<double> busy(threads, 0.0);
+
+  for (const auto& phase : trace.phases) {
+    if (phase.per_thread.size() > threads) {
+      throw std::invalid_argument("HierarchySimulator: more traces than threads");
+    }
+    for (std::uint32_t rep = 0; rep < phase.repeat; ++rep) {
+      // Min-clock-first scheduling with thread id tiebreak: deterministic
+      // and approximates concurrent execution against the shared caches.
+      using Entry = std::pair<double, std::uint32_t>;
+      std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>
+          queue;
+      std::vector<std::size_t> cursor(phase.per_thread.size(), 0);
+      for (std::uint32_t t = 0; t < phase.per_thread.size(); ++t) {
+        if (!phase.per_thread[t].empty()) queue.push({clock[t], t});
+      }
+      while (!queue.empty()) {
+        const auto [when, t] = queue.top();
+        queue.pop();
+        const AccessEvent& event = phase.per_thread[t][cursor[t]];
+        const double dt = service(t, event, result);
+        clock[t] = when + dt;
+        busy[t] += dt;
+        if (++cursor[t] < phase.per_thread[t].size()) {
+          queue.push({clock[t], t});
+        }
+      }
+      // Bulk-synchronous barrier between nests / repetitions.
+      const double barrier = *std::max_element(clock.begin(), clock.end());
+      for (auto& c : clock) c = barrier;
+    }
+  }
+
+  result.exec_time = clock.empty() ? 0.0
+                                   : *std::max_element(clock.begin(),
+                                                       clock.end());
+  result.thread_time = std::move(busy);
+  return result;
+}
+
+}  // namespace flo::storage

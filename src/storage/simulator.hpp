@@ -1,0 +1,118 @@
+// Trace-driven hierarchical storage-cache simulator.
+//
+// Threads issue block requests that flow compute node -> I/O-node cache ->
+// storage-node cache -> disk. Caches are shared according to the topology's
+// grouping; striping decides which storage node (and disk LBA) serves each
+// block. Threads advance on private virtual clocks; the scheduler always
+// steps the thread with the smallest clock, so interleaving (and therefore
+// shared-cache contention) is modeled deterministically. A barrier aligns
+// all clocks between phases (loop nests), matching the bulk-synchronous
+// structure of the MPI-IO applications in the paper.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "storage/disk_model.hpp"
+#include "storage/karma.hpp"
+#include "storage/lru_cache.hpp"
+#include "storage/mq_cache.hpp"
+#include "storage/network_model.hpp"
+#include "storage/policy.hpp"
+#include "storage/stats.hpp"
+#include "storage/striping.hpp"
+#include "storage/topology.hpp"
+
+namespace flo::storage {
+
+/// One block request: `element_count` element accesses were coalesced into
+/// this request (they hit the same block back-to-back); the CPU cost is
+/// per element, the cache/disk cost per block request.
+struct AccessEvent {
+  FileId file = 0;
+  std::uint64_t block = 0;
+  std::uint32_t element_count = 1;
+  bool is_write = false;  ///< consulted only when model_writes is on
+};
+
+using ThreadTrace = std::vector<AccessEvent>;
+
+/// One bulk-synchronous phase (one parallelized loop nest execution).
+/// `repeat` replays the phase back to back (time-stepped outer loops) with
+/// a barrier between repetitions, without duplicating the event storage.
+struct PhaseTrace {
+  std::vector<ThreadTrace> per_thread;
+  std::uint32_t repeat = 1;
+};
+
+/// A full application trace plus the file geometry the simulator needs.
+struct TraceProgram {
+  std::vector<PhaseTrace> phases;
+  std::vector<std::uint64_t> file_blocks;  ///< size of each file in blocks
+};
+
+class HierarchySimulator {
+ public:
+  /// `io_node_of_thread[t]` is the I/O node serving thread t (derived from
+  /// the thread -> compute-node mapping by the caller). `hints` are only
+  /// consulted by the KARMA policy.
+  HierarchySimulator(StorageTopology topology, PolicyKind policy,
+                     std::vector<NodeId> io_node_of_thread,
+                     std::vector<RangeHint> hints = {});
+
+  /// Simulates the trace from cold caches and returns aggregate results.
+  SimulationResult run(const TraceProgram& trace);
+
+ private:
+  /// Services one request for `thread`; returns elapsed seconds.
+  double service(std::uint32_t thread, const AccessEvent& event,
+                 SimulationResult& result);
+
+  double storage_level(BlockKey key, SimulationResult& result);
+
+  /// Disk-read epilogue: sequential-stream detection and readahead into
+  /// the owning storage cache (TopologyConfig::prefetch_depth).
+  void after_disk_read(BlockKey key, NodeId node, std::uint64_t lba,
+                       SimulationResult& result);
+
+  /// Storage-hit epilogue: keeps the readahead window moving through
+  /// staged blocks.
+  void after_storage_hit(BlockKey key, NodeId node, SimulationResult& result);
+
+  StorageTopology topology_;
+  PolicyKind policy_;
+  std::vector<NodeId> io_node_of_thread_;
+  KarmaAllocator karma_;
+  NetworkModel network_;
+
+  /// Storage-cache operations dispatch on the policy: LRU containers for
+  /// every policy except kMqInclusive, which manages the storage level
+  /// with the Multi-Queue algorithm.
+  bool storage_touch(NodeId node, BlockKey key);
+  void storage_insert(NodeId node, BlockKey key);
+  bool storage_erase(NodeId node, BlockKey key);
+  bool storage_contains(NodeId node, BlockKey key) const;
+
+  /// Write-back bookkeeping (TopologyConfig::model_writes).
+  void mark_io_dirty(NodeId io, BlockKey key);
+  double on_io_eviction(NodeId io, BlockKey victim, SimulationResult& result);
+
+  std::vector<LruCache> io_caches_;       ///< one per I/O node
+  std::vector<LruCache> storage_caches_;  ///< one per storage node
+  std::vector<MqCache> storage_mq_;       ///< used by kMqInclusive
+  Striping striping_;
+  DiskArray disks_;
+  std::vector<std::uint64_t> last_lba_;  ///< per storage node, for readahead
+  /// Dirty-block sets per layer (packed keys), used when model_writes.
+  std::vector<std::unordered_set<std::uint64_t>> io_dirty_;
+  std::vector<std::unordered_set<std::uint64_t>> storage_dirty_;
+  double pending_writeback_cost_ = 0;       ///< charged to the next request
+  std::uint64_t pending_writeback_count_ = 0;
+  /// Per-(node, file) last block index — the readahead stream detector
+  /// (real readahead tracks file streams, which survive interleaving).
+  std::unordered_map<std::uint64_t, std::uint64_t> stream_pos_;
+};
+
+}  // namespace flo::storage

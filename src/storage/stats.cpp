@@ -1,0 +1,25 @@
+#include "storage/stats.hpp"
+
+#include <sstream>
+
+#include "util/format.hpp"
+
+namespace flo::storage {
+
+std::string SimulationResult::summary() const {
+  std::ostringstream os;
+  os << "exec " << util::format_duration(exec_time) << ", io miss "
+     << util::format_percent(io.miss_rate()) << ", storage miss "
+     << util::format_percent(storage.miss_rate()) << ", " << disk_reads
+     << " disk reads, " << accesses << " block requests";
+  if (disk_writes > 0 || writebacks > 0) {
+    os << ", " << writebacks << " writebacks (" << disk_writes
+       << " to disk)";
+  }
+  if (prefetches > 0) {
+    os << ", " << prefetches << " prefetches";
+  }
+  return os.str();
+}
+
+}  // namespace flo::storage

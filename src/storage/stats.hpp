@@ -1,0 +1,40 @@
+// Simulation statistics: per-layer hit counters and end-to-end results.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace flo::storage {
+
+struct LayerStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+
+  double hit_rate() const {
+    return lookups == 0 ? 0.0 : static_cast<double>(hits) / lookups;
+  }
+  double miss_rate() const { return lookups == 0 ? 0.0 : 1.0 - hit_rate(); }
+  std::uint64_t misses() const { return lookups - hits; }
+};
+
+/// Outcome of simulating one application trace through the hierarchy.
+struct SimulationResult {
+  LayerStats io;       ///< across all I/O-node caches
+  LayerStats storage;  ///< across all storage-node caches
+
+  double exec_time = 0;  ///< seconds: max per-thread completion over phases
+  std::vector<double> thread_time;  ///< per-thread total busy time
+
+  std::uint64_t disk_reads = 0;
+  std::uint64_t demotions = 0;     ///< DEMOTE-LRU block demotions
+  std::uint64_t prefetches = 0;    ///< readahead blocks staged
+  std::uint64_t disk_writes = 0;   ///< dirty blocks written back to disk
+  std::uint64_t writebacks = 0;    ///< dirty evictions shipped down a layer
+  std::uint64_t accesses = 0;      ///< block-level requests issued
+  std::uint64_t elements = 0;      ///< element accesses represented
+
+  std::string summary() const;
+};
+
+}  // namespace flo::storage

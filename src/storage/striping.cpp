@@ -1,0 +1,62 @@
+#include "storage/striping.hpp"
+
+#include <stdexcept>
+
+namespace flo::storage {
+
+Striping::Striping(std::size_t storage_nodes,
+                   std::vector<std::uint64_t> file_blocks)
+    : storage_nodes_(storage_nodes), file_blocks_(std::move(file_blocks)) {
+  if (storage_nodes_ == 0) {
+    throw std::invalid_argument("Striping: zero storage nodes");
+  }
+  base_.assign(storage_nodes_, std::vector<std::uint64_t>());
+  for (std::size_t node = 0; node < storage_nodes_; ++node) {
+    base_[node].resize(file_blocks_.size());
+    std::uint64_t cursor = 0;
+    for (FileId f = 0; f < file_blocks_.size(); ++f) {
+      base_[node][f] = cursor;
+      cursor += local_stripes(f, static_cast<NodeId>(node));
+    }
+  }
+}
+
+std::uint64_t Striping::file_blocks(FileId file) const {
+  if (file >= file_blocks_.size()) {
+    throw std::out_of_range("Striping::file_blocks: bad file");
+  }
+  return file_blocks_[file];
+}
+
+NodeId Striping::storage_node_of(BlockKey key) const {
+  if (key.file >= file_blocks_.size()) {
+    throw std::out_of_range("Striping::storage_node_of: bad file");
+  }
+  return static_cast<NodeId>(key.block % storage_nodes_);
+}
+
+std::uint64_t Striping::local_stripes(FileId file, NodeId node) const {
+  const std::uint64_t total = file_blocks_[file];
+  // Stripes on `node` are blocks with block % storage_nodes_ == node.
+  if (total <= node) return 0;
+  return (total - node + storage_nodes_ - 1) / storage_nodes_;
+}
+
+std::uint64_t Striping::lba_of(BlockKey key) const {
+  const NodeId node = storage_node_of(key);
+  const std::uint64_t local_index = key.block / storage_nodes_;
+  return base_[node][key.file] + local_index;
+}
+
+std::uint64_t Striping::blocks_on_node(NodeId node) const {
+  if (node >= storage_nodes_) {
+    throw std::out_of_range("Striping::blocks_on_node: bad node");
+  }
+  std::uint64_t total = 0;
+  for (FileId f = 0; f < file_blocks_.size(); ++f) {
+    total += local_stripes(f, node);
+  }
+  return total;
+}
+
+}  // namespace flo::storage

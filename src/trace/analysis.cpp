@@ -1,0 +1,87 @@
+#include "trace/analysis.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace flo::trace {
+
+std::vector<storage::RangeHint> profile_range_hints(
+    const storage::TraceProgram& trace, std::uint64_t segment_blocks) {
+  if (segment_blocks == 0) {
+    throw std::invalid_argument("profile_range_hints: zero segment size");
+  }
+  // accesses per (file, segment)
+  std::unordered_map<std::uint64_t, std::uint64_t> counts;
+  for (const auto& phase : trace.phases) {
+    for (const auto& thread_trace : phase.per_thread) {
+      for (const auto& event : thread_trace) {
+        const std::uint64_t segment = event.block / segment_blocks;
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(event.file) << 40) | segment;
+        counts[key] += static_cast<std::uint64_t>(phase.repeat);
+      }
+    }
+  }
+  std::vector<storage::RangeHint> hints;
+  hints.reserve(counts.size());
+  for (const auto& [key, count] : counts) {
+    const storage::FileId file = static_cast<storage::FileId>(key >> 40);
+    const std::uint64_t segment = key & ((1ull << 40) - 1);
+    storage::RangeHint hint;
+    hint.file = file;
+    hint.begin_block = segment * segment_blocks;
+    hint.end_block =
+        std::min(hint.begin_block + segment_blocks, trace.file_blocks[file]);
+    if (hint.end_block <= hint.begin_block) {
+      hint.end_block = hint.begin_block + segment_blocks;
+    }
+    hint.accesses_per_block =
+        static_cast<double>(count) / static_cast<double>(hint.size());
+    hints.push_back(hint);
+  }
+  // Deterministic order (KarmaAllocator re-sorts by density anyway).
+  std::sort(hints.begin(), hints.end(),
+            [](const storage::RangeHint& a, const storage::RangeHint& b) {
+              if (a.file != b.file) return a.file < b.file;
+              return a.begin_block < b.begin_block;
+            });
+  return hints;
+}
+
+double FootprintStats::mean_distinct() const {
+  if (distinct_blocks.empty()) return 0.0;
+  double sum = 0;
+  for (auto v : distinct_blocks) sum += static_cast<double>(v);
+  return sum / static_cast<double>(distinct_blocks.size());
+}
+
+std::uint64_t FootprintStats::max_distinct() const {
+  std::uint64_t best = 0;
+  for (auto v : distinct_blocks) best = std::max(best, v);
+  return best;
+}
+
+FootprintStats footprint_stats(const storage::TraceProgram& trace,
+                               std::size_t thread_count) {
+  FootprintStats stats;
+  stats.distinct_blocks.assign(thread_count, 0);
+  std::vector<std::unordered_set<std::uint64_t>> seen(thread_count);
+  for (const auto& phase : trace.phases) {
+    for (std::size_t t = 0; t < phase.per_thread.size() && t < thread_count;
+         ++t) {
+      for (const auto& event : phase.per_thread[t]) {
+        seen[t].insert((static_cast<std::uint64_t>(event.file) << 40) |
+                       event.block);
+        stats.total_requests += phase.repeat;
+      }
+    }
+  }
+  for (std::size_t t = 0; t < thread_count; ++t) {
+    stats.distinct_blocks[t] = seen[t].size();
+  }
+  return stats;
+}
+
+}  // namespace flo::trace

@@ -1,0 +1,35 @@
+// Trace analysis: access-density profiling (the source of KARMA's
+// application hints) and block-footprint statistics (the quantity Fig. 2 of
+// the paper argues the optimizer minimizes).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/karma.hpp"
+#include "storage/simulator.hpp"
+
+namespace flo::trace {
+
+/// Splits every file into fixed-size segments and returns one RangeHint per
+/// touched segment with its measured access density. This models the
+/// profiling pass that produces KARMA's hints; a well-localized layout
+/// yields few dense segments (accurate hints), a scattered one yields many
+/// diluted segments.
+std::vector<storage::RangeHint> profile_range_hints(
+    const storage::TraceProgram& trace, std::uint64_t segment_blocks);
+
+/// Per-thread block-footprint statistics for one trace.
+struct FootprintStats {
+  /// distinct (file, block) pairs touched by each thread.
+  std::vector<std::uint64_t> distinct_blocks;
+  std::uint64_t total_requests = 0;
+
+  double mean_distinct() const;
+  std::uint64_t max_distinct() const;
+};
+
+FootprintStats footprint_stats(const storage::TraceProgram& trace,
+                               std::size_t thread_count);
+
+}  // namespace flo::trace

@@ -1,0 +1,34 @@
+// Trace generation: walks a parallelized program under a chosen set of file
+// layouts and produces the per-thread block-request streams the storage
+// simulator consumes. This is where "file layout" becomes observable
+// behaviour: the same program under two layouts yields different block
+// streams and hence different cache dynamics.
+#pragma once
+
+#include "ir/program.hpp"
+#include "layout/file_layout.hpp"
+#include "parallel/schedule.hpp"
+#include "storage/simulator.hpp"
+#include "storage/topology.hpp"
+
+namespace flo::trace {
+
+struct TraceOptions {
+  /// When true, consecutive accesses by one thread to the same block are
+  /// merged into a single request with an element count (a client issues
+  /// one I/O per block for a streaming run over it). Disable to stress the
+  /// caches with raw per-element requests.
+  bool coalesce = true;
+};
+
+/// Generates the full trace program: one phase per loop nest (with the
+/// nest's repeat count), per-thread streams ordered by the thread's
+/// iteration blocks. `layouts[a]` maps array a's elements to file slots;
+/// file sizes (in blocks) are derived from each layout's slot span.
+storage::TraceProgram generate_trace(const ir::Program& program,
+                                     const parallel::ParallelSchedule& schedule,
+                                     const layout::LayoutMap& layouts,
+                                     const storage::StorageTopology& topology,
+                                     const TraceOptions& options = {});
+
+}  // namespace flo::trace

@@ -1,0 +1,28 @@
+// CSV emission for experiment results (machine-readable twin of util::Table).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace flo::util {
+
+/// Accumulates rows and renders RFC-4180-ish CSV (quotes cells containing
+/// commas, quotes, or newlines). Used by benches for optional file output.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the CSV document including the header line.
+  std::string to_string() const;
+
+  /// Writes the document to `path`; throws std::runtime_error on failure.
+  void write_file(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace flo::util

@@ -1,0 +1,76 @@
+#include "util/format.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace flo::util {
+
+std::string format_duration(double seconds) {
+  char buf[64];
+  if (seconds < 0) seconds = 0;
+  if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f s", seconds);
+    return buf;
+  }
+  const auto whole = static_cast<std::uint64_t>(seconds + 0.5);
+  const std::uint64_t hours = whole / 3600;
+  const std::uint64_t minutes = (whole % 3600) / 60;
+  const std::uint64_t secs = whole % 60;
+  if (hours > 0) {
+    std::snprintf(buf, sizeof(buf), "%llu h %llu min %llu s",
+                  static_cast<unsigned long long>(hours),
+                  static_cast<unsigned long long>(minutes),
+                  static_cast<unsigned long long>(secs));
+  } else if (minutes > 0) {
+    std::snprintf(buf, sizeof(buf), "%llu min %02llu s",
+                  static_cast<unsigned long long>(minutes),
+                  static_cast<unsigned long long>(secs));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu s",
+                  static_cast<unsigned long long>(secs));
+  }
+  return buf;
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  static constexpr std::array<const char*, 5> kUnits = {"B", "KiB", "MiB",
+                                                        "GiB", "TiB"};
+  double value = static_cast<double>(bytes);
+  std::size_t unit = 0;
+  while (value >= 1024.0 && unit + 1 < kUnits.size()) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buf[64];
+  if (std::floor(value) == value) {
+    std::snprintf(buf, sizeof(buf), "%.0f %s", value, kUnits[unit]);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f %s", value, kUnits[unit]);
+  }
+  return buf;
+}
+
+std::string format_percent(double ratio) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", ratio * 100.0);
+  return buf;
+}
+
+std::string format_fixed(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+std::string pad_left(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return std::string(width - s.size(), ' ') + s;
+}
+
+std::string pad_right(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return s + std::string(width - s.size(), ' ');
+}
+
+}  // namespace flo::util

@@ -1,0 +1,31 @@
+// Human-readable formatting helpers: durations in the paper's "3 min 21 s"
+// style, byte sizes, percentages, and fixed-width numbers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace flo::util {
+
+/// Formats a duration given in seconds the way Table 2 of the paper prints
+/// execution times, e.g. 201.0 -> "3 min 21 s". Sub-minute durations render
+/// as "41 s"; sub-second durations as "0.42 s".
+std::string format_duration(double seconds);
+
+/// Formats a byte count with binary units, e.g. 4096 -> "4 KiB".
+/// Exact multiples use integral mantissas; otherwise one decimal is kept.
+std::string format_bytes(std::uint64_t bytes);
+
+/// Formats a ratio as a percentage with one decimal, e.g. 0.237 -> "23.7%".
+std::string format_percent(double ratio);
+
+/// Formats a double with `decimals` fractional digits (no locale surprises).
+std::string format_fixed(double value, int decimals);
+
+/// Left-pads `s` with spaces to at least `width` characters.
+std::string pad_left(const std::string& s, std::size_t width);
+
+/// Right-pads `s` with spaces to at least `width` characters.
+std::string pad_right(const std::string& s, std::size_t width);
+
+}  // namespace flo::util

@@ -1,0 +1,51 @@
+// Tiny leveled logger. Single global level, stderr sink, no allocation on
+// suppressed messages. Adequate for a research library; not a logging
+// framework.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace flo::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the minimum level that will be emitted (default: kWarn).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits `message` at `level` if enabled. Thread-safe (single write call).
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace flo::util
+
+#define FLO_LOG(level)                                   \
+  if (static_cast<int>(level) <                          \
+      static_cast<int>(::flo::util::log_level())) {      \
+  } else                                                 \
+    ::flo::util::detail::LogLine(level)
+
+#define FLO_LOG_DEBUG FLO_LOG(::flo::util::LogLevel::kDebug)
+#define FLO_LOG_INFO FLO_LOG(::flo::util::LogLevel::kInfo)
+#define FLO_LOG_WARN FLO_LOG(::flo::util::LogLevel::kWarn)
+#define FLO_LOG_ERROR FLO_LOG(::flo::util::LogLevel::kError)

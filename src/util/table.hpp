@@ -1,0 +1,47 @@
+// Minimal ASCII table renderer used by the benchmark harness to print the
+// paper's tables and figure series in a uniform, diff-friendly format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace flo::util {
+
+/// Column alignment for Table cells.
+enum class Align { kLeft, kRight };
+
+/// A simple text table: set headers once, append rows, render.
+///
+/// Rendering pads every column to its widest cell and separates the header
+/// with a dashed rule, e.g.:
+///
+///   Application  | I/O miss | Storage miss | Execution time
+///   -------------+----------+--------------+---------------
+///   cc-ver-1     |     6.1% |         4.4% | 3 min 21 s
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Sets per-column alignment; by default the first column is left-aligned
+  /// and all others right-aligned.
+  void set_alignment(std::vector<Align> alignment);
+
+  /// Appends one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Number of data rows added so far.
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders the full table (with trailing newline).
+  std::string to_string() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const Table& table);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<Align> alignment_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace flo::util

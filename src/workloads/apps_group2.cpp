@@ -1,0 +1,117 @@
+// Group 2 applications (Fig. 7(a)): moderate benefit (8-13%). Each mixes
+// optimizable scattered accesses with traffic the layout cannot change
+// (shared scans, strided whole-array sweeps).
+#include "workloads/common.hpp"
+
+namespace flo::workloads {
+
+using namespace detail;
+
+Workload make_bt() {
+  // NAS BT (out-of-core): block-tridiagonal solves; face-flux sweeps are
+  // scattered and shared, the cell update is optimizable.
+  ir::ProgramBuilder pb("bt");
+  add_hot_pair(pb, "u", 96, 96, 80, 80);
+  add_shared_warm(pb, "rhs", 192, 256, /*repeat=*/4);
+  add_opt_diagonal(pb, "cell", 256, /*repeat=*/1);
+  add_shared_strided(pb, "face", /*segments=*/2, /*repeat=*/15);
+  return {"bt",
+          "NAS BT out-of-core: cell updates + shared face sweeps",
+          2,
+          false,
+          {16.2, 29.4, "1 min 44 s", 0.52, 0.59},
+          pb.build()};
+}
+
+Workload make_cc_ver_2() {
+  // Protein structure prediction, implementation 2: master-slave — the
+  // master ranks scan shared tables (small parallel extents concentrate
+  // that traffic on a few threads, which is what makes the app sensitive
+  // to thread placement in Fig. 7(b)).
+  ir::ProgramBuilder pb("cc-ver-2");
+  add_hot_pair(pb, "seqs", 96, 96, 40, 40);
+  add_shared_warm(pb, "mtab", 224, 256, /*repeat=*/4, /*spread=*/8);
+  add_opt_diagonal(pb, "prof2", 256, /*repeat=*/1);
+  add_shared_strided(pb, "db2", /*segments=*/2, /*repeat=*/14,
+                     /*spread=*/8);
+  return {"cc-ver-2",
+          "protein structure prediction (v2): master-slave work pool",
+          2,
+          true,
+          {27.9, 21.6, "4 min 59 s", 0.62, 0.71},
+          pb.build()};
+}
+
+Workload make_astro() {
+  // Astrophysics volume rendering: very large shared volumes dominate, so
+  // miss rates are the highest in the suite and only part of the traffic
+  // is optimizable.
+  ir::ProgramBuilder pb("astro");
+  add_hot_pair(pb, "cat", 96, 96, 15, 15);
+  add_shared_warm(pb, "grid", 224, 256, /*repeat=*/4);
+  add_opt_diagonal(pb, "part", 256, /*repeat=*/1);
+  add_conflicted(pb, "shock", 512, /*repeat=*/1);
+  add_shared_strided(pb, "vol", /*segments=*/4, /*repeat=*/7);
+  add_seq_stream(pb, "dump", 1024, /*repeat=*/1);
+  return {"astro",
+          "astrophysics volume rendering: large shared volumes",
+          2,
+          false,
+          {52.2, 61.3, "6 min 18 s", 0.54, 0.51},
+          pb.build()};
+}
+
+Workload make_wupwise() {
+  // SPEComp wupwise (out-of-core): lattice QCD; gauge-field sweeps are
+  // scattered and shared, the propagator update is optimizable.
+  ir::ProgramBuilder pb("wupwise");
+  add_hot_pair(pb, "gamma", 96, 96, 40, 40);
+  add_shared_warm(pb, "gauge", 192, 256, /*repeat=*/4);
+  add_opt_diagonal(pb, "prop", 256, /*repeat=*/1);
+  add_conflicted(pb, "su3", 512, /*repeat=*/1);
+  add_shared_strided(pb, "lat", /*segments=*/3, /*repeat=*/8);
+  return {"wupwise",
+          "lattice QCD kernel: shared gauge field + propagator updates",
+          2,
+          false,
+          {36.4, 52.5, "3 min 24 s", 0.58, 0.66},
+          pb.build()};
+}
+
+Workload make_contour() {
+  // Contour display: iso-surface extraction walks the field in both row
+  // and column order; the full-field strided walk dominates storage misses.
+  ir::ProgramBuilder pb("contour");
+  add_hot_pair(pb, "legend", 96, 96, 30, 30);
+  add_shared_strided(pb, "field", /*segments=*/4, /*repeat=*/6);
+  add_opt_diagonal(pb, "iso", 256, /*repeat=*/1);
+  add_conflicted(pb, "edge", 512, /*repeat=*/1);
+  add_seq_stream(pb, "img", 512, /*repeat=*/1);
+  return {"contour",
+          "contour display: whole-field scans + column extraction",
+          2,
+          false,
+          {31.9, 64.2, "4 min 07 s", 0.63, 0.59},
+          pb.build()};
+}
+
+Workload make_mgrid() {
+  // SPEComp mgrid (out-of-core): V-cycles over resolution levels. Fine
+  // levels stream sequentially (low I/O-cache misses), restriction /
+  // prolongation between levels is scattered.
+  ir::ProgramBuilder pb("mgrid");
+  add_hot_pair(pb, "lvl0", 96, 96, 150, 150);
+  add_seq_stream(pb, "lvl1", 768, /*repeat=*/2);
+  add_seq_stream(pb, "lvl2", 512, /*repeat=*/2);
+  add_medium_transposed(pb, "restrict", 160, 512, /*repeat=*/2);
+  add_opt_transposed(pb, "interp", 320, /*repeat=*/1);
+  add_shared_strided(pb, "lvl3", /*segments=*/2, /*repeat=*/6);
+  return {"mgrid",
+          "multigrid V-cycle: streaming levels + scattered transfers",
+          2,
+          false,
+          {13.3, 38.4, "5 min 31 s", 0.71, 0.74},
+          pb.build()};
+}
+
+}  // namespace flo::workloads

@@ -1,0 +1,127 @@
+#include "workloads/common.hpp"
+
+#include <stdexcept>
+
+namespace flo::workloads::detail {
+
+void add_hot_pair(ir::ProgramBuilder& pb, const std::string& name,
+                  std::int64_t rows, std::int64_t cols,
+                  std::int64_t sweep_repeat, std::int64_t scan_repeat) {
+  pb.array(name, {rows, cols});
+  // The aligned scan comes first so that, on equal weights, Step I's stable
+  // greedy keeps the row partition and the sweep's hit behaviour is
+  // layout-independent (see header).
+  pb.nest(name + "_scan", {{0, rows - 1}, {0, cols - 1}}, 0, scan_repeat)
+      .read(name, kAligned2)
+      .done();
+  pb.nest(name + "_sweep", {{0, cols - 1}, {0, rows - 1}}, 0, sweep_repeat)
+      .read(name, kTransposed2)
+      .done();
+}
+
+void add_shared_warm(ir::ProgramBuilder& pb, const std::string& name,
+                     std::int64_t rows, std::int64_t cols,
+                     std::int64_t repeat, std::int64_t spread) {
+  if (spread < 1 || spread > 64) {
+    throw std::invalid_argument("add_shared_warm: spread must be in [1,64]");
+  }
+  pb.array(name, {rows, cols});
+  pb.nest(name + "_warm", {{0, spread - 1}, {0, rows - 1}, {0, cols - 1}}, 0,
+          repeat)
+      .read(name, {{0, 1, 0}, {0, 0, 1}})
+      .done();
+}
+
+void add_seq_stream(ir::ProgramBuilder& pb, const std::string& name,
+                    std::int64_t n, std::int64_t repeat, bool with_output) {
+  pb.array(name, {n, n});
+  if (with_output) pb.array(name + "_out", {n, n});
+  auto nest = pb.nest(name + "_stream", {{0, n - 1}, {0, n - 1}}, 0, repeat);
+  nest.read(name, kAligned2);
+  if (with_output) nest.write(name + "_out", kAligned2);
+  nest.done();
+}
+
+void add_opt_transposed(ir::ProgramBuilder& pb, const std::string& name,
+                        std::int64_t n, std::int64_t repeat) {
+  pb.array(name, {n, n});
+  pb.nest(name + "_col", {{0, n - 1}, {0, n - 1}}, 0, repeat)
+      .read(name, kTransposed2)
+      .done();
+}
+
+void add_medium_transposed(ir::ProgramBuilder& pb, const std::string& name,
+                           std::int64_t rows, std::int64_t cols,
+                           std::int64_t repeat) {
+  pb.array(name, {rows, cols});
+  pb.nest(name + "_col", {{0, cols - 1}, {0, rows - 1}}, 0, repeat)
+      .read(name, kTransposed2)
+      .done();
+}
+
+void add_shared_strided(ir::ProgramBuilder& pb, const std::string& name,
+                        std::int64_t segments, std::int64_t repeat,
+                        std::int64_t spread) {
+  constexpr std::int64_t kBlockElems = 256;  // 2 KiB blocks of 8 B elements
+  constexpr std::int64_t kWindow = 256;      // steps per thread window
+  constexpr std::int64_t kRowSkew = 256;     // a1 distance between threads
+  constexpr std::int64_t kColSkew = 777;     // a2 distance between threads
+  if (spread < 1 || spread > 64) {
+    throw std::invalid_argument("add_shared_strided: spread must be in [1,64]");
+  }
+  if (segments < 1) {
+    throw std::invalid_argument("add_shared_strided: segments must be >= 1");
+  }
+  const std::int64_t rows = kRowSkew * (spread - 1) + kWindow + 1;
+  const std::int64_t cols = kColSkew * (spread - 1) +
+                            kBlockElems * (segments - 1) + 3 * kWindow + 1;
+  pb.array(name, {rows, cols});
+  // a = (256*i1 + i3, 777*i1 + 256*i2 + 3*i3): a diagonal walk through a
+  // per-thread window that is private (disjoint) in BOTH array projections,
+  // with the two skews coprime and far beyond a block. Consequences:
+  //  - the stream is scattered under every dimension permutation (both
+  //    coordinates advance each step), so the FAST'08 reindexing baseline
+  //    cannot straighten it;
+  //  - no permutation can pack different threads' windows into adjacent
+  //    blocks either, so synchronized threads can neither share cache
+  //    fills nor merge into a team-wide sequential disk stream;
+  //  - Step I cannot separate it (the second coordinate does not depend on
+  //    the parallel loop alone).
+  // This models index-indirected/irregular I/O: irreducible for every
+  // layout strategy. The index box is huge but sparse; only canonical
+  // layouts (closed-form) ever describe it.
+  pb.nest(name + "_strided",
+          {{0, spread - 1}, {0, segments - 1}, {0, kWindow - 1}}, 0, repeat)
+      .read(name, {{kRowSkew, 0, 1}, {kColSkew, kBlockElems, 3}})
+      .done();
+}
+
+void add_opt_diagonal(ir::ProgramBuilder& pb, const std::string& name,
+                      std::int64_t n, std::int64_t repeat) {
+  pb.array(name, {66 * n, 2 * n});
+  // a = (i1 + 65*i2, i1 + i2): thread i1-slabs own skewed diagonal bands
+  // (Step I finds d = (-1, 65), alpha = 64; s = 64*i1). No dimension
+  // permutation makes a diagonal band contiguous — the layout class the
+  // paper argues "cannot simply be expressed as a dimension reindexing"
+  // (Section 5.4). The slope of 65 keeps the walk scattered under both
+  // canonical orders AND pushes cross-thread block echoes at least 256
+  // elements apart in either projection, so neither row-major nor
+  // column-major can manufacture shared-cache convoys. The index box is
+  // sparse (the access image covers 1/66 of it); the touched-element
+  // packing of InterNodeLayout makes each thread's band contiguous
+  // regardless. Only the inter-node layout repairs this pattern.
+  pb.nest(name + "_diag", {{0, n - 1}, {0, n - 1}}, 0, repeat)
+      .read(name, {{1, 65}, {1, 1}})
+      .done();
+}
+
+void add_conflicted(ir::ProgramBuilder& pb, const std::string& name,
+                    std::int64_t n, std::int64_t repeat) {
+  pb.array(name, {n, n});
+  pb.nest(name + "_conf", {{0, n - 1}, {0, n - 1}}, 0, repeat)
+      .read(name, kAligned2)
+      .read(name, kTransposed2)
+      .done();
+}
+
+}  // namespace flo::workloads::detail

@@ -1,0 +1,88 @@
+// Internal helpers shared by the workload builders: the "ingredient"
+// patterns the 16 application models are mixed from.
+//
+// Ingredient glossary (behaviour under the default row-major layouts, with
+// the scaled Table 1 topology: 64-block I/O caches shared by 4 threads,
+// 128-block storage caches, 256 elements per block):
+//
+//  hot pair      — a small array read both aligned and transposed; its
+//                  whole footprint fits the I/O caches, so the scattered
+//                  sweep generates a stream of I/O-cache *hits*. The
+//                  aligned reference is given at least equal weight, so
+//                  Step I keeps a row-slab partitioning and the hit
+//                  behaviour is layout-stable.
+//  shared warm   — an array scanned in full by every thread (no parallel-
+//                  loop dependence => unpartitionable). Footprint sits
+//                  between one I/O cache and the aggregate storage caches:
+//                  I/O misses that hit in the storage layer.
+//  seq stream    — a large private aligned scan: cold misses at both
+//                  layers, but sequential disk access (transfer-limited).
+//  opt transposed— the paper's Fig. 2 pattern: private column sweeps under
+//                  a row-major file. Scattered, thrashes both layers, pays
+//                  seeks — and is exactly what Step I + Step II repair.
+//  shared strided— whole-array strided sweep by every thread, footprint
+//                  beyond the aggregate storage layer: disk traffic the
+//                  optimizer cannot remove (no thread locality to expose).
+#pragma once
+
+#include "ir/builder.hpp"
+#include "workloads/suite.hpp"
+
+namespace flo::workloads::detail {
+
+// Access-matrix shorthands for 2-deep nests (i1, i2) over 2-D arrays.
+inline constexpr std::initializer_list<std::initializer_list<std::int64_t>>
+    kAligned2 = {{1, 0}, {0, 1}};
+inline constexpr std::initializer_list<std::initializer_list<std::int64_t>>
+    kTransposed2 = {{0, 1}, {1, 0}};
+
+/// Small array (rows x cols, both <= a few dozen blocks) accessed by an
+/// aligned scan nest (first, so equal-weight ties keep the row partition)
+/// and a transposed sweep nest. Generates layout-stable I/O-cache hits.
+void add_hot_pair(ir::ProgramBuilder& pb, const std::string& name,
+                  std::int64_t rows, std::int64_t cols,
+                  std::int64_t sweep_repeat, std::int64_t scan_repeat);
+
+/// Array scanned in full by each of `spread` threads per pass (parallel
+/// extent `spread`; use 64 for all threads, less for master-slave models).
+void add_shared_warm(ir::ProgramBuilder& pb, const std::string& name,
+                     std::int64_t rows, std::int64_t cols,
+                     std::int64_t repeat, std::int64_t spread = 64);
+
+/// Large private aligned stream (optionally writing a twin "out" array).
+void add_seq_stream(ir::ProgramBuilder& pb, const std::string& name,
+                    std::int64_t n, std::int64_t repeat,
+                    bool with_output = false);
+
+/// Private transposed sweep over an n x n array — the optimizable pattern.
+void add_opt_transposed(ir::ProgramBuilder& pb, const std::string& name,
+                        std::int64_t n, std::int64_t repeat);
+
+/// Medium transposed sweep (rows x cols, rows <= 128): scattered but
+/// storage-resident; optimization turns storage hits into I/O hits.
+void add_medium_transposed(ir::ProgramBuilder& pb, const std::string& name,
+                           std::int64_t rows, std::int64_t cols,
+                           std::int64_t repeat);
+
+/// Irregular strided sweep over `segments` column segments, one block per
+/// access, through per-thread windows private in both array projections
+/// (dimensions are derived internally). Irreducible disk traffic for every
+/// layout strategy: scattered under all permutations, no cross-thread
+/// block sharing, not Step-I separable. `spread` as in add_shared_warm.
+void add_shared_strided(ir::ProgramBuilder& pb, const std::string& name,
+                        std::int64_t segments, std::int64_t repeat,
+                        std::int64_t spread = 64);
+
+/// Equal-weight aligned + transposed references over one private array in
+/// one nest (the twer pattern): Step I can satisfy only one of them, so
+/// half the traffic stays scattered whatever the layout.
+void add_conflicted(ir::ProgramBuilder& pb, const std::string& name,
+                    std::int64_t n, std::int64_t repeat);
+
+/// Private diagonal-banded access A[i1+i2, i2] over a (2n x n) array: the
+/// canonical pattern that only the inter-node layout (not any dimension
+/// permutation) can make contiguous per thread. Disk-class by size.
+void add_opt_diagonal(ir::ProgramBuilder& pb, const std::string& name,
+                      std::int64_t n, std::int64_t repeat);
+
+}  // namespace flo::workloads::detail

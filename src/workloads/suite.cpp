@@ -1,0 +1,44 @@
+#include "workloads/suite.hpp"
+
+#include <stdexcept>
+
+namespace flo::workloads {
+
+const std::vector<std::string>& workload_names() {
+  static const std::vector<std::string> names = {
+      "cc-ver-1", "s3asim", "twer",   "bt",  "cc-ver-2", "astro",
+      "wupwise",  "contour", "mgrid", "swim", "afores",  "sar",
+      "hf",       "qio",     "applu", "sp"};
+  return names;
+}
+
+std::vector<Workload> workload_suite() {
+  std::vector<Workload> suite;
+  suite.reserve(16);
+  suite.push_back(make_cc_ver_1());
+  suite.push_back(make_s3asim());
+  suite.push_back(make_twer());
+  suite.push_back(make_bt());
+  suite.push_back(make_cc_ver_2());
+  suite.push_back(make_astro());
+  suite.push_back(make_wupwise());
+  suite.push_back(make_contour());
+  suite.push_back(make_mgrid());
+  suite.push_back(make_swim());
+  suite.push_back(make_afores());
+  suite.push_back(make_sar());
+  suite.push_back(make_hf());
+  suite.push_back(make_qio());
+  suite.push_back(make_applu());
+  suite.push_back(make_sp());
+  return suite;
+}
+
+Workload workload_by_name(const std::string& name) {
+  for (auto& w : workload_suite()) {
+    if (w.name == name) return std::move(w);
+  }
+  throw std::invalid_argument("unknown workload: " + name);
+}
+
+}  // namespace flo::workloads

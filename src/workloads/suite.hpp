@@ -1,0 +1,68 @@
+// The 16 I/O-intensive applications of Table 2, re-expressed as affine
+// loop-nest models (DESIGN.md §2 documents the substitution).
+//
+// Each model reproduces the *access-pattern class* that puts the original
+// application into its group of Fig. 7(a):
+//   group 1 — no benefit: tiny working sets (cc-ver-1, s3asim) or
+//             equally-weighted conflicting references (twer);
+//   group 2 — 8-13%: mixes of optimizable and inherently shared arrays;
+//   group 3 — 21-26%: dominated by scattered (transposed/strided) accesses
+//             that the inter-node layout makes contiguous.
+// Master-slave applications (cc-ver-2, afores, sar) include nests whose
+// parallel extent covers only a subset of threads, which is what makes them
+// sensitive to the thread -> node mapping in Fig. 7(b).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/program.hpp"
+
+namespace flo::workloads {
+
+/// Values the paper reports for this application (for side-by-side tables).
+struct PaperRow {
+  double io_miss = 0;            ///< Table 2, %
+  double storage_miss = 0;       ///< Table 2, %
+  const char* exec_time = "";    ///< Table 2
+  double norm_io_miss = 0;       ///< Table 3 (normalized, after optimization)
+  double norm_storage_miss = 0;  ///< Table 3
+};
+
+struct Workload {
+  std::string name;
+  std::string description;
+  int group = 0;            ///< 1, 2 or 3 (Fig. 7(a) grouping)
+  bool master_slave = false;
+  PaperRow paper;
+  ir::Program program;
+};
+
+/// Builds the full 16-application suite (Table 2 order).
+std::vector<Workload> workload_suite();
+
+/// Builds one application by name; throws std::invalid_argument if unknown.
+Workload workload_by_name(const std::string& name);
+
+/// The 16 names in Table 2 order.
+const std::vector<std::string>& workload_names();
+
+// Individual builders (one per application; implemented per group).
+Workload make_cc_ver_1();
+Workload make_s3asim();
+Workload make_twer();
+Workload make_bt();
+Workload make_cc_ver_2();
+Workload make_astro();
+Workload make_wupwise();
+Workload make_contour();
+Workload make_mgrid();
+Workload make_swim();
+Workload make_afores();
+Workload make_sar();
+Workload make_hf();
+Workload make_qio();
+Workload make_applu();
+Workload make_sp();
+
+}  // namespace flo::workloads

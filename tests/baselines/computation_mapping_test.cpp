@@ -1,0 +1,103 @@
+#include "baselines/computation_mapping.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ir/builder.hpp"
+#include "layout/canonical.hpp"
+
+namespace flo::baselines {
+namespace {
+
+storage::StorageTopology small_topology() {
+  storage::TopologyConfig c;
+  c.compute_nodes = 8;
+  c.io_nodes = 4;
+  c.storage_nodes = 2;
+  c.block_size = 64;
+  c.io_cache_bytes = 512;
+  c.storage_cache_bytes = 1024;
+  return storage::StorageTopology(c);
+}
+
+TEST(ComputationMappingTest, PreservesBlockCoverage) {
+  const auto p = ir::ProgramBuilder("p")
+                     .array("A", {32, 32})
+                     .nest("n", {{0, 31}, {0, 31}}, 0)
+                     .read("A", {{0, 1}, {1, 0}})
+                     .done()
+                     .build();
+  const parallel::ParallelSchedule schedule(p, 8);
+  const auto layouts = layout::default_layouts(p);
+  const auto remapped =
+      apply_computation_mapping(p, schedule, layouts, small_topology());
+  const auto& before = schedule.decomposition(0).blocks();
+  const auto& after = remapped.decomposition(0).blocks();
+  ASSERT_EQ(before.size(), after.size());
+  for (std::size_t b = 0; b < before.size(); ++b) {
+    EXPECT_EQ(before[b].lower, after[b].lower);
+    EXPECT_EQ(before[b].upper, after[b].upper);
+    EXPECT_LT(after[b].thread, 8u);
+  }
+}
+
+TEST(ComputationMappingTest, ClustersSharingBlocksOntoOneIoGroup) {
+  // Two pairs of iteration blocks share data: blocks (0,1) read rows 0..15
+  // and blocks (2,3) read rows 16..31 through a second shared reference.
+  // After remapping, the paired blocks should land on threads sharing an
+  // I/O cache (threads 2t, 2t+1 in the 8-thread / 4-I/O-node topology).
+  const auto p = ir::ProgramBuilder("p")
+                     .array("A", {32, 32})
+                     .nest("n", {{0, 31}, {0, 31}}, 0)
+                     .read("A", {{1, 0}, {0, 1}})
+                     .done()
+                     .build();
+  const parallel::ParallelSchedule schedule(p, 4);
+  const auto layouts = layout::default_layouts(p);
+  const auto remapped =
+      apply_computation_mapping(p, schedule, layouts, small_topology());
+  // Every block still owned by a valid thread; assignment is a permutation
+  // of the workload across threads (each thread gets exactly one block).
+  std::set<parallel::ThreadId> owners;
+  for (const auto& block : remapped.decomposition(0).blocks()) {
+    owners.insert(block.thread);
+  }
+  EXPECT_EQ(owners.size(), 4u);
+}
+
+TEST(ComputationMappingTest, DeterministicAcrossCalls) {
+  const auto p = ir::ProgramBuilder("p")
+                     .array("A", {32, 32})
+                     .nest("n", {{0, 31}, {0, 31}}, 0)
+                     .read("A", {{0, 1}, {1, 0}})
+                     .done()
+                     .build();
+  const parallel::ParallelSchedule schedule(p, 8);
+  const auto layouts = layout::default_layouts(p);
+  const auto a =
+      apply_computation_mapping(p, schedule, layouts, small_topology());
+  const auto b =
+      apply_computation_mapping(p, schedule, layouts, small_topology());
+  for (std::size_t i = 0; i < a.decomposition(0).blocks().size(); ++i) {
+    EXPECT_EQ(a.decomposition(0).blocks()[i].thread,
+              b.decomposition(0).blocks()[i].thread);
+  }
+}
+
+TEST(ComputationMappingTest, SingleBlockNestUntouched) {
+  const auto p = ir::ProgramBuilder("p")
+                     .array("A", {8, 8})
+                     .nest("n", {{0, 0}, {0, 7}}, 0)
+                     .read("A", {{1, 0}, {0, 1}})
+                     .done()
+                     .build();
+  const parallel::ParallelSchedule schedule(p, 8);
+  const auto layouts = layout::default_layouts(p);
+  const auto remapped =
+      apply_computation_mapping(p, schedule, layouts, small_topology());
+  EXPECT_EQ(remapped.decomposition(0).blocks()[0].thread, 0u);
+}
+
+}  // namespace
+}  // namespace flo::baselines

@@ -1,0 +1,88 @@
+#include "baselines/dimension_reindexing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "layout/permutation.hpp"
+
+namespace flo::baselines {
+namespace {
+
+ir::Program two_array_program() {
+  return ir::ProgramBuilder("p")
+      .array("A", {16, 16})
+      .array("B", {16, 16})
+      .nest("n", {{0, 15}, {0, 15}}, 0)
+      .read("A", {{0, 1}, {1, 0}})
+      .read("B", {{1, 0}, {0, 1}})
+      .done()
+      .build();
+}
+
+TEST(DimensionReindexingTest, PicksTheProfiledBestPermutation) {
+  const auto p = two_array_program();
+  // A fake profiler preferring column-major for A and row-major for B.
+  const auto profiler = [&](const layout::LayoutMap& layouts) {
+    double cost = 0;
+    const auto* a = dynamic_cast<const layout::DimensionPermutationLayout*>(
+        layouts[0].get());
+    const auto* b = dynamic_cast<const layout::DimensionPermutationLayout*>(
+        layouts[1].get());
+    cost += a->order() == std::vector<std::size_t>{1, 0} ? 1.0 : 2.0;
+    cost += b->order() == std::vector<std::size_t>{0, 1} ? 1.0 : 2.0;
+    return cost;
+  };
+  const ReindexResult result = apply_dimension_reindexing(p, profiler);
+  const auto* a = dynamic_cast<const layout::DimensionPermutationLayout*>(
+      result.layouts[0].get());
+  const auto* b = dynamic_cast<const layout::DimensionPermutationLayout*>(
+      result.layouts[1].get());
+  EXPECT_EQ(a->order(), (std::vector<std::size_t>{1, 0}));
+  EXPECT_EQ(b->order(), (std::vector<std::size_t>{0, 1}));
+  // Initial profile + one alternative per 2-D array.
+  EXPECT_EQ(result.evaluations, 3u);
+}
+
+TEST(DimensionReindexingTest, KeepsIdentityWhenBest) {
+  const auto p = two_array_program();
+  std::size_t calls = 0;
+  const auto profiler = [&](const layout::LayoutMap&) {
+    // First call (identity) is cheapest; all alternatives cost more.
+    return calls++ == 0 ? 1.0 : 5.0;
+  };
+  const ReindexResult result = apply_dimension_reindexing(p, profiler);
+  for (std::size_t a = 0; a < 2; ++a) {
+    const auto* layout =
+        dynamic_cast<const layout::DimensionPermutationLayout*>(
+            result.layouts[a].get());
+    EXPECT_EQ(layout->order(), (std::vector<std::size_t>{0, 1}));
+  }
+}
+
+TEST(DimensionReindexingTest, TiesKeepCurrentLayout) {
+  const auto p = two_array_program();
+  const auto profiler = [](const layout::LayoutMap&) { return 1.0; };
+  const ReindexResult result = apply_dimension_reindexing(p, profiler);
+  const auto* a = dynamic_cast<const layout::DimensionPermutationLayout*>(
+      result.layouts[0].get());
+  EXPECT_EQ(a->order(), (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(DimensionReindexingTest, EvaluationCountScalesWithDims) {
+  const auto p = ir::ProgramBuilder("p3")
+                     .array("C", {8, 8, 8})
+                     .nest("n", {{0, 7}, {0, 7}, {0, 7}}, 0)
+                     .read("C", {{1, 0, 0}, {0, 1, 0}, {0, 0, 1}})
+                     .done()
+                     .build();
+  std::size_t calls = 0;
+  const auto profiler = [&](const layout::LayoutMap&) {
+    return static_cast<double>(++calls);
+  };
+  const ReindexResult result = apply_dimension_reindexing(p, profiler);
+  // Initial + 5 alternative 3-D permutations ("six possible file layouts").
+  EXPECT_EQ(result.evaluations, 6u);
+}
+
+}  // namespace
+}  // namespace flo::baselines

@@ -1,0 +1,66 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flo::core {
+namespace {
+
+storage::SimulationResult make_result(double exec, std::uint64_t io_lookups,
+                                      std::uint64_t io_hits,
+                                      std::uint64_t st_lookups,
+                                      std::uint64_t st_hits) {
+  storage::SimulationResult r;
+  r.exec_time = exec;
+  r.io.lookups = io_lookups;
+  r.io.hits = io_hits;
+  r.storage.lookups = st_lookups;
+  r.storage.hits = st_hits;
+  return r;
+}
+
+TEST(AppMeasurementTest, NormalizedExecAndImprovement) {
+  AppMeasurement m{"app", make_result(10, 100, 50, 50, 25),
+                   make_result(8, 100, 80, 20, 15)};
+  EXPECT_DOUBLE_EQ(m.normalized_exec(), 0.8);
+  EXPECT_NEAR(m.improvement(), 0.2, 1e-12);
+}
+
+TEST(AppMeasurementTest, NormalizedMissCounts) {
+  // Default: 50 io misses, 25 storage misses. Optimized: 20 and 5.
+  AppMeasurement m{"app", make_result(10, 100, 50, 50, 25),
+                   make_result(8, 100, 80, 20, 15)};
+  EXPECT_DOUBLE_EQ(m.normalized_io_miss(), 0.4);
+  EXPECT_DOUBLE_EQ(m.normalized_storage_miss(), 0.2);
+}
+
+TEST(AppMeasurementTest, ZeroBaselineGuards) {
+  AppMeasurement m{"app", make_result(0, 0, 0, 0, 0),
+                   make_result(0, 0, 0, 0, 0)};
+  EXPECT_DOUBLE_EQ(m.normalized_exec(), 1.0);
+  EXPECT_DOUBLE_EQ(m.normalized_io_miss(), 1.0);
+  EXPECT_DOUBLE_EQ(m.normalized_storage_miss(), 1.0);
+}
+
+TEST(AverageImprovementTest, ArithmeticMean) {
+  std::vector<AppMeasurement> rows;
+  rows.push_back({"a", make_result(10, 1, 0, 1, 0),
+                  make_result(9, 1, 0, 1, 0)});
+  rows.push_back({"b", make_result(10, 1, 0, 1, 0),
+                  make_result(7, 1, 0, 1, 0)});
+  EXPECT_NEAR(average_improvement(rows), 0.2, 1e-12);
+  EXPECT_EQ(average_improvement({}), 0.0);
+}
+
+TEST(DescribeConfigTest, MentionsComponents) {
+  ExperimentConfig config;
+  config.scheme = Scheme::kInterNode;
+  config.policy = storage::PolicyKind::kKarma;
+  const std::string s = describe_config(config);
+  EXPECT_NE(s.find("(64, 16, 4)"), std::string::npos);
+  EXPECT_NE(s.find("KARMA"), std::string::npos);
+  EXPECT_NE(s.find("inter-node"), std::string::npos);
+  EXPECT_NE(s.find("Mapping I"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flo::core

@@ -1,0 +1,114 @@
+// Suite-wide property tests: for every application and every array the
+// optimizer materializes, the inter-node layout must be injective over the
+// touched elements, block-aligned at chunk starts, and consistent with the
+// Step I ownership function. These invariants must hold regardless of how
+// the workload models evolve.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "core/optimizer.hpp"
+#include "linalg/unimodular.hpp"
+#include "layout/internode.hpp"
+#include "workloads/suite.hpp"
+
+namespace flo {
+namespace {
+
+class LayoutPropertiesTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(LayoutPropertiesTest, MaterializedLayoutsAreInjectiveAndAligned) {
+  const auto app = workloads::workload_by_name(GetParam());
+  const storage::StorageTopology topology(
+      storage::TopologyConfig::paper_default());
+  const parallel::ParallelSchedule schedule(app.program, 64);
+  const core::FileLayoutOptimizer optimizer(topology);
+  const auto result = optimizer.optimize(app.program, schedule);
+
+  for (std::size_t a = 0; a < result.layouts.size(); ++a) {
+    const auto* layout =
+        dynamic_cast<const layout::InterNodeLayout*>(result.layouts[a].get());
+    if (!layout) continue;
+    const auto& decl = app.program.array(static_cast<ir::ArrayId>(a));
+    SCOPED_TRACE(app.name + "/" + decl.name());
+
+    // Walk every reference image (the touched set) and check injectivity
+    // plus slot-range sanity. Different references can hit the same
+    // element, so uniqueness is judged per distinct element.
+    std::unordered_set<std::int64_t> seen;
+    std::unordered_set<std::int64_t> visited_elements;
+    for (const auto& nest : app.program.nests()) {
+      for (const auto& ref : nest.references()) {
+        if (ref.array != a) continue;
+        // Sample the iteration space on a coarse grid to keep runtime low;
+        // corners and interior strides cover boundary arithmetic.
+        const std::int64_t step = 7;
+        std::vector<std::int64_t> cursor(nest.depth());
+        for (std::size_t k = 0; k < nest.depth(); ++k) {
+          cursor[k] = nest.iterations().bound(k).lower;
+        }
+        bool more = true;
+        while (more) {
+          const auto element = ref.map.evaluate(cursor);
+          const std::int64_t idx =
+              decl.space().linearize_row_major(element);
+          if (visited_elements.insert(idx).second) {
+            const std::int64_t slot = layout->slot(element);
+            EXPECT_GE(slot, 0);
+            EXPECT_LT(slot, layout->file_slots());
+            const auto [it, fresh] = seen.insert(slot);
+            EXPECT_TRUE(fresh) << "duplicate slot " << slot;
+          }
+          more = false;
+          for (std::size_t k = nest.depth(); k-- > 0;) {
+            cursor[k] += step;
+            if (cursor[k] <= nest.iterations().bound(k).upper) {
+              more = true;
+              break;
+            }
+            cursor[k] = nest.iterations().bound(k).lower;
+          }
+        }
+      }
+    }
+    EXPECT_FALSE(seen.empty());
+
+    // Chunk starts are block-aligned (chunks are whole-block multiples).
+    const std::uint64_t block_elems =
+        topology.config().block_size /
+        static_cast<std::uint64_t>(decl.element_size());
+    EXPECT_EQ(layout->pattern().chunk_elements() % block_elems, 0u)
+        << "chunk not block-aligned";
+  }
+}
+
+TEST_P(LayoutPropertiesTest, PartitioningInvariants) {
+  const auto app = workloads::workload_by_name(GetParam());
+  const parallel::ParallelSchedule schedule(app.program, 64);
+  for (ir::ArrayId a = 0; a < app.program.arrays().size(); ++a) {
+    const auto part = layout::partition_array(app.program, a, schedule);
+    SCOPED_TRACE(app.name + "/" + app.program.array(a).name());
+    if (!part.partitioned) continue;
+    // The transform is unimodular with the hyperplane as its v-th row.
+    EXPECT_TRUE(linalg::is_unimodular(part.transform));
+    EXPECT_EQ(part.transform.row(part.partition_dim), part.hyperplane);
+    // alpha positive by construction; the satisfied weight is a subset.
+    EXPECT_GT(part.alpha, 0);
+    EXPECT_LE(part.satisfied_weight, part.total_weight);
+    EXPECT_GE(part.satisfied_groups, 1u);
+    EXPECT_LE(part.s_min, part.s_max);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, LayoutPropertiesTest,
+                         ::testing::ValuesIn(workloads::workload_names()),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& ch : name) {
+                             if (ch == '-') ch = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace flo

@@ -1,0 +1,92 @@
+#include "ir/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/printer.hpp"
+#include "ir/validate.hpp"
+
+namespace flo::ir {
+namespace {
+
+TEST(BuilderTest, MatmulStyleProgram) {
+  // The Fig. 3(b) example: W[i,j] += X[i,k] * Y[k,j].
+  Program p = ProgramBuilder("matmul")
+                  .array("W", {16, 16})
+                  .array("X", {16, 16})
+                  .array("Y", {16, 16})
+                  .nest("mm", {{0, 15}, {0, 15}, {0, 15}}, 0)
+                  .write("W", {{1, 0, 0}, {0, 1, 0}})
+                  .read("X", {{1, 0, 0}, {0, 0, 1}})
+                  .read("Y", {{0, 0, 1}, {0, 1, 0}})
+                  .done()
+                  .build();
+  EXPECT_EQ(p.arrays().size(), 3u);
+  ASSERT_EQ(p.nests().size(), 1u);
+  EXPECT_EQ(p.nests()[0].references().size(), 3u);
+  EXPECT_EQ(p.nests()[0].references()[0].kind, AccessKind::kWrite);
+  EXPECT_EQ(p.nests()[0].references()[1].kind, AccessKind::kRead);
+}
+
+TEST(BuilderTest, UnknownArrayThrows) {
+  ProgramBuilder pb("bad");
+  pb.array("A", {4, 4});
+  EXPECT_THROW(pb.nest("n", {{0, 3}, {0, 3}}, 0).read("B", {{1, 0}, {0, 1}}),
+               std::invalid_argument);
+}
+
+TEST(BuilderTest, OffsetReferences) {
+  Program p = ProgramBuilder("stencil")
+                  .array("A", {18, 18})
+                  .nest("sweep", {{0, 15}, {0, 15}}, 0)
+                  .read_ofs("A", {{1, 0}, {0, 1}}, {1, 1})
+                  .read_ofs("A", {{1, 0}, {0, 1}}, {2, 1})
+                  .write_ofs("A", {{1, 0}, {0, 1}}, {0, 0})
+                  .done()
+                  .build();
+  const auto& refs = p.nests()[0].references();
+  EXPECT_EQ(refs[0].map.offset(), (linalg::IntVector{1, 1}));
+  EXPECT_EQ(refs[1].map.offset(), (linalg::IntVector{2, 1}));
+}
+
+TEST(BuilderTest, BuildValidatesBounds) {
+  ProgramBuilder pb("oob");
+  pb.array("A", {4, 4});
+  pb.nest("n", {{0, 7}, {0, 7}}, 0).read("A", {{1, 0}, {0, 1}}).done();
+  EXPECT_THROW(pb.build(), std::invalid_argument);
+}
+
+TEST(BuilderTest, BuildRequiresNests) {
+  ProgramBuilder pb("empty");
+  pb.array("A", {4});
+  EXPECT_THROW(pb.build(), std::invalid_argument);
+}
+
+TEST(ValidateTest, ReportsAllIssues) {
+  Program p("multi");
+  p.add_array(ArrayDecl("A", poly::DataSpace({2, 2})));
+  LoopNest nest("n", poly::IterationSpace({{0, 7}, {0, 7}}), 0);
+  nest.add_reference(
+      {0, poly::AffineReference::identity(2, 2), AccessKind::kRead});
+  p.add_nest(std::move(nest));
+  const auto issues = validate(p);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_NE(issues[0].find("outside array A"), std::string::npos);
+}
+
+TEST(PrinterTest, PseudocodeShape) {
+  Program p = ProgramBuilder("demo")
+                  .array("A", {8, 8})
+                  .nest("sweep", {{0, 7}, {0, 7}}, 1, 3)
+                  .read("A", {{0, 1}, {1, 0}})
+                  .done()
+                  .build();
+  const std::string code = to_pseudocode(p);
+  EXPECT_NE(code.find("program demo"), std::string::npos);
+  EXPECT_NE(code.find("array A[8 x 8]"), std::string::npos);
+  EXPECT_NE(code.find("parallel on i2"), std::string::npos);
+  EXPECT_NE(code.find("repeat 3"), std::string::npos);
+  EXPECT_NE(code.find("read  A[i2, i1]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flo::ir

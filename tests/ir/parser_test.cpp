@@ -1,0 +1,154 @@
+#include "ir/parser.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flo::ir {
+namespace {
+
+constexpr const char* kTranspose = R"(
+# out-of-core transpose
+program transpose
+array A 16 16
+array B 16 16
+nest tr parallel=1 repeat=2 {
+  for i1 = 0..15
+  for i2 = 0..15
+  read  A[i1, i2]
+  write B[i2, i1]
+}
+)";
+
+TEST(ParserTest, ParsesTranspose) {
+  const Program p = parse_program(kTranspose);
+  EXPECT_EQ(p.name(), "transpose");
+  ASSERT_EQ(p.arrays().size(), 2u);
+  ASSERT_EQ(p.nests().size(), 1u);
+  const auto& nest = p.nests()[0];
+  EXPECT_EQ(nest.name(), "tr");
+  EXPECT_EQ(nest.parallel_dim(), 0u);
+  EXPECT_EQ(nest.repeat(), 2);
+  ASSERT_EQ(nest.references().size(), 2u);
+  EXPECT_EQ(nest.references()[0].kind, AccessKind::kRead);
+  EXPECT_EQ(nest.references()[1].kind, AccessKind::kWrite);
+  EXPECT_EQ(nest.references()[1].map.access_matrix(),
+            (linalg::IntMatrix{{0, 1}, {1, 0}}));
+}
+
+TEST(ParserTest, AffineExpressions) {
+  const Program p = parse_program(R"(
+program affine
+array A 80 40
+nest n parallel=2 {
+  for i1 = 0..15
+  for i2 = 0..15
+  read A[2*i1 + i2 + 3, i2 - 0]
+}
+)");
+  const auto& ref = p.nests()[0].references()[0];
+  EXPECT_EQ(ref.map.access_matrix(), (linalg::IntMatrix{{2, 1}, {0, 1}}));
+  EXPECT_EQ(ref.map.offset(), (linalg::IntVector{3, 0}));
+  EXPECT_EQ(p.nests()[0].parallel_dim(), 1u);
+}
+
+TEST(ParserTest, NegativeCoefficients) {
+  const Program p = parse_program(R"(
+program neg
+array A 40 40
+nest n parallel=1 {
+  for i1 = 0..15
+  for i2 = 0..15
+  read A[-i1 + 20, 2*i2]
+}
+)");
+  const auto& ref = p.nests()[0].references()[0];
+  EXPECT_EQ(ref.map.access_matrix(), (linalg::IntMatrix{{-1, 0}, {0, 2}}));
+  EXPECT_EQ(ref.map.offset(), (linalg::IntVector{20, 0}));
+}
+
+TEST(ParserTest, MultipleNests) {
+  const Program p = parse_program(R"(
+program multi
+array A 16 16
+nest a parallel=1 {
+  for i1 = 0..15
+  for i2 = 0..15
+  read A[i1, i2]
+}
+nest b parallel=1 repeat=3 {
+  for i1 = 0..15
+  for i2 = 0..15
+  read A[i2, i1]
+}
+)");
+  ASSERT_EQ(p.nests().size(), 2u);
+  EXPECT_EQ(p.nests()[1].repeat(), 3);
+}
+
+TEST(ParserTest, ReportsLineNumbers) {
+  try {
+    parse_program("program x\narray A 4\nnest n parallel=1 {\n  for i1 = 0..3\n  read B[i1]\n}\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& err) {
+    EXPECT_EQ(err.line(), 5u);
+    EXPECT_NE(std::string(err.what()).find("unknown array"),
+              std::string::npos);
+  }
+}
+
+TEST(ParserTest, SyntaxErrors) {
+  EXPECT_THROW(parse_program("array A 4\n"), ParseError);  // no program
+  EXPECT_THROW(parse_program("program p\nnest n parallel=1 {\n"),
+               ParseError);  // unterminated nest
+  EXPECT_THROW(parse_program("program p\narray A 4\nbogus\n"), ParseError);
+  EXPECT_THROW(parse_program(R"(
+program p
+array A 4 4
+nest n parallel=3 {
+  for i1 = 0..3
+  for i2 = 0..3
+  read A[i1, i2]
+}
+)"),
+               ParseError);  // parallel dim out of range
+  EXPECT_THROW(parse_program(R"(
+program p
+array A 4 4
+nest n parallel=1 {
+  for i1 = 0..3
+  read A[i1, i9]
+}
+)"),
+               ParseError);  // iterator out of range
+}
+
+TEST(ParserTest, SemanticValidationRuns) {
+  // Indexes out of the declared extents: assembled, then rejected.
+  EXPECT_THROW(parse_program(R"(
+program p
+array A 4 4
+nest n parallel=1 {
+  for i1 = 0..7
+  for i2 = 0..3
+  read A[i1, i2]
+}
+)"),
+               std::invalid_argument);
+}
+
+TEST(ParserTest, CommentsAndBlankLines) {
+  const Program p = parse_program(R"(
+# leading comment
+program c   # trailing comment
+
+array A 8 8   # array comment
+nest n parallel=1 {
+  for i1 = 0..7
+  for i2 = 0..7
+  read A[i1, i2]  # ref comment
+}
+)");
+  EXPECT_EQ(p.arrays().size(), 1u);
+}
+
+}  // namespace
+}  // namespace flo::ir

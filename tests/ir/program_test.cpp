@@ -1,0 +1,97 @@
+#include "ir/program.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flo::ir {
+namespace {
+
+ArrayDecl make_array(const std::string& name) {
+  return ArrayDecl(name, poly::DataSpace({8, 8}));
+}
+
+LoopNest make_nest(const std::string& name, ArrayId array) {
+  LoopNest nest(name, poly::IterationSpace({{0, 7}, {0, 7}}), 0, 2);
+  nest.add_reference(
+      {array, poly::AffineReference::identity(2, 2), AccessKind::kRead});
+  return nest;
+}
+
+TEST(ArrayDeclTest, ValidationAndByteSize) {
+  const ArrayDecl decl("A", poly::DataSpace({4, 4}), 8);
+  EXPECT_EQ(decl.byte_size(), 128);
+  EXPECT_EQ(decl.dims(), 2u);
+  EXPECT_THROW(ArrayDecl("", poly::DataSpace({4})), std::invalid_argument);
+  EXPECT_THROW(ArrayDecl("A", poly::DataSpace({4}), 0), std::invalid_argument);
+}
+
+TEST(LoopNestTest, Validation) {
+  EXPECT_THROW(LoopNest("", poly::IterationSpace({{0, 1}}), 0),
+               std::invalid_argument);
+  EXPECT_THROW(LoopNest("n", poly::IterationSpace({{0, 1}}), 1),
+               std::invalid_argument);
+  EXPECT_THROW(LoopNest("n", poly::IterationSpace({{0, 1}}), 0, 0),
+               std::invalid_argument);
+}
+
+TEST(LoopNestTest, ReferenceDepthChecked) {
+  LoopNest nest("n", poly::IterationSpace({{0, 3}, {0, 3}}), 0);
+  Reference bad{0, poly::AffineReference::identity(2, 3), AccessKind::kRead};
+  EXPECT_THROW(nest.add_reference(bad), std::invalid_argument);
+}
+
+TEST(LoopNestTest, TripCountIncludesRepeat) {
+  LoopNest nest("n", poly::IterationSpace({{0, 3}, {0, 4}}), 0, 5);
+  EXPECT_EQ(nest.reference_trip_count(), 4 * 5 * 5);
+}
+
+TEST(ProgramTest, AddAndLookup) {
+  Program p("test");
+  const ArrayId a = p.add_array(make_array("A"));
+  const ArrayId b = p.add_array(make_array("B"));
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(p.array(b).name(), "B");
+  EXPECT_EQ(p.find_array("A"), std::optional<ArrayId>(0));
+  EXPECT_EQ(p.find_array("missing"), std::nullopt);
+  EXPECT_THROW(p.array(2), std::out_of_range);
+}
+
+TEST(ProgramTest, DuplicateArrayNameRejected) {
+  Program p("test");
+  p.add_array(make_array("A"));
+  EXPECT_THROW(p.add_array(make_array("A")), std::invalid_argument);
+}
+
+TEST(ProgramTest, NestValidatesArrayIds) {
+  Program p("test");
+  p.add_array(make_array("A"));
+  EXPECT_NO_THROW(p.add_nest(make_nest("good", 0)));
+  EXPECT_THROW(p.add_nest(make_nest("bad", 7)), std::invalid_argument);
+}
+
+TEST(ProgramTest, NestValidatesDimensionality) {
+  Program p("test");
+  p.add_array(ArrayDecl("A", poly::DataSpace({8})));  // 1-D
+  LoopNest nest("n", poly::IterationSpace({{0, 7}, {0, 7}}), 0);
+  nest.add_reference(
+      {0, poly::AffineReference::identity(2, 2), AccessKind::kRead});
+  EXPECT_THROW(p.add_nest(std::move(nest)), std::invalid_argument);
+}
+
+TEST(ProgramTest, UsesOfCollectsTripCounts) {
+  Program p("test");
+  const ArrayId a = p.add_array(make_array("A"));
+  const ArrayId b = p.add_array(make_array("B"));
+  p.add_nest(make_nest("n1", a));
+  p.add_nest(make_nest("n2", a));
+  p.add_nest(make_nest("n3", b));
+  const auto uses = p.uses_of(a);
+  ASSERT_EQ(uses.size(), 2u);
+  EXPECT_EQ(uses[0].nest_index, 0u);
+  EXPECT_EQ(uses[1].nest_index, 1u);
+  EXPECT_EQ(uses[0].trip_count, 8 * 8 * 2);
+  EXPECT_EQ(p.uses_of(b).size(), 1u);
+}
+
+}  // namespace
+}  // namespace flo::ir

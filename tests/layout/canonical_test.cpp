@@ -1,0 +1,78 @@
+#include "layout/canonical.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ir/builder.hpp"
+
+namespace flo::layout {
+namespace {
+
+TEST(RowMajorLayoutTest, MatchesDataSpaceLinearization) {
+  const poly::DataSpace space({3, 5});
+  const RowMajorLayout layout(space);
+  EXPECT_EQ(layout.file_slots(), 15);
+  EXPECT_EQ(layout.slot(std::vector<std::int64_t>{0, 0}), 0);
+  EXPECT_EQ(layout.slot(std::vector<std::int64_t>{0, 4}), 4);
+  EXPECT_EQ(layout.slot(std::vector<std::int64_t>{1, 0}), 5);
+  EXPECT_EQ(layout.slot(std::vector<std::int64_t>{2, 4}), 14);
+}
+
+TEST(ColumnMajorLayoutTest, FirstDimensionFastest) {
+  const poly::DataSpace space({3, 5});
+  const ColumnMajorLayout layout(space);
+  EXPECT_EQ(layout.file_slots(), 15);
+  EXPECT_EQ(layout.slot(std::vector<std::int64_t>{0, 0}), 0);
+  EXPECT_EQ(layout.slot(std::vector<std::int64_t>{1, 0}), 1);
+  EXPECT_EQ(layout.slot(std::vector<std::int64_t>{0, 1}), 3);
+  EXPECT_EQ(layout.slot(std::vector<std::int64_t>{2, 4}), 14);
+}
+
+TEST(CanonicalLayoutTest, BothAreBijections) {
+  const poly::DataSpace space({4, 3, 2});
+  const RowMajorLayout rm(space);
+  const ColumnMajorLayout cm(space);
+  std::set<std::int64_t> rm_slots, cm_slots;
+  for (std::int64_t i = 0; i < space.element_count(); ++i) {
+    const auto point = space.delinearize_row_major(i);
+    rm_slots.insert(rm.slot(point));
+    cm_slots.insert(cm.slot(point));
+  }
+  EXPECT_EQ(rm_slots.size(), 24u);
+  EXPECT_EQ(cm_slots.size(), 24u);
+  EXPECT_EQ(*rm_slots.rbegin(), 23);
+  EXPECT_EQ(*cm_slots.rbegin(), 23);
+}
+
+TEST(CanonicalLayoutTest, DimensionMismatchThrows) {
+  const ColumnMajorLayout layout(poly::DataSpace({3, 5}));
+  EXPECT_THROW(layout.slot(std::vector<std::int64_t>{1}),
+               std::invalid_argument);
+}
+
+TEST(CanonicalLayoutTest, Describe) {
+  EXPECT_NE(RowMajorLayout(poly::DataSpace({2, 2})).describe().find(
+                "row-major"),
+            std::string::npos);
+  EXPECT_NE(ColumnMajorLayout(poly::DataSpace({2, 2})).describe().find(
+                "column-major"),
+            std::string::npos);
+}
+
+TEST(DefaultLayoutsTest, OnePerArray) {
+  const ir::Program p = ir::ProgramBuilder("p")
+                            .array("A", {4, 4})
+                            .array("B", {8})
+                            .nest("n", {{0, 3}, {0, 3}}, 0)
+                            .read("A", {{1, 0}, {0, 1}})
+                            .done()
+                            .build();
+  const LayoutMap layouts = default_layouts(p);
+  ASSERT_EQ(layouts.size(), 2u);
+  EXPECT_EQ(layouts[0]->file_slots(), 16);
+  EXPECT_EQ(layouts[1]->file_slots(), 8);
+}
+
+}  // namespace
+}  // namespace flo::layout

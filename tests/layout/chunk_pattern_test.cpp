@@ -1,0 +1,145 @@
+#include "layout/chunk_pattern.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace flo::layout {
+namespace {
+
+TEST(ChunkPatternTest, PaperFig6Example) {
+  // The Section 4.2 walkthrough: 4 threads, two SC1 caches (size S1) under
+  // one SC2 cache (size S2 = 4*S1), l = 2 threads per SC1 cache.
+  const std::uint64_t s1 = 1024;  // bytes
+  const std::uint64_t s2 = 4096;
+  ChunkPattern pattern({{s1, 2}, {s2, 1}}, /*threads=*/4,
+                       /*element_size=*/1);
+  // c = S1 / l.
+  EXPECT_EQ(pattern.chunk_elements(), s1 / 2);
+  // P1 = S1; t1 = S2 / (2 * S1) = 2; P2 = S2.
+  ASSERT_EQ(pattern.pattern_elements().size(), 3u);
+  EXPECT_EQ(pattern.pattern_elements()[0], s1);
+  EXPECT_EQ(pattern.repetitions()[0], 2u);
+  EXPECT_EQ(pattern.pattern_elements()[1], s2);
+
+  // base addresses: P1 -> 0, P2 -> c, P3 -> S2/2, P4 -> S2/2 + c.
+  EXPECT_EQ(pattern.chunk_start(0, 0), 0u);
+  EXPECT_EQ(pattern.chunk_start(1, 0), s1 / 2);
+  EXPECT_EQ(pattern.chunk_start(2, 0), s2 / 2);
+  EXPECT_EQ(pattern.chunk_start(3, 0), s2 / 2 + s1 / 2);
+
+  // b1 = (x % t1) * S1 ; b2/b_root = (x / t1) * S2 (paper's formulas).
+  EXPECT_EQ(pattern.chunk_start(0, 1), s1);            // second rep of <P1,P2>
+  EXPECT_EQ(pattern.chunk_start(0, 2), s2);            // next SC2 pattern
+  EXPECT_EQ(pattern.chunk_start(0, 3), s2 + s1);
+  EXPECT_EQ(pattern.chunk_start(2, 1), s2 / 2 + s1);   // <P3,P4> repeats
+  EXPECT_EQ(pattern.chunk_start(2, 2), s2 + s2 / 2);
+}
+
+TEST(ChunkPatternTest, ChunksNeverOverlap) {
+  ChunkPattern pattern({{1024, 2}, {4096, 1}}, 4, 1);
+  const std::uint64_t c = pattern.chunk_elements();
+  std::set<std::uint64_t> used;
+  for (parallel::ThreadId t = 0; t < 4; ++t) {
+    for (std::uint64_t x = 0; x < 8; ++x) {
+      const std::uint64_t start = pattern.chunk_start(t, x);
+      for (std::uint64_t e = start; e < start + c; ++e) {
+        EXPECT_TRUE(used.insert(e).second)
+            << "overlap at element " << e << " (thread " << t << ", chunk "
+            << x << ")";
+      }
+    }
+  }
+  // And they tile the file densely in this exact-fit configuration.
+  EXPECT_EQ(used.size(), 4u * 8u * c);
+  EXPECT_EQ(*used.begin(), 0u);
+  EXPECT_EQ(*used.rbegin(), 4u * 8u * c - 1);
+}
+
+TEST(ChunkPatternTest, SingleLayerSeparatesCaches) {
+  // One layer with 2 caches: threads of different caches must not collide
+  // (the virtual root concatenates per-cache patterns).
+  ChunkPattern pattern({{1024, 2}}, 4, 1);
+  std::set<std::uint64_t> starts;
+  for (parallel::ThreadId t = 0; t < 4; ++t) {
+    for (std::uint64_t x = 0; x < 4; ++x) {
+      EXPECT_TRUE(starts.insert(pattern.chunk_start(t, x)).second);
+    }
+  }
+}
+
+TEST(ChunkPatternTest, DegenerateRepetitionClampedToOne) {
+  // S2 smaller than N2 * S1 would give t1 < 1; it is clamped to 1.
+  ChunkPattern pattern({{4096, 4}, {1024, 1}}, 8, 1);
+  EXPECT_EQ(pattern.repetitions()[0], 1u);
+  // Still non-overlapping.
+  std::set<std::uint64_t> starts;
+  for (parallel::ThreadId t = 0; t < 8; ++t) {
+    for (std::uint64_t x = 0; x < 3; ++x) {
+      EXPECT_TRUE(starts.insert(pattern.chunk_start(t, x)).second);
+    }
+  }
+}
+
+TEST(ChunkPatternTest, ElementSizeScalesChunk) {
+  ChunkPattern bytes1({{1024, 2}, {4096, 1}}, 4, 1);
+  ChunkPattern bytes8({{1024, 2}, {4096, 1}}, 4, 8);
+  EXPECT_EQ(bytes1.chunk_elements(), 8 * bytes8.chunk_elements());
+}
+
+TEST(ChunkPatternTest, ChunkCapApplies) {
+  ChunkPattern capped({{1024, 2}, {4096, 1}}, 4, 1, {}, /*cap=*/64);
+  EXPECT_EQ(capped.chunk_elements(), 64u);
+  ChunkPattern uncapped({{1024, 2}, {4096, 1}}, 4, 1, {}, 0);
+  EXPECT_EQ(uncapped.chunk_elements(), 512u);
+}
+
+TEST(ChunkPatternTest, CustomLeafMappingReordersBases) {
+  // Swap the cache assignment of threads 1 and 2.
+  ChunkPattern identity({{1024, 2}, {4096, 1}}, 4, 1);
+  ChunkPattern swapped({{1024, 2}, {4096, 1}}, 4, 1,
+                       std::vector<std::size_t>{0, 1, 0, 1});
+  // Under the swap, thread 1 is alone on cache 1's first slot.
+  EXPECT_EQ(swapped.chunk_start(1, 0), identity.chunk_start(2, 0));
+  EXPECT_EQ(swapped.chunk_start(2, 0), identity.chunk_start(1, 0));
+}
+
+TEST(ChunkPatternTest, UnbalancedLeafMappingRejected) {
+  EXPECT_THROW(ChunkPattern({{1024, 2}}, 4, 1,
+                            std::vector<std::size_t>{0, 0, 0, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(ChunkPattern({{1024, 2}}, 4, 1,
+                            std::vector<std::size_t>{0, 0, 2, 2}),
+               std::invalid_argument);
+}
+
+TEST(ChunkPatternTest, InvalidConfigurationsRejected) {
+  EXPECT_THROW(ChunkPattern({}, 4, 1), std::invalid_argument);
+  EXPECT_THROW(ChunkPattern({{1024, 2}}, 0, 1), std::invalid_argument);
+  EXPECT_THROW(ChunkPattern({{1024, 2}}, 4, 0), std::invalid_argument);
+  EXPECT_THROW(ChunkPattern({{1024, 3}}, 4, 1), std::invalid_argument);
+  // Upper layer counts must nest within lower ones.
+  EXPECT_THROW(ChunkPattern({{1024, 4}, {4096, 3}}, 12, 1),
+               std::invalid_argument);
+}
+
+TEST(PatternLayersTest, MasksSelectLayers) {
+  storage::TopologyConfig c = storage::TopologyConfig::paper_default();
+  const storage::StorageTopology topo(c);
+  const auto both = pattern_layers(topo, LayerMask::kBoth);
+  ASSERT_EQ(both.size(), 2u);
+  EXPECT_EQ(both[0].cache_count, 16u);
+  EXPECT_EQ(both[1].cache_count, 4u);
+  EXPECT_EQ(pattern_layers(topo, LayerMask::kIoOnly).size(), 1u);
+  EXPECT_EQ(pattern_layers(topo, LayerMask::kStorageOnly)[0].cache_count, 4u);
+}
+
+TEST(PatternLayersTest, MaskNames) {
+  EXPECT_STREQ(layer_mask_name(LayerMask::kBoth), "both layers");
+  EXPECT_STREQ(layer_mask_name(LayerMask::kIoOnly), "I/O layer only");
+  EXPECT_STREQ(layer_mask_name(LayerMask::kStorageOnly),
+               "storage layer only");
+}
+
+}  // namespace
+}  // namespace flo::layout

@@ -1,0 +1,103 @@
+#include "layout/conversion.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "layout/canonical.hpp"
+#include "layout/internode.hpp"
+#include "layout/permutation.hpp"
+
+namespace flo::layout {
+namespace {
+
+ir::ArrayDecl square(std::int64_t n) {
+  return ir::ArrayDecl("A", poly::DataSpace({n, n}));
+}
+
+TEST(ConversionTest, IdentityConversionMovesNothing) {
+  const auto decl = square(32);
+  const RowMajorLayout a(decl.space());
+  const RowMajorLayout b(decl.space());
+  const auto plan =
+      plan_conversion(decl, a, b, storage::TopologyConfig::paper_default());
+  EXPECT_TRUE(plan.is_identity());
+  EXPECT_EQ(plan.moved_elements, 0);
+  EXPECT_EQ(plan.estimated_seconds, 0.0);
+  EXPECT_EQ(plan.total_elements, 32 * 32);
+}
+
+TEST(ConversionTest, TransposeMovesAllButTheDiagonalRun) {
+  const auto decl = square(64);
+  const RowMajorLayout rm(decl.space());
+  const ColumnMajorLayout cm(decl.space());
+  const auto plan =
+      plan_conversion(decl, rm, cm, storage::TopologyConfig::paper_default());
+  // Diagonal elements keep their slot under a square transpose.
+  EXPECT_EQ(plan.moved_elements, 64 * 64 - 64);
+  EXPECT_GT(plan.estimated_seconds, 0.0);
+  EXPECT_GT(plan.source_blocks, 0u);
+  EXPECT_GT(plan.target_blocks, 0u);
+}
+
+TEST(ConversionTest, CostScalesWithBlocksTouched) {
+  const auto cfg = storage::TopologyConfig::paper_default();
+  const auto small = square(64);
+  const auto large = square(256);
+  const RowMajorLayout small_rm(small.space());
+  const ColumnMajorLayout small_cm(small.space());
+  const RowMajorLayout large_rm(large.space());
+  const ColumnMajorLayout large_cm(large.space());
+  const auto small_plan = plan_conversion(small, small_rm, small_cm, cfg);
+  const auto large_plan = plan_conversion(large, large_rm, large_cm, cfg);
+  EXPECT_GT(large_plan.estimated_seconds, small_plan.estimated_seconds);
+  EXPECT_GT(large_plan.source_blocks, small_plan.source_blocks);
+}
+
+TEST(ConversionTest, PermutationRoundTripSymmetric) {
+  const auto decl = square(48);
+  const DimensionPermutationLayout fwd(decl.space(), {1, 0});
+  const RowMajorLayout rm(decl.space());
+  const auto cfg = storage::TopologyConfig::paper_default();
+  const auto there = plan_conversion(decl, rm, fwd, cfg);
+  const auto back = plan_conversion(decl, fwd, rm, cfg);
+  EXPECT_EQ(there.moved_elements, back.moved_elements);
+}
+
+TEST(ConversionTest, CanonicalToInterNode) {
+  // The Section 4.3 scenario: convert a row-major input file into the
+  // optimized inter-node layout at program start.
+  const auto p = ir::ProgramBuilder("p")
+                     .array("A", {64, 64})
+                     .nest("n", {{0, 63}, {0, 63}}, 0)
+                     .read("A", {{0, 1}, {1, 0}})
+                     .done()
+                     .build();
+  storage::TopologyConfig cfg;
+  cfg.compute_nodes = 8;
+  cfg.io_nodes = 4;
+  cfg.storage_nodes = 2;
+  cfg.block_size = 64;
+  cfg.io_cache_bytes = 1024;
+  cfg.storage_cache_bytes = 2048;
+  const storage::StorageTopology topo(cfg);
+  const parallel::ParallelSchedule schedule(p, 8);
+  const auto optimized = build_internode_layout(p, 0, schedule, topo);
+  ASSERT_NE(optimized, nullptr);
+  const RowMajorLayout canonical(p.array(0).space());
+  const auto plan = plan_conversion(p.array(0), canonical, *optimized, cfg);
+  // A column partition moves nearly everything.
+  EXPECT_GT(plan.moved_elements, plan.total_elements / 2);
+  EXPECT_GT(plan.estimated_seconds, 0.0);
+}
+
+TEST(ConversionTest, ToStringMentionsCounts) {
+  const auto decl = square(32);
+  const RowMajorLayout rm(decl.space());
+  const ColumnMajorLayout cm(decl.space());
+  const auto plan =
+      plan_conversion(decl, rm, cm, storage::TopologyConfig::paper_default());
+  EXPECT_NE(plan.to_string().find("elements move"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flo::layout

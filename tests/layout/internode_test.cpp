@@ -1,0 +1,213 @@
+#include "layout/internode.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "ir/builder.hpp"
+#include "storage/topology.hpp"
+
+namespace flo::layout {
+namespace {
+
+storage::StorageTopology small_topology() {
+  storage::TopologyConfig c;
+  c.compute_nodes = 8;
+  c.io_nodes = 4;
+  c.storage_nodes = 2;
+  c.block_size = 64;           // 8 elements of 8 bytes
+  c.io_cache_bytes = 1024;     // 16 blocks
+  c.storage_cache_bytes = 2048;
+  return storage::StorageTopology(c);
+}
+
+ir::Program transposed_program(std::int64_t n = 32) {
+  return ir::ProgramBuilder("p")
+      .array("A", {n, n})
+      .nest("sweep", {{0, n - 1}, {0, n - 1}}, 0)
+      .read("A", {{0, 1}, {1, 0}})
+      .done()
+      .build();
+}
+
+TEST(InterNodeLayoutTest, SlotsAreInjective) {
+  const auto p = transposed_program();
+  const parallel::ParallelSchedule schedule(p, 8);
+  const auto layout =
+      build_internode_layout(p, 0, schedule, small_topology());
+  ASSERT_NE(layout, nullptr);
+  const auto& space = p.array(0).space();
+  std::set<std::int64_t> slots;
+  for (std::int64_t i = 0; i < space.element_count(); ++i) {
+    const std::int64_t slot = layout->slot(space.delinearize_row_major(i));
+    EXPECT_GE(slot, 0);
+    EXPECT_LT(slot, layout->file_slots());
+    EXPECT_TRUE(slots.insert(slot).second) << "duplicate slot " << slot;
+  }
+}
+
+TEST(InterNodeLayoutTest, OwnershipFollowsColumnSlabs) {
+  // Transposed access parallel on i1: thread t owns column slab t.
+  const auto p = transposed_program(32);
+  const parallel::ParallelSchedule schedule(p, 8);
+  const auto generic =
+      build_internode_layout(p, 0, schedule, small_topology());
+  ASSERT_NE(generic, nullptr);
+  const auto* layout =
+      dynamic_cast<const InterNodeLayout*>(generic.get());
+  ASSERT_NE(layout, nullptr);
+  // Column c belongs to thread c / 4 (32 columns over 8 threads).
+  for (std::int64_t r = 0; r < 32; ++r) {
+    for (std::int64_t c = 0; c < 32; ++c) {
+      EXPECT_EQ(layout->owner(std::vector<std::int64_t>{r, c}),
+                static_cast<parallel::ThreadId>(c / 4))
+          << "element (" << r << ", " << c << ")";
+    }
+  }
+}
+
+TEST(InterNodeLayoutTest, ThreadDataIsChunkContiguous) {
+  const auto p = transposed_program(32);
+  const parallel::ParallelSchedule schedule(p, 8);
+  const auto generic =
+      build_internode_layout(p, 0, schedule, small_topology());
+  const auto* layout = dynamic_cast<const InterNodeLayout*>(generic.get());
+  ASSERT_NE(layout, nullptr);
+  const std::uint64_t c = layout->pattern().chunk_elements();
+
+  // Collect each thread's slots; they must exactly fill chunks whose
+  // starts match Algorithm 1's closed form.
+  std::map<parallel::ThreadId, std::set<std::int64_t>> slots_of;
+  const auto& space = p.array(0).space();
+  for (std::int64_t i = 0; i < space.element_count(); ++i) {
+    const auto point = space.delinearize_row_major(i);
+    slots_of[layout->owner(point)].insert(layout->slot(point));
+  }
+  for (const auto& [thread, slots] : slots_of) {
+    std::uint64_t x = 0;
+    auto it = slots.begin();
+    while (it != slots.end()) {
+      const std::uint64_t start = layout->pattern().chunk_start(thread, x);
+      for (std::uint64_t e = 0; e < c && it != slots.end(); ++e, ++it) {
+        EXPECT_EQ(static_cast<std::uint64_t>(*it), start + e)
+            << "thread " << thread << " chunk " << x;
+      }
+      ++x;
+    }
+  }
+}
+
+TEST(InterNodeLayoutTest, UnpartitionableArrayReturnsNull) {
+  const ir::Program p = ir::ProgramBuilder("p")
+                            .array("X", {32, 32})
+                            .nest("n", {{0, 31}, {0, 31}, {0, 31}}, 0)
+                            .read("X", {{0, 0, 1}, {0, 1, 0}})
+                            .done()
+                            .build();
+  const parallel::ParallelSchedule schedule(p, 8);
+  EXPECT_EQ(build_internode_layout(p, 0, schedule, small_topology()),
+            nullptr);
+}
+
+TEST(InterNodeLayoutTest, RequiresPartitionedInput) {
+  const auto p = transposed_program();
+  const parallel::ParallelSchedule schedule(p, 8);
+  ArrayPartitioning not_partitioned;
+  not_partitioned.transform = linalg::IntMatrix::identity(2);
+  EXPECT_THROW(InterNodeLayout(p, 0, not_partitioned, schedule,
+                               {{1024, 4}}, {}, 8),
+               std::invalid_argument);
+}
+
+TEST(InterNodeLayoutTest, TouchedCountMatchesAccessImage) {
+  const auto p = transposed_program(32);
+  const parallel::ParallelSchedule schedule(p, 8);
+  const auto generic =
+      build_internode_layout(p, 0, schedule, small_topology());
+  const auto* layout = dynamic_cast<const InterNodeLayout*>(generic.get());
+  ASSERT_NE(layout, nullptr);
+  // The transposed sweep touches every element exactly once.
+  EXPECT_EQ(layout->touched_count(), 32u * 32u);
+}
+
+TEST(InterNodeLayoutTest, SparseImagePacksOnlyTouchedElements) {
+  // A strided reference touches one element in four: the layout packs the
+  // touched quarter contiguously and parks the rest past the pattern.
+  const auto p = ir::ProgramBuilder("sparse")
+                     .array("A", {128, 32})
+                     .nest("n", {{0, 31}, {0, 31}}, 0)
+                     .read("A", {{4, 0}, {0, 1}})
+                     .done()
+                     .build();
+  const parallel::ParallelSchedule schedule(p, 8);
+  const auto generic =
+      build_internode_layout(p, 0, schedule, small_topology());
+  const auto* layout = dynamic_cast<const InterNodeLayout*>(generic.get());
+  ASSERT_NE(layout, nullptr);
+  EXPECT_EQ(layout->touched_count(), 32u * 32u);
+  // Touched elements land inside the patterned region...
+  const std::int64_t touched_slot =
+      layout->slot(std::vector<std::int64_t>{4, 0});
+  // ...while untouched ones land past it.
+  const std::int64_t untouched_slot =
+      layout->slot(std::vector<std::int64_t>{1, 0});
+  EXPECT_LT(touched_slot, untouched_slot);
+  EXPECT_LT(untouched_slot, layout->file_slots());
+}
+
+TEST(InterNodeLayoutTest, LeafCacheMappingFollowsThreadMapping) {
+  const auto p = transposed_program();
+  parallel::ParallelSchedule schedule(p, 8);
+  const auto topo = small_topology();
+  const auto identity =
+      leaf_cache_of_threads(schedule, topo, LayerMask::kBoth);
+  EXPECT_EQ(identity, (std::vector<std::size_t>{0, 0, 1, 1, 2, 2, 3, 3}));
+  const auto storage_only =
+      leaf_cache_of_threads(schedule, topo, LayerMask::kStorageOnly);
+  EXPECT_EQ(storage_only,
+            (std::vector<std::size_t>{0, 0, 0, 0, 1, 1, 1, 1}));
+}
+
+TEST(InterNodeLayoutTest, DifferentMappingsChangeLayout) {
+  const auto p = transposed_program();
+  parallel::ParallelSchedule identity(p, 8);
+  parallel::ParallelSchedule permuted(p, 8,
+                                      parallel::MappingKind::kPermutation2);
+  const auto a = build_internode_layout(p, 0, identity, small_topology());
+  const auto b = build_internode_layout(p, 0, permuted, small_topology());
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  bool differs = false;
+  const auto& space = p.array(0).space();
+  for (std::int64_t i = 0; i < space.element_count(); ++i) {
+    const auto point = space.delinearize_row_major(i);
+    if (a->slot(point) != b->slot(point)) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(InterNodeLayoutTest, DescribeMentionsHyperplane) {
+  const auto p = transposed_program();
+  const parallel::ParallelSchedule schedule(p, 8);
+  const auto layout =
+      build_internode_layout(p, 0, schedule, small_topology());
+  ASSERT_NE(layout, nullptr);
+  EXPECT_NE(layout->describe().find("inter-node"), std::string::npos);
+  EXPECT_NE(layout->describe().find("d=(0,1)"), std::string::npos);
+}
+
+TEST(InterNodeLayoutTest, IoOnlyMaskBuildsSingleLayerPattern) {
+  const auto p = transposed_program();
+  const parallel::ParallelSchedule schedule(p, 8);
+  const auto generic = build_internode_layout(p, 0, schedule,
+                                              small_topology(),
+                                              LayerMask::kIoOnly);
+  const auto* layout = dynamic_cast<const InterNodeLayout*>(generic.get());
+  ASSERT_NE(layout, nullptr);
+  // One real layer plus the virtual root.
+  EXPECT_EQ(layout->pattern().pattern_elements().size(), 2u);
+}
+
+}  // namespace
+}  // namespace flo::layout

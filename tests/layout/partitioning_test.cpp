@@ -1,0 +1,200 @@
+#include "layout/partitioning.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "linalg/unimodular.hpp"
+
+namespace flo::layout {
+namespace {
+
+parallel::ParallelSchedule schedule_for(const ir::Program& p,
+                                        std::size_t threads = 4) {
+  return parallel::ParallelSchedule(p, threads);
+}
+
+TEST(PartitioningTest, AlignedReferencePartitionsByRows) {
+  const ir::Program p = ir::ProgramBuilder("p")
+                            .array("A", {64, 64})
+                            .nest("n", {{0, 63}, {0, 63}}, 0)
+                            .read("A", {{1, 0}, {0, 1}})
+                            .done()
+                            .build();
+  const auto part = partition_array(p, 0, schedule_for(p));
+  ASSERT_TRUE(part.partitioned);
+  EXPECT_EQ(part.hyperplane, (linalg::IntVector{1, 0}));
+  EXPECT_EQ(part.alpha, 1);
+  EXPECT_EQ(part.beta, 0);
+  EXPECT_EQ(part.s_min, 0);
+  EXPECT_EQ(part.s_max, 63);
+  EXPECT_TRUE(linalg::is_unimodular(part.transform));
+  EXPECT_EQ(part.transform.row(0), part.hyperplane);
+}
+
+TEST(PartitioningTest, TransposedReferencePartitionsByColumns) {
+  const ir::Program p = ir::ProgramBuilder("p")
+                            .array("A", {64, 64})
+                            .nest("n", {{0, 63}, {0, 63}}, 0)
+                            .read("A", {{0, 1}, {1, 0}})
+                            .done()
+                            .build();
+  const auto part = partition_array(p, 0, schedule_for(p));
+  ASSERT_TRUE(part.partitioned);
+  EXPECT_EQ(part.hyperplane, (linalg::IntVector{0, 1}));
+  EXPECT_EQ(part.alpha, 1);
+}
+
+TEST(PartitioningTest, MatmulSection41Example) {
+  // W[i,j] in the (i, j, k) nest of Fig. 3(b), parallel on i.
+  const ir::Program p = ir::ProgramBuilder("mm")
+                            .array("W", {32, 32})
+                            .nest("mm", {{0, 31}, {0, 31}, {0, 31}}, 0)
+                            .write("W", {{1, 0, 0}, {0, 1, 0}})
+                            .done()
+                            .build();
+  const auto part = partition_array(p, 0, schedule_for(p));
+  ASSERT_TRUE(part.partitioned);
+  EXPECT_EQ(part.hyperplane, (linalg::IntVector{1, 0}));
+}
+
+TEST(PartitioningTest, SharedArrayNotPartitionable) {
+  // X[k, j] does not depend on the parallel loop i: every thread touches
+  // everything, no hyperplane separates threads.
+  const ir::Program p = ir::ProgramBuilder("mm")
+                            .array("X", {32, 32})
+                            .nest("mm", {{0, 31}, {0, 31}, {0, 31}}, 0)
+                            .read("X", {{0, 0, 1}, {0, 1, 0}})
+                            .done()
+                            .build();
+  const auto part = partition_array(p, 0, schedule_for(p));
+  EXPECT_FALSE(part.partitioned);
+  EXPECT_TRUE(part.transform.is_identity());
+}
+
+TEST(PartitioningTest, DiagonalReference) {
+  // A[i+j, j]: rows of D must satisfy d . (Q e_2) = 0 with Q e_2 = (1, 1);
+  // d = (1, -1) works and has stride 1 through Q e_1 = (1, 0).
+  const ir::Program p = ir::ProgramBuilder("p")
+                            .array("A", {127, 64})
+                            .nest("n", {{0, 63}, {0, 63}}, 0)
+                            .read("A", {{1, 1}, {0, 1}})
+                            .done()
+                            .build();
+  const auto part = partition_array(p, 0, schedule_for(p));
+  ASSERT_TRUE(part.partitioned);
+  EXPECT_EQ(part.hyperplane, (linalg::IntVector{1, -1}));
+  EXPECT_EQ(part.alpha, 1);
+  // s range over the box [0,127) x [0,64): -63 .. 126.
+  EXPECT_EQ(part.s_min, -63);
+  EXPECT_EQ(part.s_max, 126);
+}
+
+TEST(PartitioningTest, ConflictingReferencesSatisfyHeavier) {
+  // A[i,j] with repeat 5 outweighs A[j,i] with repeat 1 (Eq. 5).
+  const ir::Program p = ir::ProgramBuilder("p")
+                            .array("A", {64, 64})
+                            .nest("heavy", {{0, 63}, {0, 63}}, 0, 5)
+                            .read("A", {{1, 0}, {0, 1}})
+                            .done()
+                            .nest("light", {{0, 63}, {0, 63}}, 0, 1)
+                            .read("A", {{0, 1}, {1, 0}})
+                            .done()
+                            .build();
+  const auto part = partition_array(p, 0, schedule_for(p));
+  ASSERT_TRUE(part.partitioned);
+  EXPECT_EQ(part.hyperplane, (linalg::IntVector{1, 0}));
+  EXPECT_EQ(part.satisfied_groups, 1u);
+  EXPECT_EQ(part.total_groups, 2u);
+  EXPECT_EQ(part.satisfied_weight, 5 * 64 * 64);
+  EXPECT_EQ(part.total_weight, 6 * 64 * 64);
+  EXPECT_EQ(part.primary_nest, 0u);
+}
+
+TEST(PartitioningTest, WeightOrderMatters) {
+  // Same program with the transposed reference heavier: partition flips.
+  const ir::Program p = ir::ProgramBuilder("p")
+                            .array("A", {64, 64})
+                            .nest("light", {{0, 63}, {0, 63}}, 0, 1)
+                            .read("A", {{1, 0}, {0, 1}})
+                            .done()
+                            .nest("heavy", {{0, 63}, {0, 63}}, 0, 5)
+                            .read("A", {{0, 1}, {1, 0}})
+                            .done()
+                            .build();
+  const auto part = partition_array(p, 0, schedule_for(p));
+  ASSERT_TRUE(part.partitioned);
+  EXPECT_EQ(part.hyperplane, (linalg::IntVector{0, 1}));
+  EXPECT_EQ(part.primary_nest, 1u);
+}
+
+TEST(PartitioningTest, UnweightedAblationUsesProgramOrder) {
+  const ir::Program p = ir::ProgramBuilder("p")
+                            .array("A", {64, 64})
+                            .nest("first", {{0, 63}, {0, 63}}, 0, 1)
+                            .read("A", {{1, 0}, {0, 1}})
+                            .done()
+                            .nest("second", {{0, 63}, {0, 63}}, 0, 5)
+                            .read("A", {{0, 1}, {1, 0}})
+                            .done()
+                            .build();
+  PartitioningOptions options;
+  options.weighted = false;
+  const auto part = partition_array(p, 0, schedule_for(p), options);
+  ASSERT_TRUE(part.partitioned);
+  // Program order satisfies the (lighter) aligned reference first.
+  EXPECT_EQ(part.hyperplane, (linalg::IntVector{1, 0}));
+}
+
+TEST(PartitioningTest, CompatibleReferencesBothSatisfied) {
+  // A[i,j] and A[i,j+1] share the access matrix family: both satisfied.
+  const ir::Program p = ir::ProgramBuilder("p")
+                            .array("A", {64, 66})
+                            .nest("n", {{0, 63}, {0, 63}}, 0)
+                            .read("A", {{1, 0}, {0, 1}})
+                            .read_ofs("A", {{1, 0}, {0, 1}}, {0, 1})
+                            .done()
+                            .build();
+  const auto part = partition_array(p, 0, schedule_for(p));
+  ASSERT_TRUE(part.partitioned);
+  // Same Q => one group; both references counted in its weight.
+  EXPECT_EQ(part.total_groups, 1u);
+  EXPECT_EQ(part.satisfied_groups, 1u);
+  EXPECT_EQ(part.total_weight, 2 * 64 * 64);
+}
+
+TEST(PartitioningTest, UnreferencedArray) {
+  ir::Program p("p");
+  p.add_array(ir::ArrayDecl("A", poly::DataSpace({8, 8})));
+  p.add_array(ir::ArrayDecl("B", poly::DataSpace({8, 8})));
+  ir::LoopNest nest("n", poly::IterationSpace({{0, 7}, {0, 7}}), 0);
+  nest.add_reference({1, poly::AffineReference::identity(2, 2),
+                      ir::AccessKind::kRead});
+  p.add_nest(std::move(nest));
+  const parallel::ParallelSchedule schedule(p, 4);
+  const auto part = partition_array(p, 0, schedule);
+  EXPECT_FALSE(part.partitioned);
+  EXPECT_EQ(part.total_groups, 0u);
+}
+
+TEST(CollectAccessGroupsTest, GroupsByMatrixAndSortsByWeight) {
+  const ir::Program p = ir::ProgramBuilder("p")
+                            .array("A", {64, 64})
+                            .nest("n1", {{0, 63}, {0, 63}}, 0, 2)
+                            .read("A", {{1, 0}, {0, 1}})
+                            .read("A", {{0, 1}, {1, 0}})
+                            .done()
+                            .nest("n2", {{0, 63}, {0, 63}}, 0, 3)
+                            .read("A", {{0, 1}, {1, 0}})
+                            .done()
+                            .build();
+  const auto groups = collect_access_groups(p, 0);
+  ASSERT_EQ(groups.size(), 2u);
+  // Transposed group weight: (2 + 3) * 4096 > aligned 2 * 4096.
+  EXPECT_EQ(groups[0].q, (linalg::IntMatrix{{0, 1}, {1, 0}}));
+  EXPECT_EQ(groups[0].weight, 5 * 64 * 64);
+  EXPECT_EQ(groups[0].members.size(), 2u);
+  EXPECT_EQ(groups[1].weight, 2 * 64 * 64);
+}
+
+}  // namespace
+}  // namespace flo::layout

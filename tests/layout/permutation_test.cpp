@@ -1,0 +1,76 @@
+#include "layout/permutation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace flo::layout {
+namespace {
+
+TEST(PermutationLayoutTest, IdentityIsRowMajor) {
+  const poly::DataSpace space({3, 5});
+  const DimensionPermutationLayout layout(space, {0, 1});
+  EXPECT_EQ(layout.slot(std::vector<std::int64_t>{1, 2}), 7);
+}
+
+TEST(PermutationLayoutTest, ReversedIsColumnMajor) {
+  const poly::DataSpace space({3, 5});
+  const DimensionPermutationLayout layout(space, {1, 0});
+  // (r, c) -> c * 3 + r
+  EXPECT_EQ(layout.slot(std::vector<std::int64_t>{1, 2}), 7);
+  EXPECT_EQ(layout.slot(std::vector<std::int64_t>{2, 0}), 2);
+  EXPECT_EQ(layout.slot(std::vector<std::int64_t>{0, 1}), 3);
+}
+
+TEST(PermutationLayoutTest, ThreeDimensionalPermutation) {
+  const poly::DataSpace space({2, 3, 4});
+  const DimensionPermutationLayout layout(space, {2, 0, 1});
+  // slot = a3 * (2*3) + a1 * 3 + a2
+  EXPECT_EQ(layout.slot(std::vector<std::int64_t>{1, 2, 3}), 3 * 6 + 1 * 3 + 2);
+}
+
+TEST(PermutationLayoutTest, AlwaysBijective) {
+  const poly::DataSpace space({3, 4, 2});
+  for (const auto& order : all_dimension_orders(3)) {
+    const DimensionPermutationLayout layout(space, order);
+    std::set<std::int64_t> slots;
+    for (std::int64_t i = 0; i < space.element_count(); ++i) {
+      slots.insert(layout.slot(space.delinearize_row_major(i)));
+    }
+    EXPECT_EQ(slots.size(), 24u);
+    EXPECT_EQ(*slots.begin(), 0);
+    EXPECT_EQ(*slots.rbegin(), 23);
+  }
+}
+
+TEST(PermutationLayoutTest, InvalidOrdersRejected) {
+  const poly::DataSpace space({3, 5});
+  EXPECT_THROW(DimensionPermutationLayout(space, {0}), std::invalid_argument);
+  EXPECT_THROW(DimensionPermutationLayout(space, {0, 0}),
+               std::invalid_argument);
+  EXPECT_THROW(DimensionPermutationLayout(space, {0, 2}),
+               std::invalid_argument);
+}
+
+TEST(AllDimensionOrdersTest, FactorialCount) {
+  EXPECT_EQ(all_dimension_orders(1).size(), 1u);
+  EXPECT_EQ(all_dimension_orders(2).size(), 2u);
+  // "for a three-dimensional disk-resident array, six possible file
+  // layouts" (Section 5.4).
+  EXPECT_EQ(all_dimension_orders(3).size(), 6u);
+  EXPECT_EQ(all_dimension_orders(4).size(), 24u);
+}
+
+TEST(AllDimensionOrdersTest, FirstIsIdentity) {
+  const auto orders = all_dimension_orders(3);
+  EXPECT_EQ(orders.front(), (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(PermutationLayoutTest, DescribeListsOrder) {
+  const DimensionPermutationLayout layout(poly::DataSpace({2, 2}), {1, 0});
+  const std::string s = layout.describe();
+  EXPECT_NE(s.find("a2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flo::layout

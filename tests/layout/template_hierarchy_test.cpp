@@ -1,0 +1,77 @@
+#include "layout/template_hierarchy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flo::layout {
+namespace {
+
+storage::StorageTopology topo(std::uint64_t io_bytes,
+                              std::uint64_t storage_bytes,
+                              std::size_t io_nodes = 16,
+                              std::size_t storage_nodes = 4) {
+  storage::TopologyConfig c = storage::TopologyConfig::paper_default();
+  c.io_cache_bytes = io_bytes;
+  c.storage_cache_bytes = storage_bytes;
+  c.io_nodes = io_nodes;
+  c.storage_nodes = storage_nodes;
+  return storage::StorageTopology(c);
+}
+
+TEST(TemplateHierarchyTest, MatchesItself) {
+  const auto t1 = topo(128 << 10, 256 << 10);
+  const auto tmpl = HierarchyTemplate::from(t1);
+  EXPECT_TRUE(tmpl.matches(t1));
+}
+
+TEST(TemplateHierarchyTest, MatchesScaledCapacities) {
+  // Same shape (16 I/O caches over 4 storage caches, ratio 1:2) at twice
+  // the capacity: same template family.
+  const auto t1 = topo(128 << 10, 256 << 10);
+  const auto t2 = topo(256 << 10, 512 << 10);
+  const auto tmpl = HierarchyTemplate::from(t1);
+  EXPECT_TRUE(tmpl.matches(t2));
+}
+
+TEST(TemplateHierarchyTest, RejectsDifferentRatios) {
+  const auto t1 = topo(128 << 10, 256 << 10);
+  const auto t3 = topo(128 << 10, 512 << 10);  // ratio 1:4, not 1:2
+  const auto tmpl = HierarchyTemplate::from(t1);
+  EXPECT_FALSE(tmpl.matches(t3));
+}
+
+TEST(TemplateHierarchyTest, RejectsDifferentFanIns) {
+  const auto t1 = topo(128 << 10, 256 << 10, 16, 4);
+  const auto t4 = topo(128 << 10, 256 << 10, 8, 4);
+  const auto tmpl = HierarchyTemplate::from(t1);
+  EXPECT_FALSE(tmpl.matches(t4));
+}
+
+TEST(TemplateHierarchyTest, ReferenceLayersKeepShape) {
+  const auto t1 = topo(128 << 10, 256 << 10);
+  const auto tmpl = HierarchyTemplate::from(t1, LayerMask::kBoth,
+                                            /*reference=*/64 << 10);
+  const auto layers = tmpl.reference_layers();
+  ASSERT_EQ(layers.size(), 2u);
+  EXPECT_EQ(layers[0].capacity_bytes, 64u << 10);
+  EXPECT_EQ(layers[1].capacity_bytes, 128u << 10);  // keeps the 1:2 ratio
+  EXPECT_EQ(layers[0].cache_count, 16u);
+  EXPECT_EQ(layers[1].cache_count, 4u);
+}
+
+TEST(TemplateHierarchyTest, SingleLayerMask) {
+  const auto t1 = topo(128 << 10, 256 << 10);
+  const auto tmpl = HierarchyTemplate::from(t1, LayerMask::kIoOnly);
+  EXPECT_EQ(tmpl.layer_count(), 1u);
+  EXPECT_TRUE(tmpl.matches(t1, LayerMask::kIoOnly));
+  EXPECT_FALSE(tmpl.matches(t1, LayerMask::kBoth));
+}
+
+TEST(TemplateHierarchyTest, DescribeMentionsShape) {
+  const auto tmpl = HierarchyTemplate::from(topo(128 << 10, 256 << 10));
+  const std::string s = tmpl.describe();
+  EXPECT_NE(s.find("16 caches"), std::string::npos);
+  EXPECT_NE(s.find("4 caches"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flo::layout

@@ -1,0 +1,96 @@
+#include "linalg/gcd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+namespace flo::linalg {
+namespace {
+
+TEST(GcdTest, BasicPairs) {
+  EXPECT_EQ(gcd(12, 18), 6);
+  EXPECT_EQ(gcd(18, 12), 6);
+  EXPECT_EQ(gcd(7, 13), 1);
+  EXPECT_EQ(gcd(0, 5), 5);
+  EXPECT_EQ(gcd(5, 0), 5);
+  EXPECT_EQ(gcd(0, 0), 0);
+}
+
+TEST(GcdTest, NegativeArguments) {
+  EXPECT_EQ(gcd(-12, 18), 6);
+  EXPECT_EQ(gcd(12, -18), 6);
+  EXPECT_EQ(gcd(-12, -18), 6);
+}
+
+TEST(GcdTest, Int64MinRejected) {
+  EXPECT_THROW(gcd(std::numeric_limits<std::int64_t>::min(), 2),
+               std::overflow_error);
+}
+
+TEST(GcdTest, SpanGcd) {
+  const std::vector<std::int64_t> v{12, 18, 30};
+  EXPECT_EQ(gcd(std::span<const std::int64_t>(v)), 6);
+  const std::vector<std::int64_t> zero{0, 0};
+  EXPECT_EQ(gcd(std::span<const std::int64_t>(zero)), 0);
+  const std::vector<std::int64_t> empty;
+  EXPECT_EQ(gcd(std::span<const std::int64_t>(empty)), 0);
+}
+
+TEST(GcdTest, SpanShortCircuitsOnOne) {
+  const std::vector<std::int64_t> v{3, 5, 100000};
+  EXPECT_EQ(gcd(std::span<const std::int64_t>(v)), 1);
+}
+
+TEST(ExtendedGcdTest, BezoutIdentityHolds) {
+  for (std::int64_t a = -12; a <= 12; ++a) {
+    for (std::int64_t b = -12; b <= 12; ++b) {
+      const ExtendedGcd eg = extended_gcd(a, b);
+      EXPECT_EQ(eg.x * a + eg.y * b, eg.g) << "a=" << a << " b=" << b;
+      EXPECT_EQ(eg.g, gcd(a, b)) << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(ExtendedGcdTest, ZeroZero) {
+  const ExtendedGcd eg = extended_gcd(0, 0);
+  EXPECT_EQ(eg.g, 0);
+}
+
+TEST(LcmTest, Basics) {
+  EXPECT_EQ(lcm(4, 6), 12);
+  EXPECT_EQ(lcm(-4, 6), 12);
+  EXPECT_EQ(lcm(0, 6), 0);
+  EXPECT_EQ(lcm(7, 7), 7);
+}
+
+TEST(CheckedArithmeticTest, DetectsOverflow) {
+  const std::int64_t big = std::numeric_limits<std::int64_t>::max();
+  EXPECT_THROW(checked_add(big, 1), std::overflow_error);
+  EXPECT_THROW(checked_sub(std::numeric_limits<std::int64_t>::min(), 1),
+               std::overflow_error);
+  EXPECT_THROW(checked_mul(big, 2), std::overflow_error);
+  EXPECT_EQ(checked_add(2, 3), 5);
+  EXPECT_EQ(checked_sub(2, 3), -1);
+  EXPECT_EQ(checked_mul(-2, 3), -6);
+}
+
+class GcdPropertyTest : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(GcdPropertyTest, GcdDividesBoth) {
+  const std::int64_t a = GetParam();
+  for (std::int64_t b : {1, 2, 17, 128, 999}) {
+    const std::int64_t g = gcd(a, b);
+    if (g != 0) {
+      EXPECT_EQ(a % g, 0);
+      EXPECT_EQ(b % g, 0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, GcdPropertyTest,
+                         ::testing::Values(0, 1, 2, 6, 17, 24, 100, 3600,
+                                           -42, -99991));
+
+}  // namespace
+}  // namespace flo::linalg

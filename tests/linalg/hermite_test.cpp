@@ -1,0 +1,118 @@
+#include "linalg/hermite.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/unimodular.hpp"
+
+namespace flo::linalg {
+namespace {
+
+void expect_invariants(const IntMatrix& a) {
+  const HermiteResult hf = hermite_form(a);
+  // u * a == h holds exactly.
+  EXPECT_EQ(hf.u * a, hf.h);
+  // u is unimodular.
+  EXPECT_TRUE(is_unimodular(hf.u));
+  // Zero rows are at the bottom.
+  bool seen_zero = false;
+  for (std::size_t r = 0; r < hf.h.rows(); ++r) {
+    bool zero = true;
+    for (std::size_t c = 0; c < hf.h.cols(); ++c) {
+      if (hf.h.at(r, c) != 0) zero = false;
+    }
+    if (zero) {
+      seen_zero = true;
+    } else {
+      EXPECT_FALSE(seen_zero) << "nonzero row below a zero row";
+    }
+  }
+  // Echelon: pivots move strictly right; pivots positive.
+  std::size_t last_pivot_col = 0;
+  bool first = true;
+  for (std::size_t r = 0; r < hf.rank; ++r) {
+    std::size_t c = 0;
+    while (c < hf.h.cols() && hf.h.at(r, c) == 0) ++c;
+    ASSERT_LT(c, hf.h.cols());
+    EXPECT_GT(hf.h.at(r, c), 0);
+    if (!first) {
+      EXPECT_GT(c, last_pivot_col);
+    }
+    last_pivot_col = c;
+    first = false;
+  }
+}
+
+TEST(HermiteTest, Identity) {
+  const HermiteResult hf = hermite_form(IntMatrix::identity(3));
+  EXPECT_TRUE(hf.h.is_identity());
+  EXPECT_TRUE(hf.u.is_identity());
+  EXPECT_EQ(hf.rank, 3u);
+}
+
+TEST(HermiteTest, SimpleReduction) {
+  IntMatrix a{{4, 6}, {2, 2}};
+  const HermiteResult hf = hermite_form(a);
+  EXPECT_EQ(hf.rank, 2u);
+  expect_invariants(a);
+}
+
+TEST(HermiteTest, RankDeficient) {
+  IntMatrix a{{1, 2}, {2, 4}, {3, 6}};
+  const HermiteResult hf = hermite_form(a);
+  EXPECT_EQ(hf.rank, 1u);
+  expect_invariants(a);
+}
+
+TEST(HermiteTest, ZeroMatrix) {
+  IntMatrix a(2, 3);
+  const HermiteResult hf = hermite_form(a);
+  EXPECT_EQ(hf.rank, 0u);
+  EXPECT_TRUE(hf.h.is_zero());
+  EXPECT_TRUE(is_unimodular(hf.u));
+}
+
+TEST(HermiteTest, WideMatrix) {
+  IntMatrix a{{2, 4, 6, 8}, {1, 3, 5, 7}};
+  expect_invariants(a);
+}
+
+TEST(HermiteTest, TallMatrix) {
+  IntMatrix a{{3}, {6}, {4}};
+  const HermiteResult hf = hermite_form(a);
+  EXPECT_EQ(hf.rank, 1u);
+  EXPECT_EQ(hf.h.at(0, 0), 1);  // gcd(3, 6, 4) == 1
+  expect_invariants(a);
+}
+
+TEST(HermiteTest, NegativeEntries) {
+  IntMatrix a{{-4, 2}, {6, -3}};
+  expect_invariants(a);
+}
+
+TEST(HermiteTest, PivotsReducedAbove) {
+  // Entries above a pivot must be reduced into [0, pivot).
+  IntMatrix a{{1, 7}, {0, 3}};
+  const HermiteResult hf = hermite_form(a);
+  ASSERT_EQ(hf.rank, 2u);
+  EXPECT_GE(hf.h.at(0, 1), 0);
+  EXPECT_LT(hf.h.at(0, 1), hf.h.at(1, 1));
+}
+
+class HermitePropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(HermitePropertyTest, InvariantsHoldOn2x2) {
+  const auto [a, b, c, d] = GetParam();
+  IntMatrix m{{a, b}, {c, d}};
+  expect_invariants(m);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, HermitePropertyTest,
+    ::testing::Combine(::testing::Values(-3, 0, 2, 7),
+                       ::testing::Values(-5, 0, 1),
+                       ::testing::Values(0, 4, -2),
+                       ::testing::Values(-1, 0, 3, 6)));
+
+}  // namespace
+}  // namespace flo::linalg

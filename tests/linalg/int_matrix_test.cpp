@@ -1,0 +1,183 @@
+#include "linalg/int_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flo::linalg {
+namespace {
+
+TEST(IntMatrixTest, ConstructionAndIndexing) {
+  IntMatrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_TRUE(m.is_zero());
+  m.at(1, 2) = 7;
+  EXPECT_EQ(m.at(1, 2), 7);
+  EXPECT_FALSE(m.is_zero());
+}
+
+TEST(IntMatrixTest, InitializerList) {
+  IntMatrix m{{1, 2}, {3, 4}};
+  EXPECT_EQ(m.at(0, 1), 2);
+  EXPECT_EQ(m.at(1, 0), 3);
+  EXPECT_THROW((IntMatrix{{1, 2}, {3}}), std::invalid_argument);
+}
+
+TEST(IntMatrixTest, IdentityAndDiagonal) {
+  EXPECT_TRUE(IntMatrix::identity(3).is_identity());
+  const std::vector<std::int64_t> d{2, 5};
+  IntMatrix m = IntMatrix::diagonal(d);
+  EXPECT_EQ(m.at(0, 0), 2);
+  EXPECT_EQ(m.at(1, 1), 5);
+  EXPECT_EQ(m.at(0, 1), 0);
+}
+
+TEST(IntMatrixTest, OutOfRangeThrows) {
+  IntMatrix m(2, 2);
+  EXPECT_THROW(m.at(2, 0), std::out_of_range);
+  EXPECT_THROW(m.at(0, 2), std::out_of_range);
+}
+
+TEST(IntMatrixTest, Multiply) {
+  IntMatrix a{{1, 2}, {3, 4}};
+  IntMatrix b{{5, 6}, {7, 8}};
+  IntMatrix c = a * b;
+  EXPECT_EQ(c, (IntMatrix{{19, 22}, {43, 50}}));
+}
+
+TEST(IntMatrixTest, MultiplyDimensionMismatch) {
+  IntMatrix a(2, 3);
+  IntMatrix b(2, 3);
+  EXPECT_THROW(a * b, std::invalid_argument);
+}
+
+TEST(IntMatrixTest, MatrixVectorProduct) {
+  IntMatrix a{{1, 0, 2}, {0, 1, 0}};
+  const std::vector<std::int64_t> v{3, 4, 5};
+  const IntVector out = a * v;
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], 13);
+  EXPECT_EQ(out[1], 4);
+}
+
+TEST(IntMatrixTest, AddSubtract) {
+  IntMatrix a{{1, 2}, {3, 4}};
+  IntMatrix b{{10, 20}, {30, 40}};
+  EXPECT_EQ(a + b, (IntMatrix{{11, 22}, {33, 44}}));
+  EXPECT_EQ(b - a, (IntMatrix{{9, 18}, {27, 36}}));
+}
+
+TEST(IntMatrixTest, Transpose) {
+  IntMatrix a{{1, 2, 3}, {4, 5, 6}};
+  IntMatrix t = a.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t.at(2, 1), 6);
+  EXPECT_EQ(t.transposed(), a);
+}
+
+TEST(IntMatrixTest, SelectColumnsAndWithoutRow) {
+  IntMatrix a{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}};
+  const std::vector<std::size_t> cols{0, 2};
+  IntMatrix sel = a.select_columns(cols);
+  EXPECT_EQ(sel, (IntMatrix{{1, 3}, {4, 6}, {7, 9}}));
+  IntMatrix wo = a.without_row(1);
+  EXPECT_EQ(wo, (IntMatrix{{1, 2, 3}, {7, 8, 9}}));
+}
+
+TEST(IntMatrixTest, RowOperations) {
+  IntMatrix a{{1, 2}, {3, 4}};
+  a.swap_rows(0, 1);
+  EXPECT_EQ(a, (IntMatrix{{3, 4}, {1, 2}}));
+  a.scale_row(0, -1);
+  EXPECT_EQ(a, (IntMatrix{{-3, -4}, {1, 2}}));
+  a.add_scaled_row(0, 1, 3);
+  EXPECT_EQ(a, (IntMatrix{{0, 2}, {1, 2}}));
+}
+
+TEST(IntMatrixTest, DeterminantBasics) {
+  EXPECT_EQ((IntMatrix{{2, 0}, {0, 3}}).determinant(), 6);
+  EXPECT_EQ((IntMatrix{{0, 1}, {1, 0}}).determinant(), -1);
+  EXPECT_EQ((IntMatrix{{1, 2}, {2, 4}}).determinant(), 0);
+  EXPECT_EQ(IntMatrix::identity(5).determinant(), 1);
+  EXPECT_THROW(IntMatrix(2, 3).determinant(), std::invalid_argument);
+}
+
+TEST(IntMatrixTest, DeterminantNeedsPivoting) {
+  // Leading zero forces a row swap inside Bareiss elimination.
+  IntMatrix m{{0, 2, 1}, {1, 0, 0}, {0, 1, 1}};
+  EXPECT_EQ(m.determinant(), -1);
+}
+
+TEST(IntMatrixTest, Determinant3x3) {
+  IntMatrix m{{2, -3, 1}, {2, 0, -1}, {1, 4, 5}};
+  EXPECT_EQ(m.determinant(), 49);
+}
+
+TEST(IntMatrixTest, Rank) {
+  EXPECT_EQ(IntMatrix::identity(4).rank(), 4u);
+  EXPECT_EQ((IntMatrix{{1, 2}, {2, 4}}).rank(), 1u);
+  EXPECT_EQ(IntMatrix(3, 3).rank(), 0u);
+  EXPECT_EQ((IntMatrix{{1, 0, 0}, {0, 1, 0}}).rank(), 2u);
+  // Rank is invariant under scaling rows.
+  IntMatrix m{{2, 4, 6}, {1, 2, 3}, {0, 0, 5}};
+  EXPECT_EQ(m.rank(), 2u);
+}
+
+TEST(IntMatrixTest, RowTimesMatrix) {
+  IntMatrix m{{1, 2}, {3, 4}};
+  const std::vector<std::int64_t> v{1, 1};
+  const IntVector out = row_times_matrix(v, m);
+  EXPECT_EQ(out, (IntVector{4, 6}));
+}
+
+TEST(IntMatrixTest, DotProduct) {
+  const std::vector<std::int64_t> a{1, 2, 3};
+  const std::vector<std::int64_t> b{4, 5, 6};
+  EXPECT_EQ(dot(a, b), 32);
+  const std::vector<std::int64_t> c{1};
+  EXPECT_THROW(dot(a, c), std::invalid_argument);
+}
+
+TEST(IntMatrixTest, MakePrimitive) {
+  IntVector v{4, -8, 12};
+  make_primitive(v);
+  EXPECT_EQ(v, (IntVector{1, -2, 3}));
+  IntVector w{-3, 6};
+  make_primitive(w);
+  EXPECT_EQ(w, (IntVector{1, -2}));  // sign flipped: first nonzero positive
+  IntVector zero{0, 0};
+  make_primitive(zero);
+  EXPECT_EQ(zero, (IntVector{0, 0}));
+}
+
+TEST(IntMatrixTest, IsNonzero) {
+  const IntVector z{0, 0, 0};
+  const IntVector nz{0, 1, 0};
+  EXPECT_FALSE(is_nonzero(z));
+  EXPECT_TRUE(is_nonzero(nz));
+}
+
+TEST(IntMatrixTest, ToStringRendersRows) {
+  IntMatrix m{{1, 0}, {0, 1}};
+  EXPECT_EQ(m.to_string(), "[ 1 0 ]\n[ 0 1 ]");
+}
+
+class DeterminantPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(DeterminantPropertyTest, DetOfProductIsProductOfDets) {
+  const auto [sa, sb] = GetParam();
+  // Small integer matrices built from the parameters.
+  IntMatrix a{{1, sa}, {0, 1}};
+  IntMatrix b{{1, 0}, {sb, 1}};
+  const IntMatrix ab = a * b;
+  EXPECT_EQ(ab.determinant(), a.determinant() * b.determinant());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shears, DeterminantPropertyTest,
+    ::testing::Combine(::testing::Values(-3, -1, 0, 2, 5),
+                       ::testing::Values(-2, 0, 1, 4)));
+
+}  // namespace
+}  // namespace flo::linalg

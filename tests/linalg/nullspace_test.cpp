@@ -1,0 +1,116 @@
+#include "linalg/nullspace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flo::linalg {
+namespace {
+
+TEST(NullspaceTest, FullRankHasTrivialLeftNullSpace) {
+  EXPECT_TRUE(left_null_space(IntMatrix::identity(3)).empty());
+  EXPECT_TRUE(left_null_space(IntMatrix{{2, 0}, {1, 1}}).empty());
+}
+
+TEST(NullspaceTest, DuplicatedRow) {
+  IntMatrix m{{1, 2}, {1, 2}};
+  const auto basis = left_null_space(m);
+  ASSERT_EQ(basis.size(), 1u);
+  EXPECT_TRUE(in_left_null_space(basis[0], m));
+  EXPECT_TRUE(is_nonzero(basis[0]));
+}
+
+TEST(NullspaceTest, MatmulExample) {
+  // The running example of Section 4.1: W[i,j] in an (i,j,k) nest
+  // parallelized on i. Q*E has left null vector (1, 0): partition by rows.
+  IntMatrix q{{1, 0, 0}, {0, 1, 0}};
+  // E: columns e2, e3 of the 3-dim iteration space.
+  IntMatrix e{{0, 0}, {1, 0}, {0, 1}};
+  const IntMatrix m = q * e;
+  const auto basis = left_null_space(m);
+  ASSERT_EQ(basis.size(), 1u);
+  EXPECT_EQ(basis[0], (IntVector{1, 0}));
+}
+
+TEST(NullspaceTest, TransposedReference) {
+  // A[j, i] in an (i, j) nest parallelized on i: the partitioning
+  // hyperplane is the second data dimension.
+  IntMatrix q{{0, 1}, {1, 0}};
+  IntMatrix e{{0}, {1}};  // direction basis for u = 0 in 2 dims
+  const auto basis = left_null_space(q * e);
+  ASSERT_EQ(basis.size(), 1u);
+  EXPECT_EQ(basis[0], (IntVector{0, 1}));
+}
+
+TEST(NullspaceTest, ZeroMatrixHasFullLeftNullSpace) {
+  IntMatrix m(3, 2);
+  const auto basis = left_null_space(m);
+  EXPECT_EQ(basis.size(), 3u);
+  for (const auto& v : basis) {
+    EXPECT_TRUE(in_left_null_space(v, m));
+  }
+}
+
+TEST(NullspaceTest, ZeroWidthMatrix) {
+  IntMatrix m(2, 0);
+  const auto basis = left_null_space(m);
+  EXPECT_EQ(basis.size(), 2u);
+}
+
+TEST(NullspaceTest, BasisVectorsArePrimitive) {
+  IntMatrix m{{2, 4}, {1, 2}, {3, 6}};  // rank 1, nullity 2
+  const auto basis = left_null_space(m.transposed());
+  for (const auto& v : basis) {
+    IntVector copy = v;
+    make_primitive(copy);
+    EXPECT_EQ(copy, v) << "basis vector not primitive";
+  }
+}
+
+TEST(NullspaceTest, RightNullSpace) {
+  IntMatrix m{{1, 2, 3}};
+  const auto basis = null_space(m);
+  EXPECT_EQ(basis.size(), 2u);
+  for (const auto& v : basis) {
+    const IntVector prod = m * v;
+    EXPECT_FALSE(is_nonzero(prod));
+  }
+}
+
+TEST(NullspaceTest, InLeftNullSpaceDimensionMismatch) {
+  IntMatrix m(2, 2);
+  const IntVector v{1, 2, 3};
+  EXPECT_THROW(in_left_null_space(v, m), std::invalid_argument);
+}
+
+TEST(HconcatTest, ConcatenatesInOrder) {
+  IntMatrix a{{1}, {2}};
+  IntMatrix b{{3, 4}, {5, 6}};
+  const IntMatrix c = hconcat({a, b});
+  EXPECT_EQ(c, (IntMatrix{{1, 3, 4}, {2, 5, 6}}));
+}
+
+TEST(HconcatTest, RowMismatchThrows) {
+  EXPECT_THROW(hconcat({IntMatrix(2, 1), IntMatrix(3, 1)}),
+               std::invalid_argument);
+}
+
+TEST(HconcatTest, EmptyListGivesEmptyMatrix) {
+  EXPECT_TRUE(hconcat({}).empty());
+}
+
+TEST(CommonLeftNullTest, ConsistentConstraints) {
+  // Two constraint blocks sharing the left null vector (0, 1).
+  IntMatrix a{{1}, {0}};
+  IntMatrix b{{2}, {0}};
+  const IntVector d = common_left_null_vector({a, b});
+  EXPECT_EQ(d, (IntVector{0, 1}));
+}
+
+TEST(CommonLeftNullTest, ConflictingConstraints) {
+  // (0,1) annihilates a; (1,0) annihilates b; nothing annihilates both.
+  IntMatrix a{{1}, {0}};
+  IntMatrix b{{0}, {1}};
+  EXPECT_TRUE(common_left_null_vector({a, b}).empty());
+}
+
+}  // namespace
+}  // namespace flo::linalg

@@ -1,0 +1,62 @@
+#include "parallel/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+
+namespace flo::parallel {
+namespace {
+
+ir::Program two_nest_program() {
+  return ir::ProgramBuilder("p")
+      .array("A", {64, 64})
+      .nest("n1", {{0, 63}, {0, 63}}, 0)
+      .read("A", {{1, 0}, {0, 1}})
+      .done()
+      .nest("n2", {{0, 63}, {0, 63}}, 1)
+      .read("A", {{0, 1}, {1, 0}})
+      .done()
+      .build();
+}
+
+TEST(ParallelScheduleTest, OneDecompositionPerNest) {
+  const ParallelSchedule s(two_nest_program(), 8);
+  EXPECT_EQ(s.nest_count(), 2u);
+  EXPECT_EQ(s.thread_count(), 8u);
+  EXPECT_EQ(s.decomposition(0).parallel_dim(), 0u);
+  EXPECT_EQ(s.decomposition(1).parallel_dim(), 1u);
+  EXPECT_THROW(s.decomposition(2), std::out_of_range);
+}
+
+TEST(ParallelScheduleTest, DefaultMappingIsIdentity) {
+  const ParallelSchedule s(two_nest_program(), 8);
+  EXPECT_EQ(s.mapping().kind(), MappingKind::kIdentity);
+  EXPECT_EQ(s.mapping().node_of(3), 3u);
+}
+
+TEST(ParallelScheduleTest, SetMappingReplacesPlacement) {
+  ParallelSchedule s(two_nest_program(), 64);
+  s.set_mapping(MappingKind::kPermutation2);
+  EXPECT_EQ(s.mapping().kind(), MappingKind::kPermutation2);
+  bool moved = false;
+  for (ThreadId t = 0; t < 64; ++t) {
+    if (s.mapping().node_of(t) != t) moved = true;
+  }
+  EXPECT_TRUE(moved);
+}
+
+TEST(ParallelScheduleTest, ExplicitBlockCount) {
+  const ParallelSchedule s(two_nest_program(), 4, MappingKind::kIdentity, 16);
+  EXPECT_EQ(s.decomposition(0).block_count(), 16u);
+  // Round-robin: 4 blocks per thread.
+  EXPECT_EQ(s.decomposition(0).blocks_of(1).size(), 4u);
+}
+
+TEST(ParallelScheduleTest, MutableDecompositionForBaselines) {
+  ParallelSchedule s(two_nest_program(), 4);
+  s.decomposition(0).reassign({3, 2, 1, 0});
+  EXPECT_EQ(s.decomposition(0).blocks()[0].thread, 3u);
+}
+
+}  // namespace
+}  // namespace flo::parallel

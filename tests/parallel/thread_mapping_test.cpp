@@ -1,0 +1,72 @@
+#include "parallel/thread_mapping.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace flo::parallel {
+namespace {
+
+TEST(ThreadMappingTest, IdentityMapsThreadToSameNode) {
+  ThreadMapping m(MappingKind::kIdentity, 64);
+  for (ThreadId t = 0; t < 64; ++t) {
+    EXPECT_EQ(m.node_of(t), t);
+    EXPECT_EQ(m.thread_on(t), t);
+  }
+}
+
+TEST(ThreadMappingTest, PermutationsAreBijections) {
+  for (const auto kind : {MappingKind::kPermutation2, MappingKind::kPermutation3,
+                          MappingKind::kPermutation4}) {
+    ThreadMapping m(kind, 64);
+    std::set<NodeId> nodes;
+    for (ThreadId t = 0; t < 64; ++t) {
+      nodes.insert(m.node_of(t));
+      EXPECT_EQ(m.thread_on(m.node_of(t)), t);
+    }
+    EXPECT_EQ(nodes.size(), 64u);
+  }
+}
+
+TEST(ThreadMappingTest, PermutationsAreDeterministic) {
+  ThreadMapping a(MappingKind::kPermutation2, 64);
+  ThreadMapping b(MappingKind::kPermutation2, 64);
+  for (ThreadId t = 0; t < 64; ++t) {
+    EXPECT_EQ(a.node_of(t), b.node_of(t));
+  }
+}
+
+TEST(ThreadMappingTest, PermutationsDiffer) {
+  ThreadMapping a(MappingKind::kPermutation2, 64);
+  ThreadMapping b(MappingKind::kPermutation3, 64);
+  bool differ = false;
+  for (ThreadId t = 0; t < 64; ++t) {
+    if (a.node_of(t) != b.node_of(t)) differ = true;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(ThreadMappingTest, NonIdentityActuallyPermutes) {
+  ThreadMapping m(MappingKind::kPermutation2, 64);
+  std::size_t moved = 0;
+  for (ThreadId t = 0; t < 64; ++t) {
+    if (m.node_of(t) != t) ++moved;
+  }
+  EXPECT_GT(moved, 32u);  // a random permutation moves almost everything
+}
+
+TEST(ThreadMappingTest, OutOfRangeChecked) {
+  ThreadMapping m(MappingKind::kIdentity, 4);
+  EXPECT_THROW(m.node_of(4), std::out_of_range);
+  EXPECT_THROW(m.thread_on(4), std::out_of_range);
+  EXPECT_THROW(ThreadMapping(MappingKind::kIdentity, 0),
+               std::invalid_argument);
+}
+
+TEST(ThreadMappingTest, Names) {
+  EXPECT_STREQ(mapping_name(MappingKind::kIdentity), "Mapping I");
+  EXPECT_STREQ(mapping_name(MappingKind::kPermutation4), "Mapping IV");
+}
+
+}  // namespace
+}  // namespace flo::parallel

@@ -1,0 +1,59 @@
+#include "polyhedral/data_space.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flo::poly {
+namespace {
+
+TEST(DataSpaceTest, Basics) {
+  DataSpace space({4, 8});
+  EXPECT_EQ(space.dims(), 2u);
+  EXPECT_EQ(space.extent(1), 8);
+  EXPECT_EQ(space.element_count(), 32);
+}
+
+TEST(DataSpaceTest, NonPositiveExtentRejected) {
+  EXPECT_THROW(DataSpace({4, 0}), std::invalid_argument);
+  EXPECT_THROW(DataSpace({-1}), std::invalid_argument);
+}
+
+TEST(DataSpaceTest, Contains) {
+  DataSpace space({4, 4});
+  EXPECT_TRUE(space.contains(std::vector<std::int64_t>{0, 0}));
+  EXPECT_TRUE(space.contains(std::vector<std::int64_t>{3, 3}));
+  EXPECT_FALSE(space.contains(std::vector<std::int64_t>{4, 0}));
+  EXPECT_FALSE(space.contains(std::vector<std::int64_t>{-1, 0}));
+}
+
+TEST(DataSpaceTest, RowMajorRoundTrip) {
+  DataSpace space({3, 5, 7});
+  for (std::int64_t offset = 0; offset < space.element_count(); ++offset) {
+    const auto point = space.delinearize_row_major(offset);
+    EXPECT_EQ(space.linearize_row_major(point), offset);
+    EXPECT_TRUE(space.contains(point));
+  }
+}
+
+TEST(DataSpaceTest, RowMajorLastDimensionFastest) {
+  DataSpace space({2, 4});
+  EXPECT_EQ(space.linearize_row_major(std::vector<std::int64_t>{0, 1}), 1);
+  EXPECT_EQ(space.linearize_row_major(std::vector<std::int64_t>{1, 0}), 4);
+}
+
+TEST(DataSpaceTest, DelinearizeOutOfRange) {
+  DataSpace space({2, 2});
+  EXPECT_THROW(space.delinearize_row_major(4), std::out_of_range);
+  EXPECT_THROW(space.delinearize_row_major(-1), std::out_of_range);
+}
+
+TEST(DataSpaceTest, ExtentIndexChecked) {
+  DataSpace space({2});
+  EXPECT_THROW(space.extent(1), std::out_of_range);
+}
+
+TEST(DataSpaceTest, ToString) {
+  EXPECT_EQ(DataSpace({4, 8}).to_string(), "[4 x 8]");
+}
+
+}  // namespace
+}  // namespace flo::poly

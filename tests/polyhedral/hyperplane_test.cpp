@@ -1,0 +1,81 @@
+#include "polyhedral/hyperplane.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flo::poly {
+namespace {
+
+TEST(HyperplaneTest, UnitFamily) {
+  const auto h = Hyperplane::unit(3, 1);
+  EXPECT_EQ(h.normal(), (linalg::IntVector{0, 1, 0}));
+  EXPECT_EQ(h.constant(), 0);
+  EXPECT_TRUE(h.contains(std::vector<std::int64_t>{5, 0, -2}));
+  EXPECT_FALSE(h.contains(std::vector<std::int64_t>{5, 1, -2}));
+}
+
+TEST(HyperplaneTest, UnitAxisChecked) {
+  EXPECT_THROW(Hyperplane::unit(2, 2), std::invalid_argument);
+}
+
+TEST(HyperplaneTest, ZeroNormalRejected) {
+  EXPECT_THROW(Hyperplane(linalg::IntVector{0, 0}, 3), std::invalid_argument);
+}
+
+TEST(HyperplaneTest, EvaluateSigned) {
+  const Hyperplane h(linalg::IntVector{1, 2}, 4);
+  EXPECT_EQ(h.evaluate(std::vector<std::int64_t>{0, 2}), 0);
+  EXPECT_EQ(h.evaluate(std::vector<std::int64_t>{1, 2}), 1);
+  EXPECT_EQ(h.evaluate(std::vector<std::int64_t>{0, 0}), -4);
+}
+
+TEST(HyperplaneTest, SameMemberIgnoresConstant) {
+  const Hyperplane h(linalg::IntVector{1, 1}, 100);
+  EXPECT_TRUE(h.same_member(std::vector<std::int64_t>{1, 2},
+                            std::vector<std::int64_t>{0, 3}));
+  EXPECT_FALSE(h.same_member(std::vector<std::int64_t>{1, 2},
+                             std::vector<std::int64_t>{1, 3}));
+}
+
+TEST(HyperplaneTest, ToString) {
+  const Hyperplane h(linalg::IntVector{2, 0, -1}, 5);
+  const std::string s = h.to_string();
+  EXPECT_NE(s.find("2*b1"), std::string::npos);
+  EXPECT_NE(s.find("-b3"), std::string::npos);
+  EXPECT_NE(s.find("= 5"), std::string::npos);
+}
+
+TEST(DirectionBasisTest, ColumnsSpanHyperplaneDirections) {
+  // For e_u in 3 dims, the basis must span exactly the vectors with zero
+  // u-th component.
+  const linalg::IntMatrix basis = hyperplane_direction_basis(3, 1);
+  EXPECT_EQ(basis.rows(), 3u);
+  EXPECT_EQ(basis.cols(), 2u);
+  // Each column is orthogonal to e_1 (axis index 1).
+  for (std::size_t c = 0; c < basis.cols(); ++c) {
+    EXPECT_EQ(basis.at(1, c), 0);
+  }
+  EXPECT_EQ(basis.rank(), 2u);
+}
+
+TEST(DirectionBasisTest, PaperUsage) {
+  // Two iterations on one member hyperplane differ by a combination of
+  // the basis columns: i1 - i2 = (a, 0, b).
+  const linalg::IntMatrix basis = hyperplane_direction_basis(3, 1);
+  const std::vector<std::int64_t> coeffs{3, -2};
+  const linalg::IntVector diff = basis * coeffs;
+  EXPECT_EQ(diff, (linalg::IntVector{3, 0, -2}));
+}
+
+TEST(DirectionBasisTest, InvalidArguments) {
+  EXPECT_THROW(hyperplane_direction_basis(2, 2), std::invalid_argument);
+  EXPECT_THROW(hyperplane_direction_basis(0, 0), std::invalid_argument);
+}
+
+TEST(DirectionBasisTest, OneDimensionalSpace) {
+  const linalg::IntMatrix basis = hyperplane_direction_basis(1, 0);
+  EXPECT_EQ(basis.rows(), 1u);
+  EXPECT_EQ(basis.cols(), 0u);
+}
+
+}  // namespace
+}  // namespace flo::poly

@@ -1,0 +1,70 @@
+#include "polyhedral/iteration_space.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flo::poly {
+namespace {
+
+TEST(IterationSpaceTest, BasicProperties) {
+  IterationSpace space({{0, 3}, {1, 2}});
+  EXPECT_EQ(space.depth(), 2u);
+  EXPECT_EQ(space.total_iterations(), 8);
+  EXPECT_EQ(space.bound(0).trip_count(), 4);
+  EXPECT_EQ(space.bound(1).trip_count(), 2);
+}
+
+TEST(IterationSpaceTest, EmptyBoundRejected) {
+  EXPECT_THROW(IterationSpace({{2, 1}}), std::invalid_argument);
+}
+
+TEST(IterationSpaceTest, Contains) {
+  IterationSpace space({{0, 3}, {0, 3}});
+  EXPECT_TRUE(space.contains(std::vector<std::int64_t>{0, 0}));
+  EXPECT_TRUE(space.contains(std::vector<std::int64_t>{3, 3}));
+  EXPECT_FALSE(space.contains(std::vector<std::int64_t>{4, 0}));
+  EXPECT_FALSE(space.contains(std::vector<std::int64_t>{0, -1}));
+  EXPECT_FALSE(space.contains(std::vector<std::int64_t>{0}));  // wrong arity
+}
+
+TEST(IterationSpaceTest, LexicographicEnumeration) {
+  IterationSpace space({{0, 1}, {0, 2}});
+  auto iter = space.first();
+  std::vector<std::vector<std::int64_t>> visited{iter};
+  while (space.next(iter)) visited.push_back(iter);
+  ASSERT_EQ(visited.size(), 6u);
+  EXPECT_EQ(visited.front(), (std::vector<std::int64_t>{0, 0}));
+  EXPECT_EQ(visited[1], (std::vector<std::int64_t>{0, 1}));
+  EXPECT_EQ(visited[3], (std::vector<std::int64_t>{1, 0}));
+  EXPECT_EQ(visited.back(), (std::vector<std::int64_t>{1, 2}));
+}
+
+TEST(IterationSpaceTest, EnumerationCountMatchesTotal) {
+  IterationSpace space({{2, 4}, {0, 1}, {5, 7}});
+  auto iter = space.first();
+  std::int64_t count = 1;
+  while (space.next(iter)) ++count;
+  EXPECT_EQ(count, space.total_iterations());
+}
+
+TEST(IterationSpaceTest, NonZeroLowerBounds) {
+  IterationSpace space({{10, 12}});
+  auto iter = space.first();
+  EXPECT_EQ(iter[0], 10);
+  EXPECT_TRUE(space.next(iter));
+  EXPECT_TRUE(space.next(iter));
+  EXPECT_FALSE(space.next(iter));
+  EXPECT_EQ(iter[0], 12);
+}
+
+TEST(IterationSpaceTest, BoundIndexChecked) {
+  IterationSpace space({{0, 1}});
+  EXPECT_THROW(space.bound(1), std::out_of_range);
+}
+
+TEST(IterationSpaceTest, ToStringMentionsBounds) {
+  IterationSpace space({{0, 7}});
+  EXPECT_NE(space.to_string().find("[0, 7]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flo::poly

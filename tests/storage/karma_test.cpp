@@ -1,0 +1,95 @@
+#include "storage/karma.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flo::storage {
+namespace {
+
+TEST(KarmaTest, DensestRangesPinnedAtIoLayer) {
+  std::vector<RangeHint> hints = {
+      {0, 0, 10, 5.0},   // dense
+      {0, 10, 20, 1.0},  // sparse
+  };
+  const KarmaAllocator karma(hints, /*io=*/10, /*storage=*/10);
+  EXPECT_EQ(karma.level_of({0, 5}), CacheLevel::kIo);
+  EXPECT_EQ(karma.level_of({0, 15}), CacheLevel::kStorage);
+}
+
+TEST(KarmaTest, OverflowBecomesUncached) {
+  std::vector<RangeHint> hints = {
+      {0, 0, 10, 5.0},
+      {0, 10, 20, 3.0},
+      {0, 20, 30, 1.0},
+  };
+  const KarmaAllocator karma(hints, 10, 10);
+  EXPECT_EQ(karma.level_of({0, 0}), CacheLevel::kIo);
+  EXPECT_EQ(karma.level_of({0, 10}), CacheLevel::kStorage);
+  EXPECT_EQ(karma.level_of({0, 25}), CacheLevel::kUncached);
+  EXPECT_EQ(karma.ranges_at(CacheLevel::kIo), 1u);
+  EXPECT_EQ(karma.ranges_at(CacheLevel::kStorage), 1u);
+  EXPECT_EQ(karma.ranges_at(CacheLevel::kUncached), 1u);
+}
+
+TEST(KarmaTest, UnhintedBlocksUncached) {
+  const KarmaAllocator karma({{0, 0, 4, 1.0}}, 8, 8);
+  EXPECT_EQ(karma.level_of({0, 100}), CacheLevel::kUncached);
+  EXPECT_EQ(karma.level_of({3, 0}), CacheLevel::kUncached);
+}
+
+TEST(KarmaTest, MultipleFiles) {
+  std::vector<RangeHint> hints = {
+      {0, 0, 5, 9.0},
+      {2, 0, 5, 8.0},
+  };
+  const KarmaAllocator karma(hints, 10, 0);
+  EXPECT_EQ(karma.level_of({0, 2}), CacheLevel::kIo);
+  EXPECT_EQ(karma.level_of({2, 2}), CacheLevel::kIo);
+  EXPECT_EQ(karma.level_of({1, 2}), CacheLevel::kUncached);
+}
+
+TEST(KarmaTest, SmallerRangeCanFillRemainingIoSpace) {
+  // Greedy by density: a big medium-density range that does not fit the
+  // remaining I/O space drops to the storage layer, while a later smaller
+  // range may still fit above.
+  std::vector<RangeHint> hints = {
+      {0, 0, 8, 9.0},
+      {0, 8, 24, 5.0},  // 16 blocks: does not fit remaining 2
+      {0, 24, 26, 4.0}, // 2 blocks: fits
+  };
+  const KarmaAllocator karma(hints, 10, 100);
+  EXPECT_EQ(karma.level_of({0, 0}), CacheLevel::kIo);
+  EXPECT_EQ(karma.level_of({0, 10}), CacheLevel::kStorage);
+  EXPECT_EQ(karma.level_of({0, 24}), CacheLevel::kIo);
+}
+
+TEST(KarmaTest, BoundariesExclusive) {
+  const KarmaAllocator karma({{0, 5, 10, 1.0}}, 100, 100);
+  EXPECT_EQ(karma.level_of({0, 4}), CacheLevel::kUncached);
+  EXPECT_EQ(karma.level_of({0, 5}), CacheLevel::kIo);
+  EXPECT_EQ(karma.level_of({0, 9}), CacheLevel::kIo);
+  EXPECT_EQ(karma.level_of({0, 10}), CacheLevel::kUncached);
+}
+
+TEST(KarmaTest, InvertedRangeRejected) {
+  EXPECT_THROW(KarmaAllocator({{0, 10, 5, 1.0}}, 10, 10),
+               std::invalid_argument);
+}
+
+TEST(KarmaTest, DeterministicTieBreak) {
+  std::vector<RangeHint> hints = {
+      {1, 0, 5, 2.0},
+      {0, 0, 5, 2.0},
+  };
+  const KarmaAllocator karma(hints, 5, 5);
+  // Equal densities: file 0 wins the I/O layer.
+  EXPECT_EQ(karma.level_of({0, 0}), CacheLevel::kIo);
+  EXPECT_EQ(karma.level_of({1, 0}), CacheLevel::kStorage);
+}
+
+TEST(KarmaTest, EmptyHints) {
+  const KarmaAllocator karma({}, 10, 10);
+  EXPECT_EQ(karma.level_of({0, 0}), CacheLevel::kUncached);
+}
+
+}  // namespace
+}  // namespace flo::storage

@@ -1,0 +1,80 @@
+#include "storage/striping.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace flo::storage {
+namespace {
+
+TEST(StripingTest, RoundRobinAcrossNodes) {
+  const Striping s(4, {16});
+  EXPECT_EQ(s.storage_node_of({0, 0}), 0u);
+  EXPECT_EQ(s.storage_node_of({0, 1}), 1u);
+  EXPECT_EQ(s.storage_node_of({0, 4}), 0u);
+  EXPECT_EQ(s.storage_node_of({0, 7}), 3u);
+}
+
+TEST(StripingTest, LocalStripesSequential) {
+  const Striping s(4, {16});
+  // Blocks 0, 4, 8, 12 live on node 0 at LBAs 0, 1, 2, 3.
+  EXPECT_EQ(s.lba_of({0, 0}), 0u);
+  EXPECT_EQ(s.lba_of({0, 4}), 1u);
+  EXPECT_EQ(s.lba_of({0, 8}), 2u);
+  EXPECT_EQ(s.lba_of({0, 12}), 3u);
+}
+
+TEST(StripingTest, FilesOccupyDisjointRegions) {
+  const Striping s(2, {10, 10});
+  std::map<std::pair<NodeId, std::uint64_t>, BlockKey> seen;
+  for (FileId f = 0; f < 2; ++f) {
+    for (std::uint64_t b = 0; b < 10; ++b) {
+      const BlockKey k{f, b};
+      const auto addr = std::make_pair(s.storage_node_of(k), s.lba_of(k));
+      EXPECT_EQ(seen.count(addr), 0u)
+          << "collision at node " << addr.first << " lba " << addr.second;
+      seen.emplace(addr, k);
+    }
+  }
+}
+
+TEST(StripingTest, BlocksOnNodeBalanced) {
+  const Striping s(4, {17});
+  // 17 blocks over 4 nodes: 5, 4, 4, 4.
+  EXPECT_EQ(s.blocks_on_node(0), 5u);
+  EXPECT_EQ(s.blocks_on_node(1), 4u);
+  EXPECT_EQ(s.blocks_on_node(2), 4u);
+  EXPECT_EQ(s.blocks_on_node(3), 4u);
+  EXPECT_THROW(s.blocks_on_node(4), std::out_of_range);
+}
+
+TEST(StripingTest, SecondFileBasesAfterFirst) {
+  const Striping s(2, {4, 4});
+  // File 0 places 2 blocks per node; file 1 starts after them.
+  EXPECT_EQ(s.lba_of({1, 0}), 2u);
+  EXPECT_EQ(s.lba_of({1, 1}), 2u);  // node 1's region also starts at 2
+}
+
+TEST(StripingTest, EmptyFileHandled) {
+  const Striping s(2, {0, 4});
+  EXPECT_EQ(s.lba_of({1, 0}), 0u);
+  EXPECT_EQ(s.file_blocks(0), 0u);
+}
+
+TEST(StripingTest, InvalidArguments) {
+  EXPECT_THROW(Striping(0, {4}), std::invalid_argument);
+  const Striping s(2, {4});
+  EXPECT_THROW(s.storage_node_of({1, 0}), std::out_of_range);
+  EXPECT_THROW(s.file_blocks(1), std::out_of_range);
+}
+
+TEST(StripingTest, SingleNodeDegenerate) {
+  const Striping s(1, {8});
+  for (std::uint64_t b = 0; b < 8; ++b) {
+    EXPECT_EQ(s.storage_node_of({0, b}), 0u);
+    EXPECT_EQ(s.lba_of({0, b}), b);
+  }
+}
+
+}  // namespace
+}  // namespace flo::storage

@@ -1,0 +1,78 @@
+#include "storage/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flo::storage {
+namespace {
+
+TEST(TopologyConfigTest, PaperDefaultKeepsRatios) {
+  const TopologyConfig c = TopologyConfig::paper_default();
+  EXPECT_EQ(c.compute_nodes, 64u);
+  EXPECT_EQ(c.io_nodes, 16u);
+  EXPECT_EQ(c.storage_nodes, 4u);
+  // Table 1 ratio: storage cache = 2x I/O cache.
+  EXPECT_EQ(c.storage_cache_bytes, 2 * c.io_cache_bytes);
+}
+
+TEST(TopologyConfigTest, UnscaledMatchesTable1) {
+  const TopologyConfig c = TopologyConfig::paper_default(1, 1);
+  EXPECT_EQ(c.block_size, 128ull << 10);
+  EXPECT_EQ(c.io_cache_bytes, 1ull << 30);
+  EXPECT_EQ(c.storage_cache_bytes, 2ull << 30);
+}
+
+TEST(TopologyConfigTest, BadScalesRejected) {
+  EXPECT_THROW(TopologyConfig::paper_default(0, 1), std::invalid_argument);
+  EXPECT_THROW(TopologyConfig::paper_default(1, 0), std::invalid_argument);
+  EXPECT_THROW(TopologyConfig::paper_default(1ull << 40, 1),
+               std::invalid_argument);
+}
+
+TEST(StorageTopologyTest, RoutingHelpers) {
+  const StorageTopology topo(TopologyConfig::paper_default());
+  EXPECT_EQ(topo.compute_per_io(), 4u);
+  EXPECT_EQ(topo.io_per_storage(), 4u);
+  EXPECT_EQ(topo.io_node_of(0), 0u);
+  EXPECT_EQ(topo.io_node_of(3), 0u);
+  EXPECT_EQ(topo.io_node_of(4), 1u);
+  EXPECT_EQ(topo.io_node_of(63), 15u);
+  EXPECT_EQ(topo.storage_node_of_io(0), 0u);
+  EXPECT_EQ(topo.storage_node_of_io(15), 3u);
+  EXPECT_THROW(topo.io_node_of(64), std::out_of_range);
+  EXPECT_THROW(topo.storage_node_of_io(16), std::out_of_range);
+}
+
+TEST(StorageTopologyTest, CacheBlockCounts) {
+  TopologyConfig c = TopologyConfig::paper_default();
+  const StorageTopology topo(c);
+  EXPECT_EQ(topo.io_cache_blocks(), c.io_cache_bytes / c.block_size);
+  EXPECT_EQ(topo.storage_cache_blocks(),
+            c.storage_cache_bytes / c.block_size);
+}
+
+TEST(StorageTopologyTest, ValidatesDivisibility) {
+  TopologyConfig c = TopologyConfig::paper_default();
+  c.compute_nodes = 63;
+  EXPECT_THROW(StorageTopology{c}, std::invalid_argument);
+  c = TopologyConfig::paper_default();
+  c.io_nodes = 6;  // does not divide into 4 storage nodes
+  EXPECT_THROW(StorageTopology{c}, std::invalid_argument);
+}
+
+TEST(StorageTopologyTest, ValidatesCapacities) {
+  TopologyConfig c = TopologyConfig::paper_default();
+  c.io_cache_bytes = c.block_size - 1;
+  EXPECT_THROW(StorageTopology{c}, std::invalid_argument);
+  c = TopologyConfig::paper_default();
+  c.block_size = 0;
+  EXPECT_THROW(StorageTopology{c}, std::invalid_argument);
+}
+
+TEST(StorageTopologyTest, DescribeMentionsNodeCounts) {
+  const StorageTopology topo(TopologyConfig::paper_default());
+  const std::string s = topo.describe();
+  EXPECT_NE(s.find("(64, 16, 4)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flo::storage

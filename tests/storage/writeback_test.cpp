@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "storage/simulator.hpp"
+
+namespace flo::storage {
+namespace {
+
+TopologyConfig wb_config(bool model_writes) {
+  TopologyConfig c;
+  c.compute_nodes = 4;
+  c.io_nodes = 2;
+  c.storage_nodes = 1;
+  c.block_size = 2048;
+  c.io_cache_bytes = 2 * c.block_size;
+  c.storage_cache_bytes = 4 * c.block_size;
+  c.model_writes = model_writes;
+  return c;
+}
+
+std::vector<NodeId> io_map() { return {0, 0, 1, 1}; }
+
+TraceProgram write_scan(std::uint64_t blocks, bool writes) {
+  TraceProgram trace;
+  trace.file_blocks = {blocks + 8};
+  PhaseTrace phase;
+  phase.per_thread.resize(1);
+  for (std::uint64_t b = 0; b < blocks; ++b) {
+    phase.per_thread[0].push_back({0, b, 1, writes});
+  }
+  trace.phases.push_back(std::move(phase));
+  return trace;
+}
+
+TEST(WritebackTest, DisabledByDefaultWritesBehaveLikeReads) {
+  const StorageTopology topo(wb_config(false));
+  HierarchySimulator reader(topo, PolicyKind::kLruInclusive, io_map());
+  HierarchySimulator writer(topo, PolicyKind::kLruInclusive, io_map());
+  const auto r = reader.run(write_scan(12, /*writes=*/false));
+  const auto w = writer.run(write_scan(12, /*writes=*/true));
+  EXPECT_EQ(r.exec_time, w.exec_time);
+  EXPECT_EQ(w.writebacks, 0u);
+  EXPECT_EQ(w.disk_writes, 0u);
+}
+
+TEST(WritebackTest, DirtyEvictionsShipDown) {
+  const StorageTopology topo(wb_config(true));
+  HierarchySimulator sim(topo, PolicyKind::kLruInclusive, io_map());
+  // 12 written blocks stream through a 2-block I/O cache: 10 dirty
+  // evictions ship down to the 4-block storage cache, whose own dirty
+  // evictions reach the disk.
+  const auto result = sim.run(write_scan(12, /*writes=*/true));
+  EXPECT_GE(result.writebacks, 10u);
+  EXPECT_GT(result.disk_writes, 0u);
+}
+
+TEST(WritebackTest, CleanEvictionsAreFree) {
+  const StorageTopology topo(wb_config(true));
+  HierarchySimulator sim(topo, PolicyKind::kLruInclusive, io_map());
+  const auto result = sim.run(write_scan(12, /*writes=*/false));
+  EXPECT_EQ(result.writebacks, 0u);
+  EXPECT_EQ(result.disk_writes, 0u);
+}
+
+TEST(WritebackTest, WriteTrafficCostsMoreThanReadTraffic) {
+  const StorageTopology topo(wb_config(true));
+  HierarchySimulator reader(topo, PolicyKind::kLruInclusive, io_map());
+  HierarchySimulator writer(topo, PolicyKind::kLruInclusive, io_map());
+  const auto r = reader.run(write_scan(32, false));
+  const auto w = writer.run(write_scan(32, true));
+  EXPECT_GT(w.exec_time, r.exec_time);
+}
+
+TEST(WritebackTest, RewritingResidentBlockStaysDirtyOnce) {
+  const StorageTopology topo(wb_config(true));
+  HierarchySimulator sim(topo, PolicyKind::kLruInclusive, io_map());
+  TraceProgram trace;
+  trace.file_blocks = {16};
+  PhaseTrace phase;
+  phase.per_thread.resize(1);
+  // Write the same block repeatedly, then flush it out with two reads.
+  for (int i = 0; i < 5; ++i) phase.per_thread[0].push_back({0, 0, 1, true});
+  phase.per_thread[0].push_back({0, 1, 1, false});
+  phase.per_thread[0].push_back({0, 2, 1, false});
+  phase.per_thread[0].push_back({0, 3, 1, false});
+  trace.phases.push_back(std::move(phase));
+  const auto result = sim.run(trace);
+  EXPECT_EQ(result.writebacks, 1u);  // block 0 shipped down exactly once
+}
+
+}  // namespace
+}  // namespace flo::storage

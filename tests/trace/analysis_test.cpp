@@ -1,0 +1,85 @@
+#include "trace/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flo::trace {
+namespace {
+
+storage::TraceProgram two_thread_trace() {
+  storage::TraceProgram trace;
+  trace.file_blocks = {32};
+  storage::PhaseTrace phase;
+  phase.repeat = 2;
+  phase.per_thread.resize(2);
+  // Thread 0 hammers blocks 0..3; thread 1 touches 16..19 once each.
+  for (int rep = 0; rep < 4; ++rep) {
+    for (std::uint64_t b = 0; b < 4; ++b) {
+      phase.per_thread[0].push_back({0, b, 1});
+    }
+  }
+  for (std::uint64_t b = 16; b < 20; ++b) {
+    phase.per_thread[1].push_back({0, b, 1});
+  }
+  trace.phases.push_back(std::move(phase));
+  return trace;
+}
+
+TEST(ProfileRangeHintsTest, DensityReflectsAccessCounts) {
+  const auto hints = profile_range_hints(two_thread_trace(),
+                                         /*segment_blocks=*/4);
+  ASSERT_EQ(hints.size(), 2u);
+  // Sorted by (file, begin).
+  EXPECT_EQ(hints[0].begin_block, 0u);
+  EXPECT_EQ(hints[0].end_block, 4u);
+  EXPECT_EQ(hints[1].begin_block, 16u);
+  // Thread 0's segment is 8x denser (4 reps in trace x 2 phase repeats
+  // vs 1 x 2).
+  EXPECT_DOUBLE_EQ(hints[0].accesses_per_block, 8.0);
+  EXPECT_DOUBLE_EQ(hints[1].accesses_per_block, 2.0);
+}
+
+TEST(ProfileRangeHintsTest, SegmentsClampToFileEnd) {
+  storage::TraceProgram trace;
+  trace.file_blocks = {10};
+  storage::PhaseTrace phase;
+  phase.per_thread.resize(1);
+  phase.per_thread[0].push_back({0, 9, 1});
+  trace.phases.push_back(std::move(phase));
+  const auto hints = profile_range_hints(trace, 4);
+  ASSERT_EQ(hints.size(), 1u);
+  EXPECT_EQ(hints[0].begin_block, 8u);
+  EXPECT_EQ(hints[0].end_block, 10u);
+}
+
+TEST(ProfileRangeHintsTest, ZeroSegmentRejected) {
+  EXPECT_THROW(profile_range_hints(two_thread_trace(), 0),
+               std::invalid_argument);
+}
+
+TEST(ProfileRangeHintsTest, EmptyTraceYieldsNoHints) {
+  storage::TraceProgram trace;
+  trace.file_blocks = {8};
+  EXPECT_TRUE(profile_range_hints(trace, 4).empty());
+}
+
+TEST(FootprintStatsTest, DistinctBlocksPerThread) {
+  const auto stats = footprint_stats(two_thread_trace(), 2);
+  ASSERT_EQ(stats.distinct_blocks.size(), 2u);
+  EXPECT_EQ(stats.distinct_blocks[0], 4u);
+  EXPECT_EQ(stats.distinct_blocks[1], 4u);
+  EXPECT_DOUBLE_EQ(stats.mean_distinct(), 4.0);
+  EXPECT_EQ(stats.max_distinct(), 4u);
+  // 16 + 4 stored events, x2 phase repeats.
+  EXPECT_EQ(stats.total_requests, 40u);
+}
+
+TEST(FootprintStatsTest, EmptyTrace) {
+  storage::TraceProgram trace;
+  const auto stats = footprint_stats(trace, 3);
+  EXPECT_EQ(stats.distinct_blocks.size(), 3u);
+  EXPECT_EQ(stats.mean_distinct(), 0.0);
+  EXPECT_EQ(stats.max_distinct(), 0u);
+}
+
+}  // namespace
+}  // namespace flo::trace

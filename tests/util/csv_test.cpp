@@ -1,0 +1,42 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flo::util {
+namespace {
+
+TEST(CsvTest, BasicDocument) {
+  CsvWriter csv({"a", "b"});
+  csv.add_row({"1", "2"});
+  csv.add_row({"3", "4"});
+  EXPECT_EQ(csv.to_string(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(CsvTest, QuotesSpecialCells) {
+  CsvWriter csv({"text"});
+  csv.add_row({"has,comma"});
+  csv.add_row({"has\"quote"});
+  csv.add_row({"has\nnewline"});
+  const std::string out = csv.to_string();
+  EXPECT_NE(out.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(out.find("\"has\"\"quote\""), std::string::npos);
+  EXPECT_NE(out.find("\"has\nnewline\""), std::string::npos);
+}
+
+TEST(CsvTest, WidthMismatchThrows) {
+  CsvWriter csv({"a", "b"});
+  EXPECT_THROW(csv.add_row({"x"}), std::invalid_argument);
+}
+
+TEST(CsvTest, EmptyHeadersThrow) {
+  EXPECT_THROW(CsvWriter({}), std::invalid_argument);
+}
+
+TEST(CsvTest, WriteFileFailsOnBadPath) {
+  CsvWriter csv({"a"});
+  EXPECT_THROW(csv.write_file("/nonexistent-dir-xyz/file.csv"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace flo::util

@@ -1,0 +1,64 @@
+#include "util/format.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flo::util {
+namespace {
+
+TEST(FormatDurationTest, PaperStyle) {
+  EXPECT_EQ(format_duration(201.0), "3 min 21 s");
+  EXPECT_EQ(format_duration(104.0), "1 min 44 s");
+  EXPECT_EQ(format_duration(530.0), "8 min 50 s");
+}
+
+TEST(FormatDurationTest, SubMinuteAndSubSecond) {
+  EXPECT_EQ(format_duration(41.0), "41 s");
+  EXPECT_EQ(format_duration(0.42), "0.42 s");
+  EXPECT_EQ(format_duration(0.0), "0.00 s");
+}
+
+TEST(FormatDurationTest, Hours) {
+  EXPECT_EQ(format_duration(3723.0), "1 h 2 min 3 s");
+}
+
+TEST(FormatDurationTest, Rounding) {
+  EXPECT_EQ(format_duration(59.6), "1 min 00 s");
+  EXPECT_EQ(format_duration(1.4), "1 s");
+}
+
+TEST(FormatDurationTest, NegativeClampsToZero) {
+  EXPECT_EQ(format_duration(-5.0), "0.00 s");
+}
+
+TEST(FormatBytesTest, Units) {
+  EXPECT_EQ(format_bytes(0), "0 B");
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(4096), "4 KiB");
+  EXPECT_EQ(format_bytes(1ull << 20), "1 MiB");
+  EXPECT_EQ(format_bytes(3ull << 30), "3 GiB");
+}
+
+TEST(FormatBytesTest, FractionalValues) {
+  EXPECT_EQ(format_bytes(1536), "1.5 KiB");
+}
+
+TEST(FormatPercentTest, OneDecimal) {
+  EXPECT_EQ(format_percent(0.237), "23.7%");
+  EXPECT_EQ(format_percent(0.0), "0.0%");
+  EXPECT_EQ(format_percent(1.0), "100.0%");
+}
+
+TEST(FormatFixedTest, Decimals) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(2.0, 0), "2");
+}
+
+TEST(PaddingTest, LeftAndRight) {
+  EXPECT_EQ(pad_left("ab", 4), "  ab");
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_left("abcd", 2), "abcd");
+  EXPECT_EQ(pad_right("abcd", 2), "abcd");
+}
+
+}  // namespace
+}  // namespace flo::util

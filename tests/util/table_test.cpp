@@ -1,0 +1,65 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace flo::util {
+namespace {
+
+TEST(TableTest, RendersHeaderRuleAndRows) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  EXPECT_NE(out.find("alpha |     1"), std::string::npos);
+}
+
+TEST(TableTest, DefaultAlignment) {
+  Table t({"k", "v"});
+  t.add_row({"x", "10"});
+  t.add_row({"yy", "5"});
+  const std::string out = t.to_string();
+  // First column left-aligned, second right-aligned.
+  EXPECT_NE(out.find("x  |"), std::string::npos);
+  EXPECT_NE(out.find("|  5"), std::string::npos);
+}
+
+TEST(TableTest, CustomAlignment) {
+  Table t({"a", "b"});
+  t.set_alignment({Align::kRight, Align::kLeft});
+  t.add_row({"1", "left"});
+  t.add_row({"22", "l"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find(" 1 | left"), std::string::npos);
+}
+
+TEST(TableTest, WidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(t.set_alignment({Align::kLeft}), std::invalid_argument);
+}
+
+TEST(TableTest, EmptyHeadersThrow) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(TableTest, RowCount) {
+  Table t({"a"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"1"});
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(TableTest, StreamOperator) {
+  Table t({"a"});
+  t.add_row({"z"});
+  std::ostringstream os;
+  os << t;
+  EXPECT_EQ(os.str(), t.to_string());
+}
+
+}  // namespace
+}  // namespace flo::util
