@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_template.dir/bench_ablation_template.cpp.o"
+  "CMakeFiles/bench_ablation_template.dir/bench_ablation_template.cpp.o.d"
+  "bench_ablation_template"
+  "bench_ablation_template.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_template.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_compile_stats.dir/bench_compile_stats.cpp.o"
+  "CMakeFiles/bench_compile_stats.dir/bench_compile_stats.cpp.o.d"
+  "bench_compile_stats"
+  "bench_compile_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_compile_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

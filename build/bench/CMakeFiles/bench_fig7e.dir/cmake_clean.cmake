@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7e.dir/bench_fig7e.cpp.o"
+  "CMakeFiles/bench_fig7e.dir/bench_fig7e.cpp.o.d"
+  "bench_fig7e"
+  "bench_fig7e.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7e.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7f.dir/bench_fig7f.cpp.o"
+  "CMakeFiles/bench_fig7f.dir/bench_fig7f.cpp.o.d"
+  "bench_fig7f"
+  "bench_fig7f.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7f.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

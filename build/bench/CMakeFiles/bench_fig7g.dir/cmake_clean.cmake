@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7g.dir/bench_fig7g.cpp.o"
+  "CMakeFiles/bench_fig7g.dir/bench_fig7g.cpp.o.d"
+  "bench_fig7g"
+  "bench_fig7g.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7g.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7h.dir/bench_fig7h.cpp.o"
+  "CMakeFiles/bench_fig7h.dir/bench_fig7h.cpp.o.d"
+  "bench_fig7h"
+  "bench_fig7h.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7h.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flo_calibrate.dir/calibrate.cpp.o"
+  "CMakeFiles/flo_calibrate.dir/calibrate.cpp.o.d"
+  "flo_calibrate"
+  "flo_calibrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flo_calibrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

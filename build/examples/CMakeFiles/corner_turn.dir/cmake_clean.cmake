@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corner_turn.dir/corner_turn.cpp.o"
+  "CMakeFiles/corner_turn.dir/corner_turn.cpp.o.d"
+  "corner_turn"
+  "corner_turn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corner_turn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flo_baselines.dir/baselines/computation_mapping.cpp.o"
+  "CMakeFiles/flo_baselines.dir/baselines/computation_mapping.cpp.o.d"
+  "CMakeFiles/flo_baselines.dir/baselines/dimension_reindexing.cpp.o"
+  "CMakeFiles/flo_baselines.dir/baselines/dimension_reindexing.cpp.o.d"
+  "libflo_baselines.a"
+  "libflo_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flo_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flo_core.dir/core/experiment.cpp.o"
+  "CMakeFiles/flo_core.dir/core/experiment.cpp.o.d"
+  "CMakeFiles/flo_core.dir/core/optimizer.cpp.o"
+  "CMakeFiles/flo_core.dir/core/optimizer.cpp.o.d"
+  "CMakeFiles/flo_core.dir/core/report.cpp.o"
+  "CMakeFiles/flo_core.dir/core/report.cpp.o.d"
+  "libflo_core.a"
+  "libflo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/array_decl.cpp" "src/CMakeFiles/flo_ir.dir/ir/array_decl.cpp.o" "gcc" "src/CMakeFiles/flo_ir.dir/ir/array_decl.cpp.o.d"
+  "/root/repo/src/ir/builder.cpp" "src/CMakeFiles/flo_ir.dir/ir/builder.cpp.o" "gcc" "src/CMakeFiles/flo_ir.dir/ir/builder.cpp.o.d"
+  "/root/repo/src/ir/loop_nest.cpp" "src/CMakeFiles/flo_ir.dir/ir/loop_nest.cpp.o" "gcc" "src/CMakeFiles/flo_ir.dir/ir/loop_nest.cpp.o.d"
+  "/root/repo/src/ir/parser.cpp" "src/CMakeFiles/flo_ir.dir/ir/parser.cpp.o" "gcc" "src/CMakeFiles/flo_ir.dir/ir/parser.cpp.o.d"
+  "/root/repo/src/ir/printer.cpp" "src/CMakeFiles/flo_ir.dir/ir/printer.cpp.o" "gcc" "src/CMakeFiles/flo_ir.dir/ir/printer.cpp.o.d"
+  "/root/repo/src/ir/program.cpp" "src/CMakeFiles/flo_ir.dir/ir/program.cpp.o" "gcc" "src/CMakeFiles/flo_ir.dir/ir/program.cpp.o.d"
+  "/root/repo/src/ir/validate.cpp" "src/CMakeFiles/flo_ir.dir/ir/validate.cpp.o" "gcc" "src/CMakeFiles/flo_ir.dir/ir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/flo_polyhedral.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flo_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flo_ir.dir/ir/array_decl.cpp.o"
+  "CMakeFiles/flo_ir.dir/ir/array_decl.cpp.o.d"
+  "CMakeFiles/flo_ir.dir/ir/builder.cpp.o"
+  "CMakeFiles/flo_ir.dir/ir/builder.cpp.o.d"
+  "CMakeFiles/flo_ir.dir/ir/loop_nest.cpp.o"
+  "CMakeFiles/flo_ir.dir/ir/loop_nest.cpp.o.d"
+  "CMakeFiles/flo_ir.dir/ir/parser.cpp.o"
+  "CMakeFiles/flo_ir.dir/ir/parser.cpp.o.d"
+  "CMakeFiles/flo_ir.dir/ir/printer.cpp.o"
+  "CMakeFiles/flo_ir.dir/ir/printer.cpp.o.d"
+  "CMakeFiles/flo_ir.dir/ir/program.cpp.o"
+  "CMakeFiles/flo_ir.dir/ir/program.cpp.o.d"
+  "CMakeFiles/flo_ir.dir/ir/validate.cpp.o"
+  "CMakeFiles/flo_ir.dir/ir/validate.cpp.o.d"
+  "libflo_ir.a"
+  "libflo_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flo_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/layout/canonical.cpp" "src/CMakeFiles/flo_layout.dir/layout/canonical.cpp.o" "gcc" "src/CMakeFiles/flo_layout.dir/layout/canonical.cpp.o.d"
+  "/root/repo/src/layout/chunk_pattern.cpp" "src/CMakeFiles/flo_layout.dir/layout/chunk_pattern.cpp.o" "gcc" "src/CMakeFiles/flo_layout.dir/layout/chunk_pattern.cpp.o.d"
+  "/root/repo/src/layout/conversion.cpp" "src/CMakeFiles/flo_layout.dir/layout/conversion.cpp.o" "gcc" "src/CMakeFiles/flo_layout.dir/layout/conversion.cpp.o.d"
+  "/root/repo/src/layout/file_layout.cpp" "src/CMakeFiles/flo_layout.dir/layout/file_layout.cpp.o" "gcc" "src/CMakeFiles/flo_layout.dir/layout/file_layout.cpp.o.d"
+  "/root/repo/src/layout/internode.cpp" "src/CMakeFiles/flo_layout.dir/layout/internode.cpp.o" "gcc" "src/CMakeFiles/flo_layout.dir/layout/internode.cpp.o.d"
+  "/root/repo/src/layout/partitioning.cpp" "src/CMakeFiles/flo_layout.dir/layout/partitioning.cpp.o" "gcc" "src/CMakeFiles/flo_layout.dir/layout/partitioning.cpp.o.d"
+  "/root/repo/src/layout/permutation.cpp" "src/CMakeFiles/flo_layout.dir/layout/permutation.cpp.o" "gcc" "src/CMakeFiles/flo_layout.dir/layout/permutation.cpp.o.d"
+  "/root/repo/src/layout/template_hierarchy.cpp" "src/CMakeFiles/flo_layout.dir/layout/template_hierarchy.cpp.o" "gcc" "src/CMakeFiles/flo_layout.dir/layout/template_hierarchy.cpp.o.d"
+  "/root/repo/src/layout/transform_plan.cpp" "src/CMakeFiles/flo_layout.dir/layout/transform_plan.cpp.o" "gcc" "src/CMakeFiles/flo_layout.dir/layout/transform_plan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/flo_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flo_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flo_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flo_polyhedral.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flo_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

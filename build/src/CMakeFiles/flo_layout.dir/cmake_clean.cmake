@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flo_layout.dir/layout/canonical.cpp.o"
+  "CMakeFiles/flo_layout.dir/layout/canonical.cpp.o.d"
+  "CMakeFiles/flo_layout.dir/layout/chunk_pattern.cpp.o"
+  "CMakeFiles/flo_layout.dir/layout/chunk_pattern.cpp.o.d"
+  "CMakeFiles/flo_layout.dir/layout/conversion.cpp.o"
+  "CMakeFiles/flo_layout.dir/layout/conversion.cpp.o.d"
+  "CMakeFiles/flo_layout.dir/layout/file_layout.cpp.o"
+  "CMakeFiles/flo_layout.dir/layout/file_layout.cpp.o.d"
+  "CMakeFiles/flo_layout.dir/layout/internode.cpp.o"
+  "CMakeFiles/flo_layout.dir/layout/internode.cpp.o.d"
+  "CMakeFiles/flo_layout.dir/layout/partitioning.cpp.o"
+  "CMakeFiles/flo_layout.dir/layout/partitioning.cpp.o.d"
+  "CMakeFiles/flo_layout.dir/layout/permutation.cpp.o"
+  "CMakeFiles/flo_layout.dir/layout/permutation.cpp.o.d"
+  "CMakeFiles/flo_layout.dir/layout/template_hierarchy.cpp.o"
+  "CMakeFiles/flo_layout.dir/layout/template_hierarchy.cpp.o.d"
+  "CMakeFiles/flo_layout.dir/layout/transform_plan.cpp.o"
+  "CMakeFiles/flo_layout.dir/layout/transform_plan.cpp.o.d"
+  "libflo_layout.a"
+  "libflo_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flo_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

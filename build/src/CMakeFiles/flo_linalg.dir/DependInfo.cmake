@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/gcd.cpp" "src/CMakeFiles/flo_linalg.dir/linalg/gcd.cpp.o" "gcc" "src/CMakeFiles/flo_linalg.dir/linalg/gcd.cpp.o.d"
+  "/root/repo/src/linalg/hermite.cpp" "src/CMakeFiles/flo_linalg.dir/linalg/hermite.cpp.o" "gcc" "src/CMakeFiles/flo_linalg.dir/linalg/hermite.cpp.o.d"
+  "/root/repo/src/linalg/int_matrix.cpp" "src/CMakeFiles/flo_linalg.dir/linalg/int_matrix.cpp.o" "gcc" "src/CMakeFiles/flo_linalg.dir/linalg/int_matrix.cpp.o.d"
+  "/root/repo/src/linalg/nullspace.cpp" "src/CMakeFiles/flo_linalg.dir/linalg/nullspace.cpp.o" "gcc" "src/CMakeFiles/flo_linalg.dir/linalg/nullspace.cpp.o.d"
+  "/root/repo/src/linalg/unimodular.cpp" "src/CMakeFiles/flo_linalg.dir/linalg/unimodular.cpp.o" "gcc" "src/CMakeFiles/flo_linalg.dir/linalg/unimodular.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/flo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

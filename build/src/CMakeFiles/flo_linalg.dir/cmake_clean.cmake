@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flo_linalg.dir/linalg/gcd.cpp.o"
+  "CMakeFiles/flo_linalg.dir/linalg/gcd.cpp.o.d"
+  "CMakeFiles/flo_linalg.dir/linalg/hermite.cpp.o"
+  "CMakeFiles/flo_linalg.dir/linalg/hermite.cpp.o.d"
+  "CMakeFiles/flo_linalg.dir/linalg/int_matrix.cpp.o"
+  "CMakeFiles/flo_linalg.dir/linalg/int_matrix.cpp.o.d"
+  "CMakeFiles/flo_linalg.dir/linalg/nullspace.cpp.o"
+  "CMakeFiles/flo_linalg.dir/linalg/nullspace.cpp.o.d"
+  "CMakeFiles/flo_linalg.dir/linalg/unimodular.cpp.o"
+  "CMakeFiles/flo_linalg.dir/linalg/unimodular.cpp.o.d"
+  "libflo_linalg.a"
+  "libflo_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flo_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parallel/iteration_blocks.cpp" "src/CMakeFiles/flo_parallel.dir/parallel/iteration_blocks.cpp.o" "gcc" "src/CMakeFiles/flo_parallel.dir/parallel/iteration_blocks.cpp.o.d"
+  "/root/repo/src/parallel/schedule.cpp" "src/CMakeFiles/flo_parallel.dir/parallel/schedule.cpp.o" "gcc" "src/CMakeFiles/flo_parallel.dir/parallel/schedule.cpp.o.d"
+  "/root/repo/src/parallel/thread_mapping.cpp" "src/CMakeFiles/flo_parallel.dir/parallel/thread_mapping.cpp.o" "gcc" "src/CMakeFiles/flo_parallel.dir/parallel/thread_mapping.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/flo_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flo_polyhedral.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flo_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

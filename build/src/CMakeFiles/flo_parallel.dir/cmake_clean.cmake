@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flo_parallel.dir/parallel/iteration_blocks.cpp.o"
+  "CMakeFiles/flo_parallel.dir/parallel/iteration_blocks.cpp.o.d"
+  "CMakeFiles/flo_parallel.dir/parallel/schedule.cpp.o"
+  "CMakeFiles/flo_parallel.dir/parallel/schedule.cpp.o.d"
+  "CMakeFiles/flo_parallel.dir/parallel/thread_mapping.cpp.o"
+  "CMakeFiles/flo_parallel.dir/parallel/thread_mapping.cpp.o.d"
+  "libflo_parallel.a"
+  "libflo_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flo_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

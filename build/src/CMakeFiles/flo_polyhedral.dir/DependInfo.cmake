@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/polyhedral/data_space.cpp" "src/CMakeFiles/flo_polyhedral.dir/polyhedral/data_space.cpp.o" "gcc" "src/CMakeFiles/flo_polyhedral.dir/polyhedral/data_space.cpp.o.d"
+  "/root/repo/src/polyhedral/hyperplane.cpp" "src/CMakeFiles/flo_polyhedral.dir/polyhedral/hyperplane.cpp.o" "gcc" "src/CMakeFiles/flo_polyhedral.dir/polyhedral/hyperplane.cpp.o.d"
+  "/root/repo/src/polyhedral/iteration_space.cpp" "src/CMakeFiles/flo_polyhedral.dir/polyhedral/iteration_space.cpp.o" "gcc" "src/CMakeFiles/flo_polyhedral.dir/polyhedral/iteration_space.cpp.o.d"
+  "/root/repo/src/polyhedral/reference.cpp" "src/CMakeFiles/flo_polyhedral.dir/polyhedral/reference.cpp.o" "gcc" "src/CMakeFiles/flo_polyhedral.dir/polyhedral/reference.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/flo_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flo_polyhedral.dir/polyhedral/data_space.cpp.o"
+  "CMakeFiles/flo_polyhedral.dir/polyhedral/data_space.cpp.o.d"
+  "CMakeFiles/flo_polyhedral.dir/polyhedral/hyperplane.cpp.o"
+  "CMakeFiles/flo_polyhedral.dir/polyhedral/hyperplane.cpp.o.d"
+  "CMakeFiles/flo_polyhedral.dir/polyhedral/iteration_space.cpp.o"
+  "CMakeFiles/flo_polyhedral.dir/polyhedral/iteration_space.cpp.o.d"
+  "CMakeFiles/flo_polyhedral.dir/polyhedral/reference.cpp.o"
+  "CMakeFiles/flo_polyhedral.dir/polyhedral/reference.cpp.o.d"
+  "libflo_polyhedral.a"
+  "libflo_polyhedral.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flo_polyhedral.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

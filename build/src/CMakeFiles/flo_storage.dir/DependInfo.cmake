@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/disk_model.cpp" "src/CMakeFiles/flo_storage.dir/storage/disk_model.cpp.o" "gcc" "src/CMakeFiles/flo_storage.dir/storage/disk_model.cpp.o.d"
+  "/root/repo/src/storage/karma.cpp" "src/CMakeFiles/flo_storage.dir/storage/karma.cpp.o" "gcc" "src/CMakeFiles/flo_storage.dir/storage/karma.cpp.o.d"
+  "/root/repo/src/storage/lru_cache.cpp" "src/CMakeFiles/flo_storage.dir/storage/lru_cache.cpp.o" "gcc" "src/CMakeFiles/flo_storage.dir/storage/lru_cache.cpp.o.d"
+  "/root/repo/src/storage/mq_cache.cpp" "src/CMakeFiles/flo_storage.dir/storage/mq_cache.cpp.o" "gcc" "src/CMakeFiles/flo_storage.dir/storage/mq_cache.cpp.o.d"
+  "/root/repo/src/storage/network_model.cpp" "src/CMakeFiles/flo_storage.dir/storage/network_model.cpp.o" "gcc" "src/CMakeFiles/flo_storage.dir/storage/network_model.cpp.o.d"
+  "/root/repo/src/storage/policy.cpp" "src/CMakeFiles/flo_storage.dir/storage/policy.cpp.o" "gcc" "src/CMakeFiles/flo_storage.dir/storage/policy.cpp.o.d"
+  "/root/repo/src/storage/simulator.cpp" "src/CMakeFiles/flo_storage.dir/storage/simulator.cpp.o" "gcc" "src/CMakeFiles/flo_storage.dir/storage/simulator.cpp.o.d"
+  "/root/repo/src/storage/stats.cpp" "src/CMakeFiles/flo_storage.dir/storage/stats.cpp.o" "gcc" "src/CMakeFiles/flo_storage.dir/storage/stats.cpp.o.d"
+  "/root/repo/src/storage/striping.cpp" "src/CMakeFiles/flo_storage.dir/storage/striping.cpp.o" "gcc" "src/CMakeFiles/flo_storage.dir/storage/striping.cpp.o.d"
+  "/root/repo/src/storage/topology.cpp" "src/CMakeFiles/flo_storage.dir/storage/topology.cpp.o" "gcc" "src/CMakeFiles/flo_storage.dir/storage/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/flo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flo_storage.dir/storage/disk_model.cpp.o"
+  "CMakeFiles/flo_storage.dir/storage/disk_model.cpp.o.d"
+  "CMakeFiles/flo_storage.dir/storage/karma.cpp.o"
+  "CMakeFiles/flo_storage.dir/storage/karma.cpp.o.d"
+  "CMakeFiles/flo_storage.dir/storage/lru_cache.cpp.o"
+  "CMakeFiles/flo_storage.dir/storage/lru_cache.cpp.o.d"
+  "CMakeFiles/flo_storage.dir/storage/mq_cache.cpp.o"
+  "CMakeFiles/flo_storage.dir/storage/mq_cache.cpp.o.d"
+  "CMakeFiles/flo_storage.dir/storage/network_model.cpp.o"
+  "CMakeFiles/flo_storage.dir/storage/network_model.cpp.o.d"
+  "CMakeFiles/flo_storage.dir/storage/policy.cpp.o"
+  "CMakeFiles/flo_storage.dir/storage/policy.cpp.o.d"
+  "CMakeFiles/flo_storage.dir/storage/simulator.cpp.o"
+  "CMakeFiles/flo_storage.dir/storage/simulator.cpp.o.d"
+  "CMakeFiles/flo_storage.dir/storage/stats.cpp.o"
+  "CMakeFiles/flo_storage.dir/storage/stats.cpp.o.d"
+  "CMakeFiles/flo_storage.dir/storage/striping.cpp.o"
+  "CMakeFiles/flo_storage.dir/storage/striping.cpp.o.d"
+  "CMakeFiles/flo_storage.dir/storage/topology.cpp.o"
+  "CMakeFiles/flo_storage.dir/storage/topology.cpp.o.d"
+  "libflo_storage.a"
+  "libflo_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flo_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flo_trace.dir/trace/analysis.cpp.o"
+  "CMakeFiles/flo_trace.dir/trace/analysis.cpp.o.d"
+  "CMakeFiles/flo_trace.dir/trace/generator.cpp.o"
+  "CMakeFiles/flo_trace.dir/trace/generator.cpp.o.d"
+  "libflo_trace.a"
+  "libflo_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flo_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

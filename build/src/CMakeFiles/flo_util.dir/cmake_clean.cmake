@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flo_util.dir/util/csv.cpp.o"
+  "CMakeFiles/flo_util.dir/util/csv.cpp.o.d"
+  "CMakeFiles/flo_util.dir/util/format.cpp.o"
+  "CMakeFiles/flo_util.dir/util/format.cpp.o.d"
+  "CMakeFiles/flo_util.dir/util/log.cpp.o"
+  "CMakeFiles/flo_util.dir/util/log.cpp.o.d"
+  "CMakeFiles/flo_util.dir/util/rng.cpp.o"
+  "CMakeFiles/flo_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/flo_util.dir/util/table.cpp.o"
+  "CMakeFiles/flo_util.dir/util/table.cpp.o.d"
+  "libflo_util.a"
+  "libflo_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flo_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

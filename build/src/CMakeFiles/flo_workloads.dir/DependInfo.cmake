@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/apps_group1.cpp" "src/CMakeFiles/flo_workloads.dir/workloads/apps_group1.cpp.o" "gcc" "src/CMakeFiles/flo_workloads.dir/workloads/apps_group1.cpp.o.d"
+  "/root/repo/src/workloads/apps_group2.cpp" "src/CMakeFiles/flo_workloads.dir/workloads/apps_group2.cpp.o" "gcc" "src/CMakeFiles/flo_workloads.dir/workloads/apps_group2.cpp.o.d"
+  "/root/repo/src/workloads/apps_group3.cpp" "src/CMakeFiles/flo_workloads.dir/workloads/apps_group3.cpp.o" "gcc" "src/CMakeFiles/flo_workloads.dir/workloads/apps_group3.cpp.o.d"
+  "/root/repo/src/workloads/common.cpp" "src/CMakeFiles/flo_workloads.dir/workloads/common.cpp.o" "gcc" "src/CMakeFiles/flo_workloads.dir/workloads/common.cpp.o.d"
+  "/root/repo/src/workloads/suite.cpp" "src/CMakeFiles/flo_workloads.dir/workloads/suite.cpp.o" "gcc" "src/CMakeFiles/flo_workloads.dir/workloads/suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/flo_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flo_polyhedral.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flo_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

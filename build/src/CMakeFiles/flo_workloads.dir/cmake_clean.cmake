@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flo_workloads.dir/workloads/apps_group1.cpp.o"
+  "CMakeFiles/flo_workloads.dir/workloads/apps_group1.cpp.o.d"
+  "CMakeFiles/flo_workloads.dir/workloads/apps_group2.cpp.o"
+  "CMakeFiles/flo_workloads.dir/workloads/apps_group2.cpp.o.d"
+  "CMakeFiles/flo_workloads.dir/workloads/apps_group3.cpp.o"
+  "CMakeFiles/flo_workloads.dir/workloads/apps_group3.cpp.o.d"
+  "CMakeFiles/flo_workloads.dir/workloads/common.cpp.o"
+  "CMakeFiles/flo_workloads.dir/workloads/common.cpp.o.d"
+  "CMakeFiles/flo_workloads.dir/workloads/suite.cpp.o"
+  "CMakeFiles/flo_workloads.dir/workloads/suite.cpp.o.d"
+  "libflo_workloads.a"
+  "libflo_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flo_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

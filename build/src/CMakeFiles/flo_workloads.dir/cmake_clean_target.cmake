@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libflo_workloads.a"
+)

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layout_tests.dir/layout/canonical_test.cpp.o"
+  "CMakeFiles/layout_tests.dir/layout/canonical_test.cpp.o.d"
+  "CMakeFiles/layout_tests.dir/layout/chunk_pattern_test.cpp.o"
+  "CMakeFiles/layout_tests.dir/layout/chunk_pattern_test.cpp.o.d"
+  "CMakeFiles/layout_tests.dir/layout/conversion_test.cpp.o"
+  "CMakeFiles/layout_tests.dir/layout/conversion_test.cpp.o.d"
+  "CMakeFiles/layout_tests.dir/layout/internode_test.cpp.o"
+  "CMakeFiles/layout_tests.dir/layout/internode_test.cpp.o.d"
+  "CMakeFiles/layout_tests.dir/layout/partitioning_test.cpp.o"
+  "CMakeFiles/layout_tests.dir/layout/partitioning_test.cpp.o.d"
+  "CMakeFiles/layout_tests.dir/layout/permutation_test.cpp.o"
+  "CMakeFiles/layout_tests.dir/layout/permutation_test.cpp.o.d"
+  "CMakeFiles/layout_tests.dir/layout/template_hierarchy_test.cpp.o"
+  "CMakeFiles/layout_tests.dir/layout/template_hierarchy_test.cpp.o.d"
+  "CMakeFiles/layout_tests.dir/layout/transform_plan_test.cpp.o"
+  "CMakeFiles/layout_tests.dir/layout/transform_plan_test.cpp.o.d"
+  "layout_tests"
+  "layout_tests.pdb"
+  "layout_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layout_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

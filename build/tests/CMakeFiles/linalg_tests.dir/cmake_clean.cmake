@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linalg_tests.dir/linalg/gcd_test.cpp.o"
+  "CMakeFiles/linalg_tests.dir/linalg/gcd_test.cpp.o.d"
+  "CMakeFiles/linalg_tests.dir/linalg/hermite_test.cpp.o"
+  "CMakeFiles/linalg_tests.dir/linalg/hermite_test.cpp.o.d"
+  "CMakeFiles/linalg_tests.dir/linalg/int_matrix_test.cpp.o"
+  "CMakeFiles/linalg_tests.dir/linalg/int_matrix_test.cpp.o.d"
+  "CMakeFiles/linalg_tests.dir/linalg/nullspace_test.cpp.o"
+  "CMakeFiles/linalg_tests.dir/linalg/nullspace_test.cpp.o.d"
+  "CMakeFiles/linalg_tests.dir/linalg/unimodular_test.cpp.o"
+  "CMakeFiles/linalg_tests.dir/linalg/unimodular_test.cpp.o.d"
+  "linalg_tests"
+  "linalg_tests.pdb"
+  "linalg_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linalg_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polyhedral_tests.dir/polyhedral/data_space_test.cpp.o"
+  "CMakeFiles/polyhedral_tests.dir/polyhedral/data_space_test.cpp.o.d"
+  "CMakeFiles/polyhedral_tests.dir/polyhedral/hyperplane_test.cpp.o"
+  "CMakeFiles/polyhedral_tests.dir/polyhedral/hyperplane_test.cpp.o.d"
+  "CMakeFiles/polyhedral_tests.dir/polyhedral/iteration_space_test.cpp.o"
+  "CMakeFiles/polyhedral_tests.dir/polyhedral/iteration_space_test.cpp.o.d"
+  "CMakeFiles/polyhedral_tests.dir/polyhedral/reference_test.cpp.o"
+  "CMakeFiles/polyhedral_tests.dir/polyhedral/reference_test.cpp.o.d"
+  "polyhedral_tests"
+  "polyhedral_tests.pdb"
+  "polyhedral_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polyhedral_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/storage/disk_model_test.cpp" "tests/CMakeFiles/storage_tests.dir/storage/disk_model_test.cpp.o" "gcc" "tests/CMakeFiles/storage_tests.dir/storage/disk_model_test.cpp.o.d"
+  "/root/repo/tests/storage/karma_test.cpp" "tests/CMakeFiles/storage_tests.dir/storage/karma_test.cpp.o" "gcc" "tests/CMakeFiles/storage_tests.dir/storage/karma_test.cpp.o.d"
+  "/root/repo/tests/storage/lru_cache_test.cpp" "tests/CMakeFiles/storage_tests.dir/storage/lru_cache_test.cpp.o" "gcc" "tests/CMakeFiles/storage_tests.dir/storage/lru_cache_test.cpp.o.d"
+  "/root/repo/tests/storage/mq_cache_test.cpp" "tests/CMakeFiles/storage_tests.dir/storage/mq_cache_test.cpp.o" "gcc" "tests/CMakeFiles/storage_tests.dir/storage/mq_cache_test.cpp.o.d"
+  "/root/repo/tests/storage/prefetch_test.cpp" "tests/CMakeFiles/storage_tests.dir/storage/prefetch_test.cpp.o" "gcc" "tests/CMakeFiles/storage_tests.dir/storage/prefetch_test.cpp.o.d"
+  "/root/repo/tests/storage/simulator_test.cpp" "tests/CMakeFiles/storage_tests.dir/storage/simulator_test.cpp.o" "gcc" "tests/CMakeFiles/storage_tests.dir/storage/simulator_test.cpp.o.d"
+  "/root/repo/tests/storage/striping_test.cpp" "tests/CMakeFiles/storage_tests.dir/storage/striping_test.cpp.o" "gcc" "tests/CMakeFiles/storage_tests.dir/storage/striping_test.cpp.o.d"
+  "/root/repo/tests/storage/topology_test.cpp" "tests/CMakeFiles/storage_tests.dir/storage/topology_test.cpp.o" "gcc" "tests/CMakeFiles/storage_tests.dir/storage/topology_test.cpp.o.d"
+  "/root/repo/tests/storage/writeback_test.cpp" "tests/CMakeFiles/storage_tests.dir/storage/writeback_test.cpp.o" "gcc" "tests/CMakeFiles/storage_tests.dir/storage/writeback_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/flo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flo_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flo_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flo_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flo_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flo_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flo_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flo_polyhedral.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flo_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flo_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_tests.dir/storage/disk_model_test.cpp.o"
+  "CMakeFiles/storage_tests.dir/storage/disk_model_test.cpp.o.d"
+  "CMakeFiles/storage_tests.dir/storage/karma_test.cpp.o"
+  "CMakeFiles/storage_tests.dir/storage/karma_test.cpp.o.d"
+  "CMakeFiles/storage_tests.dir/storage/lru_cache_test.cpp.o"
+  "CMakeFiles/storage_tests.dir/storage/lru_cache_test.cpp.o.d"
+  "CMakeFiles/storage_tests.dir/storage/mq_cache_test.cpp.o"
+  "CMakeFiles/storage_tests.dir/storage/mq_cache_test.cpp.o.d"
+  "CMakeFiles/storage_tests.dir/storage/prefetch_test.cpp.o"
+  "CMakeFiles/storage_tests.dir/storage/prefetch_test.cpp.o.d"
+  "CMakeFiles/storage_tests.dir/storage/simulator_test.cpp.o"
+  "CMakeFiles/storage_tests.dir/storage/simulator_test.cpp.o.d"
+  "CMakeFiles/storage_tests.dir/storage/striping_test.cpp.o"
+  "CMakeFiles/storage_tests.dir/storage/striping_test.cpp.o.d"
+  "CMakeFiles/storage_tests.dir/storage/topology_test.cpp.o"
+  "CMakeFiles/storage_tests.dir/storage/topology_test.cpp.o.d"
+  "CMakeFiles/storage_tests.dir/storage/writeback_test.cpp.o"
+  "CMakeFiles/storage_tests.dir/storage/writeback_test.cpp.o.d"
+  "storage_tests"
+  "storage_tests.pdb"
+  "storage_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

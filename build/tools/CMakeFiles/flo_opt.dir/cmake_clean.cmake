@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flo_opt.dir/flo_opt.cpp.o"
+  "CMakeFiles/flo_opt.dir/flo_opt.cpp.o.d"
+  "flo_opt"
+  "flo_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flo_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
