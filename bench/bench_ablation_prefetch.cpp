@@ -13,15 +13,21 @@ int main() {
   using namespace flo;
   const auto suite = workloads::workload_suite();
 
-  double averages[2] = {0, 0};
-  util::Table table({"Application", "no prefetch", "prefetch depth 4"});
-  std::vector<std::vector<std::string>> cells(suite.size());
+  std::vector<bench::VariantSpec> variants;
   for (int pf = 0; pf < 2; ++pf) {
     core::ExperimentConfig base;
     base.topology.prefetch_depth = pf == 0 ? 0 : 4;
     core::ExperimentConfig opt = base;
     opt.scheme = core::Scheme::kInterNode;
-    const auto rows = bench::run_suite_pair(base, opt, suite);
+    variants.push_back({pf == 0 ? "no prefetch" : "prefetch", base, opt});
+  }
+  const auto grid = bench::run_variant_grid(variants, suite);
+
+  double averages[2] = {0, 0};
+  util::Table table({"Application", "no prefetch", "prefetch depth 4"});
+  std::vector<std::vector<std::string>> cells(suite.size());
+  for (int pf = 0; pf < 2; ++pf) {
+    const auto& rows = grid[pf];
     for (std::size_t a = 0; a < rows.size(); ++a) {
       cells[a].push_back(util::format_fixed(rows[a].normalized_exec(), 2));
     }

@@ -19,15 +19,22 @@ int main() {
                           {"capacity_scale 8192 (default)", 8192},
                           {"capacity_scale 4096 (2x caches)", 4096}};
 
+  std::vector<bench::VariantSpec> variants;
   for (const auto& point : points) {
     core::ExperimentConfig base;
     base.topology = storage::TopologyConfig::paper_default(
         point.capacity_scale, 64);
     core::ExperimentConfig opt = base;
     opt.scheme = core::Scheme::kInterNode;
+    variants.push_back({point.label, base, opt});
+  }
+  const auto grid = bench::run_variant_grid(variants, suite);
+
+  for (std::size_t pi = 0; pi < variants.size(); ++pi) {
+    const auto& point = points[pi];
+    const auto& rows = grid[pi];
     double group_sum[4] = {0, 0, 0, 0};
     int group_count[4] = {0, 0, 0, 0};
-    const auto rows = bench::run_suite_pair(base, opt, suite);
     for (std::size_t a = 0; a < rows.size(); ++a) {
       group_sum[suite[a].group] += rows[a].improvement();
       ++group_count[suite[a].group];

@@ -8,27 +8,24 @@ int main() {
   using namespace flo;
   const auto suite = workloads::workload_suite();
 
+  core::ExperimentConfig base;
+  core::ExperimentConfig weighted = base;
+  weighted.scheme = core::Scheme::kInterNode;
+  core::ExperimentConfig unweighted = weighted;
+  unweighted.unweighted_step1 = true;
+  const auto grid = bench::run_variant_grid(
+      {{"weighted", base, weighted}, {"unweighted", base, unweighted}},
+      suite);
+
   util::Table table({"Application", "weighted (Eq. 5)", "unweighted",
                      "delta"});
   double weighted_avg = 0, unweighted_avg = 0;
-  for (const auto& app : suite) {
-    core::ExperimentConfig base;
-    core::ExperimentConfig weighted = base;
-    weighted.scheme = core::Scheme::kInterNode;
-    core::ExperimentConfig unweighted = weighted;
-    unweighted.unweighted_step1 = true;
-
-    const double base_time = core::run_experiment(app.program, base)
-                                 .sim.exec_time;
-    const double w =
-        core::run_experiment(app.program, weighted).sim.exec_time /
-        base_time;
-    const double u =
-        core::run_experiment(app.program, unweighted).sim.exec_time /
-        base_time;
+  for (std::size_t a = 0; a < suite.size(); ++a) {
+    const double w = grid[0][a].normalized_exec();
+    const double u = grid[1][a].normalized_exec();
     weighted_avg += 1.0 - w;
     unweighted_avg += 1.0 - u;
-    table.add_row({app.name, util::format_fixed(w, 2),
+    table.add_row({suite[a].name, util::format_fixed(w, 2),
                    util::format_fixed(u, 2),
                    util::format_fixed(u - w, 2)});
   }

@@ -4,37 +4,15 @@
 // paper predicts a single compilation per template suffices "with some
 // performance loss, of course" — this bench quantifies that loss against
 // exact per-topology compilation.
+//
+// The template scenario is expressed through ExperimentConfig's
+// compile_topology field: the optimizer sees the family's reference
+// capacities while the simulation runs on the actual member.
 #include "bench/bench_common.hpp"
-#include "layout/internode.hpp"
 #include "layout/template_hierarchy.hpp"
-#include "trace/generator.hpp"
-
-namespace {
-
-using namespace flo;
-
-/// Optimizes `app` against `compile_topology` but simulates on
-/// `run_config`'s topology — the template-compilation scenario.
-double run_with_layouts(const workloads::Workload& app,
-                        const storage::StorageTopology& compile_topology,
-                        const core::ExperimentConfig& run_config) {
-  const storage::StorageTopology run_topology(run_config.topology);
-  parallel::ParallelSchedule schedule(app.program, run_config.threads);
-  const core::FileLayoutOptimizer optimizer(compile_topology);
-  auto opt = optimizer.optimize(app.program, schedule);
-  const auto trace = trace::generate_trace(app.program, schedule, opt.layouts,
-                                           run_topology);
-  std::vector<storage::NodeId> io(run_config.threads);
-  for (storage::NodeId t = 0; t < io.size(); ++t) {
-    io[t] = run_topology.io_node_of(t);
-  }
-  storage::HierarchySimulator sim(run_topology, run_config.policy, io);
-  return sim.run(trace).exec_time;
-}
-
-}  // namespace
 
 int main() {
+  using namespace flo;
   const auto suite = workloads::workload_suite();
   // Run topology: same template family as the default, 1.5x capacities.
   core::ExperimentConfig run;
@@ -43,27 +21,34 @@ int main() {
   const storage::StorageTopology run_topo(run.topology);
 
   // Template compiled at the family's reference capacities (the default).
-  const storage::StorageTopology reference(
-      storage::TopologyConfig::paper_default());
-  const auto tmpl = layout::HierarchyTemplate::from(reference);
+  const storage::TopologyConfig reference =
+      storage::TopologyConfig::paper_default();
+  const auto tmpl =
+      layout::HierarchyTemplate::from(storage::StorageTopology(reference));
   std::cout << "compiling against " << tmpl.describe() << '\n';
   std::cout << "running on        " << run_topo.describe() << '\n';
   std::cout << "family member:    " << (tmpl.matches(run_topo) ? "yes" : "no")
             << "\n\n";
 
+  core::ExperimentConfig with_template = run;
+  with_template.scheme = core::Scheme::kInterNode;
+  with_template.compile_topology = reference;
+  core::ExperimentConfig with_exact = run;
+  with_exact.scheme = core::Scheme::kInterNode;
+  const auto grid = bench::run_variant_grid(
+      {{"template", run, with_template}, {"exact", run, with_exact}}, suite);
+
   util::Table table({"Application", "default", "template-compiled",
                      "exact-compiled"});
   double tmpl_sum = 0, exact_sum = 0;
-  for (const auto& app : suite) {
-    core::ExperimentConfig base = run;
-    const double def = core::run_experiment(app.program, base).sim.exec_time;
-    const double with_template =
-        run_with_layouts(app, reference, run) / def;
-    const double with_exact = run_with_layouts(app, run_topo, run) / def;
-    tmpl_sum += 1.0 - with_template;
-    exact_sum += 1.0 - with_exact;
-    table.add_row({app.name, "1.00", util::format_fixed(with_template, 2),
-                   util::format_fixed(with_exact, 2)});
+  for (std::size_t a = 0; a < suite.size(); ++a) {
+    const double norm_template = grid[0][a].normalized_exec();
+    const double norm_exact = grid[1][a].normalized_exec();
+    tmpl_sum += 1.0 - norm_template;
+    exact_sum += 1.0 - norm_exact;
+    table.add_row({suite[a].name, "1.00",
+                   util::format_fixed(norm_template, 2),
+                   util::format_fixed(norm_exact, 2)});
   }
   std::cout << table << '\n';
   std::cout << "average improvement, template compilation: "

@@ -1,11 +1,20 @@
-// Shared helpers for the bench binaries: run the suite under a scheme pair
-// and print paper-style comparison tables.
+// Shared helpers for the bench binaries: submit suite-wide experiment
+// grids to the ExperimentEngine and print paper-style comparison tables.
+//
+// Every figure is some grid of (application x scheme x policy x topology)
+// cells; the helpers here expand those grids into one engine submission so
+// cells sharing a compilation compute it once and independent cells run on
+// the worker pool. Set FLO_WORKERS to override the engine's worker count
+// (default: hardware concurrency).
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
+#include <string>
 #include <vector>
 
+#include "core/engine.hpp"
 #include "core/experiment.hpp"
 #include "core/report.hpp"
 #include "util/format.hpp"
@@ -14,22 +23,83 @@
 
 namespace flo::bench {
 
+inline std::size_t workers_from_env() {
+  if (const char* env = std::getenv("FLO_WORKERS")) {
+    const long v = std::atol(env);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return 0;  // engine default: hardware concurrency
+}
+
+/// The process-wide engine every bench binary submits to.
+inline core::ExperimentEngine& engine() {
+  static core::ExperimentEngine instance(
+      core::EngineOptions{workers_from_env(), /*share_compilations=*/true});
+  return instance;
+}
+
+/// Runs one configuration over every application; results in suite order.
+inline std::vector<core::ExperimentResult> run_suite(
+    const core::ExperimentConfig& config,
+    const std::vector<workloads::Workload>& suite) {
+  std::vector<core::ExperimentJob> jobs;
+  jobs.reserve(suite.size());
+  for (const auto& app : suite) {
+    jobs.push_back({app.name, &app.program, config});
+  }
+  return engine().run(jobs);
+}
+
+/// One column of a figure: a (baseline, optimized) config pair. The
+/// baseline differs per variant when the figure sweeps a topology knob
+/// (cache size, block size, policy) and the bars normalize within it.
+struct VariantSpec {
+  std::string label;
+  core::ExperimentConfig baseline;
+  core::ExperimentConfig optimized;
+};
+
+/// Runs every variant's pair over the whole suite as one engine
+/// submission (compilations dedup across variants — e.g. one default
+/// compilation serves every column's baseline) and returns
+/// rows[variant][app].
+inline std::vector<std::vector<core::AppMeasurement>> run_variant_grid(
+    const std::vector<VariantSpec>& variants,
+    const std::vector<workloads::Workload>& suite) {
+  std::vector<core::ExperimentJob> jobs;
+  jobs.reserve(variants.size() * suite.size() * 2);
+  for (const auto& variant : variants) {
+    for (const auto& app : suite) {
+      jobs.push_back({app.name + "/" + variant.label + "/base", &app.program,
+                      variant.baseline});
+      jobs.push_back({app.name + "/" + variant.label + "/opt", &app.program,
+                      variant.optimized});
+    }
+  }
+  const std::vector<core::ExperimentResult> results = engine().run(jobs);
+
+  std::vector<std::vector<core::AppMeasurement>> rows(variants.size());
+  std::size_t i = 0;
+  for (std::size_t v = 0; v < variants.size(); ++v) {
+    rows[v].reserve(suite.size());
+    for (const auto& app : suite) {
+      core::AppMeasurement m;
+      m.name = app.name;
+      m.baseline = results[i++].sim;
+      m.optimized = results[i++].sim;
+      rows[v].push_back(std::move(m));
+    }
+  }
+  return rows;
+}
+
 /// Runs every application under `baseline` and `optimized` configs (only
 /// the scheme usually differs) and returns the per-app measurement pairs.
 inline std::vector<core::AppMeasurement> run_suite_pair(
     const core::ExperimentConfig& baseline,
     const core::ExperimentConfig& optimized,
     const std::vector<workloads::Workload>& suite) {
-  std::vector<core::AppMeasurement> rows;
-  rows.reserve(suite.size());
-  for (const auto& app : suite) {
-    core::AppMeasurement m;
-    m.name = app.name;
-    m.baseline = core::run_experiment(app.program, baseline).sim;
-    m.optimized = core::run_experiment(app.program, optimized).sim;
-    rows.push_back(std::move(m));
-  }
-  return rows;
+  return run_variant_grid({{"pair", baseline, optimized}}, suite)[0];
 }
 
 }  // namespace flo::bench

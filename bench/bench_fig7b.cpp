@@ -13,19 +13,25 @@ int main() {
       parallel::MappingKind::kPermutation3,
       parallel::MappingKind::kPermutation4};
 
+  std::vector<bench::VariantSpec> variants;
+  for (const auto kind : kinds) {
+    core::ExperimentConfig base;
+    base.mapping = kind;
+    core::ExperimentConfig opt = base;
+    opt.scheme = core::Scheme::kInterNode;
+    variants.push_back({parallel::mapping_name(kind), base, opt});
+  }
+  const auto rows = bench::run_variant_grid(variants, suite);
+
   util::Table table({"Application", "I", "II", "III", "IV", "spread",
                      "master-slave"});
   double max_spread = 0;
-  for (const auto& app : suite) {
+  for (std::size_t a = 0; a < suite.size(); ++a) {
+    const auto& app = suite[a];
     std::vector<double> norm;
-    for (const auto kind : kinds) {
-      core::ExperimentConfig base;
-      base.mapping = kind;
-      core::ExperimentConfig opt = base;
-      opt.scheme = core::Scheme::kInterNode;
-      const auto b = core::run_experiment(app.program, base).sim;
-      const auto o = core::run_experiment(app.program, opt).sim;
-      norm.push_back(o.exec_time / b.exec_time);
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+      norm.push_back(rows[v][a].optimized.exec_time /
+                     rows[v][a].baseline.exec_time);
     }
     const double lo = *std::min_element(norm.begin(), norm.end());
     const double hi = *std::max_element(norm.begin(), norm.end());

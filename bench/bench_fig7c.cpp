@@ -16,19 +16,25 @@ int main() {
                           {"1x caches (Table 1)", 1.0},
                           {"2x caches", 2.0}};
 
+  std::vector<bench::VariantSpec> variants;
+  for (const auto& point : points) {
+    core::ExperimentConfig base;
+    base.topology.io_cache_bytes = static_cast<std::uint64_t>(
+        base.topology.io_cache_bytes * point.factor);
+    base.topology.storage_cache_bytes = static_cast<std::uint64_t>(
+        base.topology.storage_cache_bytes * point.factor);
+    core::ExperimentConfig opt = base;
+    opt.scheme = core::Scheme::kInterNode;
+    variants.push_back({point.label, base, opt});
+  }
+  const auto grid = bench::run_variant_grid(variants, suite);
+
   util::Table table({"app", "0.5x", "1x", "2x"});
   std::vector<double> averages(3, 0.0);
   std::vector<std::vector<double>> norm(suite.size(),
                                         std::vector<double>(3, 0.0));
   for (std::size_t pi = 0; pi < 3; ++pi) {
-    core::ExperimentConfig base;
-    base.topology.io_cache_bytes = static_cast<std::uint64_t>(
-        base.topology.io_cache_bytes * points[pi].factor);
-    base.topology.storage_cache_bytes = static_cast<std::uint64_t>(
-        base.topology.storage_cache_bytes * points[pi].factor);
-    core::ExperimentConfig opt = base;
-    opt.scheme = core::Scheme::kInterNode;
-    const auto rows = bench::run_suite_pair(base, opt, suite);
+    const auto& rows = grid[pi];
     for (std::size_t a = 0; a < rows.size(); ++a) {
       norm[a][pi] = rows[a].normalized_exec();
       averages[pi] += rows[a].improvement();

@@ -18,17 +18,21 @@ int main() {
                             {"(64,16,2)", 16, 2},
                             {"(64,8,2)", 8, 2}};
 
-  util::Table table({"Application", "(64,16,4)", "(64,8,4)", "(64,16,2)",
-                     "(64,8,2)"});
-  std::vector<std::vector<std::string>> cells(suite.size());
-  std::vector<double> averages;
+  std::vector<bench::VariantSpec> variants;
   for (const auto& cfg : configs) {
     core::ExperimentConfig base;
     base.topology.io_nodes = cfg.io_nodes;
     base.topology.storage_nodes = cfg.storage_nodes;
     core::ExperimentConfig opt = base;
     opt.scheme = core::Scheme::kInterNode;
-    const auto rows = bench::run_suite_pair(base, opt, suite);
+    variants.push_back({cfg.label, base, opt});
+  }
+
+  util::Table table({"Application", "(64,16,4)", "(64,8,4)", "(64,16,2)",
+                     "(64,8,2)"});
+  std::vector<std::vector<std::string>> cells(suite.size());
+  std::vector<double> averages;
+  for (const auto& rows : bench::run_variant_grid(variants, suite)) {
     for (std::size_t a = 0; a < rows.size(); ++a) {
       cells[a].push_back(util::format_fixed(rows[a].normalized_exec(), 2));
     }

@@ -15,16 +15,20 @@ int main() {
                           {"1x block (Table 1)", 1.0},
                           {"2x block", 2.0}};
 
-  util::Table table({"Application", "0.5x", "1x", "2x"});
-  std::vector<std::vector<std::string>> cells(suite.size());
-  std::vector<double> averages;
+  std::vector<bench::VariantSpec> variants;
   for (const auto& point : points) {
     core::ExperimentConfig base;
     base.topology.block_size = static_cast<std::uint64_t>(
         base.topology.block_size * point.factor);
     core::ExperimentConfig opt = base;
     opt.scheme = core::Scheme::kInterNode;
-    const auto rows = bench::run_suite_pair(base, opt, suite);
+    variants.push_back({point.label, base, opt});
+  }
+
+  util::Table table({"Application", "0.5x", "1x", "2x"});
+  std::vector<std::vector<std::string>> cells(suite.size());
+  std::vector<double> averages;
+  for (const auto& rows : bench::run_variant_grid(variants, suite)) {
     for (std::size_t a = 0; a < rows.size(); ++a) {
       cells[a].push_back(util::format_fixed(rows[a].normalized_exec(), 2));
     }

@@ -18,15 +18,19 @@ int main() {
       {"reindex [27]", core::Scheme::kDimensionReindexing},
       {"inter (this paper)", core::Scheme::kInterNode}};
 
-  util::Table table(
-      {"Application", "comp-map [26]", "reindex [27]", "inter"});
-  std::vector<std::vector<std::string>> cells(suite.size());
-  std::vector<double> averages;
+  std::vector<bench::VariantSpec> specs;
   for (const auto& variant : variants) {
     core::ExperimentConfig base;
     core::ExperimentConfig opt = base;
     opt.scheme = variant.scheme;
-    const auto rows = bench::run_suite_pair(base, opt, suite);
+    specs.push_back({variant.label, base, opt});
+  }
+
+  util::Table table(
+      {"Application", "comp-map [26]", "reindex [27]", "inter"});
+  std::vector<std::vector<std::string>> cells(suite.size());
+  std::vector<double> averages;
+  for (const auto& rows : bench::run_variant_grid(specs, suite)) {
     for (std::size_t a = 0; a < rows.size(); ++a) {
       cells[a].push_back(util::format_fixed(rows[a].normalized_exec(), 2));
     }

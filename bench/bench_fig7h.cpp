@@ -19,15 +19,19 @@ int main() {
       {"KARMA [47]", storage::PolicyKind::kKarma, "30.1%"},
       {"DEMOTE-LRU [44]", storage::PolicyKind::kDemoteLru, "28.6%"}};
 
-  util::Table table({"Application", "LRU", "KARMA", "DEMOTE-LRU"});
-  std::vector<std::vector<std::string>> cells(suite.size());
-  std::vector<double> averages;
+  std::vector<bench::VariantSpec> specs;
   for (const auto& variant : variants) {
     core::ExperimentConfig base;
     base.policy = variant.policy;
     core::ExperimentConfig opt = base;
     opt.scheme = core::Scheme::kInterNode;
-    const auto rows = bench::run_suite_pair(base, opt, suite);
+    specs.push_back({variant.label, base, opt});
+  }
+
+  util::Table table({"Application", "LRU", "KARMA", "DEMOTE-LRU"});
+  std::vector<std::vector<std::string>> cells(suite.size());
+  std::vector<double> averages;
+  for (const auto& rows : bench::run_variant_grid(specs, suite)) {
     for (std::size_t a = 0; a < rows.size(); ++a) {
       cells[a].push_back(util::format_fixed(rows[a].normalized_exec(), 2));
     }

@@ -11,6 +11,7 @@
 #include "storage/lru_cache.hpp"
 #include "storage/simulator.hpp"
 #include "trace/generator.hpp"
+#include "trace/source.hpp"
 #include "workloads/suite.hpp"
 
 namespace {
@@ -96,6 +97,33 @@ void BM_TraceGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_TraceGeneration);
 
+void BM_StreamingTraceWalk(benchmark::State& state) {
+  const auto p = transposed_program(256);
+  const parallel::ParallelSchedule schedule(p, 64);
+  const storage::StorageTopology topo(storage::TopologyConfig::paper_default());
+  layout::LayoutMap layouts;
+  layouts.push_back(
+      std::make_unique<layout::RowMajorLayout>(p.array(0).space()));
+  const trace::StreamingTraceSource source(p, schedule, layouts, topo);
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    events = 0;
+    for (std::size_t phase = 0; phase < source.phase_count(); ++phase) {
+      for (std::uint32_t t = 0; t < source.thread_count(); ++t) {
+        auto cursor = source.open(phase, t);
+        storage::AccessEvent ev;
+        while (cursor->next(ev)) {
+          benchmark::DoNotOptimize(ev);
+          ++events;
+        }
+      }
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_StreamingTraceWalk);
+
 void BM_HierarchySimulation(benchmark::State& state) {
   const auto p = transposed_program(256);
   const parallel::ParallelSchedule schedule(p, 64);
@@ -118,6 +146,24 @@ void BM_HierarchySimulation(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * events);
 }
 BENCHMARK(BM_HierarchySimulation);
+
+void BM_HierarchySimulationStreaming(benchmark::State& state) {
+  const auto p = transposed_program(256);
+  const parallel::ParallelSchedule schedule(p, 64);
+  const storage::StorageTopology topo(storage::TopologyConfig::paper_default());
+  layout::LayoutMap layouts;
+  layouts.push_back(
+      std::make_unique<layout::RowMajorLayout>(p.array(0).space()));
+  const trace::StreamingTraceSource source(p, schedule, layouts, topo);
+  std::vector<storage::NodeId> io(64);
+  for (storage::NodeId t = 0; t < 64; ++t) io[t] = topo.io_node_of(t);
+  for (auto _ : state) {
+    storage::HierarchySimulator sim(topo, storage::PolicyKind::kLruInclusive,
+                                    io);
+    benchmark::DoNotOptimize(sim.run(source));
+  }
+}
+BENCHMARK(BM_HierarchySimulationStreaming);
 
 }  // namespace
 

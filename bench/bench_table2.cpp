@@ -7,11 +7,13 @@ int main() {
   using namespace flo;
   const core::ExperimentConfig config;  // default scheme
   const auto suite = workloads::workload_suite();
+  const auto results = bench::run_suite(config, suite);
 
   util::Table table({"Application", "I/O miss", "paper", "Storage miss",
                      "paper", "Exec time", "paper"});
-  for (const auto& app : suite) {
-    const auto result = core::run_experiment(app.program, config);
+  for (std::size_t a = 0; a < suite.size(); ++a) {
+    const auto& app = suite[a];
+    const auto& result = results[a];
     table.add_row({app.name,
                    util::format_percent(result.sim.io.miss_rate()),
                    util::format_fixed(app.paper.io_miss, 1) + "%",

@@ -11,14 +11,15 @@ int main() {
   opt.scheme = core::Scheme::kInterNode;
 
   const auto suite = workloads::workload_suite();
+  const auto rows = bench::run_suite_pair(base, opt, suite);
   util::Table table({"app", "io%", "io(paper)", "st%", "st(paper)", "exec",
                      "norm", "target", "nIO", "nIO(p)", "nST", "nST(p)",
                      "events"});
   double sum_impr = 0;
-  for (const auto& app : suite) {
-    const auto b = core::run_experiment(app.program, base).sim;
-    const auto o = core::run_experiment(app.program, opt).sim;
-    core::AppMeasurement m{app.name, b, o};
+  for (std::size_t a = 0; a < suite.size(); ++a) {
+    const auto& app = suite[a];
+    const auto& m = rows[a];
+    const auto& b = m.baseline;
     sum_impr += m.improvement();
     const char* target = app.group == 1   ? "~1.00"
                          : app.group == 2 ? "0.87-0.92"

@@ -11,7 +11,7 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "core/experiment.hpp"
+#include "core/engine.hpp"
 #include "ir/builder.hpp"
 #include "layout/partitioning.hpp"
 #include "util/format.hpp"
@@ -56,9 +56,13 @@ int main(int argc, char** argv) {
   }
   std::cout << ")\n";
 
-  const auto baseline = core::run_experiment(program, config);
-  config.scheme = core::Scheme::kInterNode;
-  const auto optimized = core::run_experiment(program, config);
+  core::ExperimentConfig inter = config;
+  inter.scheme = core::Scheme::kInterNode;
+  core::ExperimentEngine engine;
+  const auto results = engine.run({{"default", &program, config},
+                                   {"inter-node", &program, inter}});
+  const auto& baseline = results[0];
+  const auto& optimized = results[1];
   std::cout << "default:    " << baseline.sim.summary() << '\n';
   std::cout << "inter-node: " << optimized.sim.summary() << '\n';
   std::cout << "normalized exec: "

@@ -5,8 +5,9 @@
 //
 //   $ ./build/examples/hierarchy_explorer [app]
 #include <iostream>
+#include <vector>
 
-#include "core/experiment.hpp"
+#include "core/engine.hpp"
 #include "util/format.hpp"
 #include "util/table.hpp"
 #include "workloads/suite.hpp"
@@ -18,50 +19,59 @@ int main(int argc, char** argv) {
   std::cout << "application: " << app.name << " — " << app.description
             << "\n\n";
 
-  auto normalized = [&](core::ExperimentConfig base) {
+  // Collect every (baseline, inter-node) pair as one engine submission:
+  // the experiments are independent cells, and the sweeps that only touch
+  // the topology reuse the default baseline compilation.
+  std::vector<std::string> labels;
+  std::vector<core::ExperimentJob> jobs;
+  auto add = [&](const std::string& label, core::ExperimentConfig base) {
     auto opt = base;
     opt.scheme = core::Scheme::kInterNode;
-    const double b = core::run_experiment(app.program, base).sim.exec_time;
-    const double o = core::run_experiment(app.program, opt).sim.exec_time;
-    return o / b;
-  };
-
-  util::Table table({"experiment", "normalized exec", "improvement"});
-  auto add = [&](const std::string& label, double norm) {
-    table.add_row({label, util::format_fixed(norm, 2),
-                   util::format_percent(1.0 - norm)});
+    labels.push_back(label);
+    jobs.push_back({label + "/base", &app.program, base});
+    jobs.push_back({label + "/opt", &app.program, opt});
   };
 
   {
     core::ExperimentConfig c;
-    add("default topology (Table 1)", normalized(c));
+    add("default topology (Table 1)", c);
   }
   {
     core::ExperimentConfig c;
     c.topology.io_cache_bytes /= 2;
     c.topology.storage_cache_bytes /= 2;
-    add("0.5x cache capacities", normalized(c));
+    add("0.5x cache capacities", c);
   }
   {
     core::ExperimentConfig c;
     c.topology.io_nodes = 8;
     c.topology.storage_nodes = 2;
-    add("more sharing: (64, 8, 2) nodes", normalized(c));
+    add("more sharing: (64, 8, 2) nodes", c);
   }
   {
     core::ExperimentConfig c;
     c.topology.block_size /= 2;
-    add("0.5x block size", normalized(c));
+    add("0.5x block size", c);
   }
   {
     core::ExperimentConfig c;
     c.policy = storage::PolicyKind::kKarma;
-    add("KARMA exclusive caching", normalized(c));
+    add("KARMA exclusive caching", c);
   }
   {
     core::ExperimentConfig c;
     c.policy = storage::PolicyKind::kDemoteLru;
-    add("DEMOTE-LRU exclusive caching", normalized(c));
+    add("DEMOTE-LRU exclusive caching", c);
+  }
+
+  const auto results = core::ExperimentEngine().run(jobs);
+  util::Table table({"experiment", "normalized exec", "improvement"});
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const double b = results[2 * i].sim.exec_time;
+    const double o = results[2 * i + 1].sim.exec_time;
+    const double norm = o / b;
+    table.add_row({labels[i], util::format_fixed(norm, 2),
+                   util::format_percent(1.0 - norm)});
   }
   std::cout << table;
   return 0;

@@ -10,7 +10,7 @@
 // all over a row-major file — exactly what the inter-node layout repairs.
 #include <iostream>
 
-#include "core/experiment.hpp"
+#include "core/engine.hpp"
 #include "core/report.hpp"
 #include "ir/builder.hpp"
 #include "ir/printer.hpp"
@@ -45,10 +45,15 @@ int main() {
   const core::OptimizationResult opt = optimizer.optimize(program, schedule);
   std::cout << opt.plan.to_string() << '\n';
 
-  // 4. Simulate both executions and compare.
-  const auto baseline = core::run_experiment(program, config);
-  config.scheme = core::Scheme::kInterNode;
-  const auto optimized = core::run_experiment(program, config);
+  // 4. Simulate both executions and compare. The engine runs independent
+  //    cells on a worker pool; results come back in job order.
+  core::ExperimentConfig inter = config;
+  inter.scheme = core::Scheme::kInterNode;
+  core::ExperimentEngine engine;
+  const auto results = engine.run({{"default", &program, config},
+                                   {"inter-node", &program, inter}});
+  const auto& baseline = results[0];
+  const auto& optimized = results[1];
 
   std::cout << "default layout:    " << baseline.sim.summary() << '\n';
   std::cout << "inter-node layout: " << optimized.sim.summary() << '\n';

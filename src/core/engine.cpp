@@ -1,0 +1,237 @@
+#include "core/engine.hpp"
+
+#include <atomic>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+
+#include "storage/policy.hpp"
+
+namespace flo::core {
+
+namespace {
+
+void append_bytes(std::string& key, const void* data, std::size_t size) {
+  key.append(static_cast<const char*>(data), size);
+}
+
+template <typename T>
+void append_value(std::string& key, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  append_bytes(key, &value, sizeof(value));
+}
+
+void append_topology(std::string& key, const storage::TopologyConfig& t) {
+  // TopologyConfig is trivially copyable but may contain padding; append
+  // the fields individually so equal configs hash equally.
+  append_value(key, t.compute_nodes);
+  append_value(key, t.io_nodes);
+  append_value(key, t.storage_nodes);
+  append_value(key, t.block_size);
+  append_value(key, t.io_cache_bytes);
+  append_value(key, t.storage_cache_bytes);
+  append_value(key, t.io_cache_enabled);
+  append_value(key, t.storage_cache_enabled);
+  append_value(key, t.prefetch_depth);
+  append_value(key, t.model_writes);
+  append_value(key, t.latency.cpu_per_element);
+  append_value(key, t.latency.net_compute_io);
+  append_value(key, t.latency.io_cache_hit);
+  append_value(key, t.latency.net_io_storage);
+  append_value(key, t.latency.storage_cache_hit);
+  append_value(key, t.latency.demotion_cost);
+  append_value(key, t.disk.min_seek);
+  append_value(key, t.disk.max_seek);
+  append_value(key, t.disk.rpm);
+  append_value(key, t.disk.bandwidth);
+  append_value(key, t.disk.capacity_blocks);
+}
+
+/// Serialized compile signature of a job: two cells with equal keys yield
+/// identical CompiledExperiments, so the second one can reuse the first's.
+/// Only the fields that can influence compile_experiment participate: the
+/// policy, for instance, matters only for the dimension-reindexing scheme
+/// (whose profiler simulates under it), so "inter-node under LRU" and
+/// "inter-node under KARMA" share one compilation.
+std::string compile_key(const ExperimentJob& job) {
+  std::string key;
+  key.reserve(160);
+  append_value(key, job.program);  // identity, not contents
+  append_value(key, job.config.threads);
+  append_value(key, job.config.mapping);
+  append_value(key, job.config.scheme);
+  switch (job.config.scheme) {
+    case Scheme::kDefault:
+      // Canonical layouts depend on the program alone.
+      break;
+    case Scheme::kInterNode:
+    case Scheme::kInterNodeIoOnly:
+    case Scheme::kInterNodeStorageOnly:
+      append_value(key, job.config.unweighted_step1);
+      append_topology(key, job.config.compile_topology.value_or(
+                               job.config.topology));
+      break;
+    case Scheme::kComputationMapping:
+      append_topology(key, job.config.topology);
+      break;
+    case Scheme::kDimensionReindexing:
+      // The profiling pass simulates candidates under the full config.
+      append_value(key, job.config.policy);
+      append_value(key, job.config.trace);
+      append_topology(key, job.config.topology);
+      break;
+  }
+  return key;
+}
+
+using CompiledPtr = std::shared_ptr<const CompiledExperiment>;
+
+/// Once-per-key compile cache. The first worker to request a key computes
+/// it; concurrent requesters block on the shared future. Exceptions
+/// propagate to every waiter.
+class CompileCache {
+ public:
+  CompiledPtr get(const ExperimentJob& job) {
+    const std::string key = compile_key(job);
+    std::shared_future<CompiledPtr> future;
+    std::promise<CompiledPtr> promise;
+    bool owner = false;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      auto it = cache_.find(key);
+      if (it == cache_.end()) {
+        owner = true;
+        future = promise.get_future().share();
+        cache_.emplace(key, future);
+      } else {
+        future = it->second;
+      }
+    }
+    if (owner) {
+      try {
+        promise.set_value(std::make_shared<const CompiledExperiment>(
+            compile_experiment(*job.program, job.config)));
+      } catch (...) {
+        promise.set_exception(std::current_exception());
+      }
+    }
+    return future.get();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::unordered_map<std::string, std::shared_future<CompiledPtr>> cache_;
+};
+
+}  // namespace
+
+ExperimentEngine::ExperimentEngine(EngineOptions options)
+    : options_(options),
+      workers_(options.workers != 0
+                   ? options.workers
+                   : std::max<std::size_t>(
+                         1, std::thread::hardware_concurrency())) {}
+
+std::vector<ExperimentResult> ExperimentEngine::run(
+    const std::vector<ExperimentJob>& jobs) {
+  std::vector<ExperimentResult> results(jobs.size());
+  std::vector<std::exception_ptr> errors(jobs.size());
+  if (jobs.empty()) return results;
+
+  CompileCache cache;
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= jobs.size()) return;
+      const ExperimentJob& job = jobs[i];
+      try {
+        if (job.program == nullptr) {
+          throw std::invalid_argument("ExperimentEngine: null program in \"" +
+                                      job.label + "\"");
+        }
+        CompiledPtr compiled =
+            options_.share_compilations
+                ? cache.get(job)
+                : std::make_shared<const CompiledExperiment>(
+                      compile_experiment(*job.program, job.config));
+        results[i].sim =
+            simulate_experiment(*job.program, *compiled, job.config);
+        results[i].plan = compiled->plan;
+        results[i].profiler_runs = compiled->profiler_runs;
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  };
+
+  const std::size_t pool = std::min(workers_, jobs.size());
+  if (pool <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(pool);
+    for (std::size_t w = 0; w < pool; ++w) threads.emplace_back(worker);
+    for (auto& t : threads) t.join();
+  }
+
+  // Deterministic error reporting: the lowest-index failure wins,
+  // regardless of which worker hit it first.
+  for (const auto& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+  return results;
+}
+
+std::vector<ExperimentJob> ExperimentGrid::expand() const {
+  const std::vector<Scheme> scheme_axis =
+      schemes.empty() ? std::vector<Scheme>{base.scheme} : schemes;
+  const std::vector<storage::PolicyKind> policy_axis =
+      policies.empty() ? std::vector<storage::PolicyKind>{base.policy}
+                       : policies;
+  const std::vector<parallel::MappingKind> mapping_axis =
+      mappings.empty() ? std::vector<parallel::MappingKind>{base.mapping}
+                       : mappings;
+  const std::vector<storage::TopologyConfig> topology_axis =
+      topologies.empty() ? std::vector<storage::TopologyConfig>{base.topology}
+                         : topologies;
+
+  std::vector<ExperimentJob> jobs;
+  jobs.reserve(apps.size() * topology_axis.size() * mapping_axis.size() *
+               policy_axis.size() * scheme_axis.size());
+  for (const auto& [app_label, program] : apps) {
+    for (const auto& topology : topology_axis) {
+      for (const auto mapping : mapping_axis) {
+        for (const auto policy : policy_axis) {
+          for (const auto scheme : scheme_axis) {
+            ExperimentJob job;
+            job.config = base;
+            job.config.topology = topology;
+            job.config.threads = topology.compute_nodes;
+            job.config.mapping = mapping;
+            job.config.policy = policy;
+            job.config.scheme = scheme;
+            job.program = program;
+            std::ostringstream label;
+            label << app_label << '/' << scheme_name(scheme);
+            if (policy_axis.size() > 1) {
+              label << '/' << storage::policy_name(policy);
+            }
+            if (mapping_axis.size() > 1) {
+              label << '/' << parallel::mapping_name(mapping);
+            }
+            job.label = label.str();
+            jobs.push_back(std::move(job));
+          }
+        }
+      }
+    }
+  }
+  return jobs;
+}
+
+}  // namespace flo::core

@@ -1,0 +1,71 @@
+// ExperimentEngine — expands an experiment grid into independent cells and
+// runs them on a worker pool with deterministic, ordered result collection.
+//
+// Every paper figure is a grid of (application × scheme × policy ×
+// topology/mapping) cells; each cell is an independent deterministic
+// simulation, so the engine parallelizes across cells, not inside one.
+// Cells that share a compilation — same program, schedule and layout
+// scheme, e.g. one scheme measured under three cache policies — compute
+// the optimizer/layout half once and share it read-only (the compile
+// cache). results[i] always corresponds to jobs[i], whatever the worker
+// count: the determinism regression test holds 1-worker and N-worker runs
+// to byte-identical SimulationResults.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace flo::core {
+
+/// One grid cell: a program under one configuration. The program is not
+/// owned and must outlive the run.
+struct ExperimentJob {
+  std::string label;  ///< e.g. "applu/inter-node" (reports, debugging)
+  const ir::Program* program = nullptr;
+  ExperimentConfig config;
+};
+
+struct EngineOptions {
+  /// Worker threads; 0 = std::thread::hardware_concurrency().
+  std::size_t workers = 0;
+  /// Share compile_experiment results between cells with identical
+  /// compile signatures (layouts are immutable after construction, so
+  /// sharing is read-only). Disable to force per-cell compilation.
+  bool share_compilations = true;
+};
+
+class ExperimentEngine {
+ public:
+  explicit ExperimentEngine(EngineOptions options = {});
+
+  /// Runs all jobs and returns results in job order. Throws the first
+  /// (lowest job index) captured exception after all workers finish.
+  std::vector<ExperimentResult> run(const std::vector<ExperimentJob>& jobs);
+
+  /// Worker threads the engine will actually use.
+  std::size_t workers() const { return workers_; }
+
+ private:
+  EngineOptions options_;
+  std::size_t workers_;
+};
+
+/// Cartesian grid helper: expands app × topology × mapping × policy ×
+/// scheme (in that nesting order, apps outermost) into a deterministic job
+/// list. Axes left empty use the corresponding field of `base`.
+struct ExperimentGrid {
+  /// (label, program) pairs; programs must outlive the expanded jobs.
+  std::vector<std::pair<std::string, const ir::Program*>> apps;
+  std::vector<Scheme> schemes;
+  std::vector<storage::PolicyKind> policies;
+  std::vector<parallel::MappingKind> mappings;
+  std::vector<storage::TopologyConfig> topologies;
+  ExperimentConfig base;
+
+  std::vector<ExperimentJob> expand() const;
+};
+
+}  // namespace flo::core

@@ -7,6 +7,7 @@
 #include "layout/canonical.hpp"
 #include "trace/analysis.hpp"
 #include "trace/generator.hpp"
+#include "trace/source.hpp"
 
 namespace flo::core {
 
@@ -40,45 +41,61 @@ std::vector<storage::NodeId> io_nodes_of_threads(
   return out;
 }
 
-/// Simulates one (schedule, layouts) pair under the configured policy.
+/// Simulates one (schedule, layouts) pair under the configured policy,
+/// via either the streaming or the eager trace path.
 storage::SimulationResult simulate(const ir::Program& program,
                                    const parallel::ParallelSchedule& schedule,
                                    const layout::LayoutMap& layouts,
                                    const storage::StorageTopology& topology,
-                                   storage::PolicyKind policy) {
-  const storage::TraceProgram trace =
-      trace::generate_trace(program, schedule, layouts, topology);
+                                   const ExperimentConfig& config) {
+  // KARMA's application hints: access densities of file segments, one
+  // eighth of an I/O cache each (profiling pass, Section 5.4).
+  const std::uint64_t segment =
+      std::max<std::uint64_t>(1, topology.io_cache_blocks() / 8);
+  const bool karma = config.policy == storage::PolicyKind::kKarma;
   std::vector<storage::RangeHint> hints;
-  if (policy == storage::PolicyKind::kKarma) {
-    // KARMA's application hints: access densities of file segments, one
-    // eighth of an I/O cache each (profiling pass, Section 5.4).
-    const std::uint64_t segment =
-        std::max<std::uint64_t>(1, topology.io_cache_blocks() / 8);
-    hints = trace::profile_range_hints(trace, segment);
+
+  if (config.trace == TraceMode::kEager) {
+    const storage::TraceProgram trace =
+        trace::generate_trace(program, schedule, layouts, topology);
+    if (karma) hints = trace::profile_range_hints(trace, segment);
+    storage::HierarchySimulator simulator(
+        topology, config.policy, io_nodes_of_threads(schedule, topology),
+        std::move(hints));
+    return simulator.run(trace);
   }
+
+  const trace::StreamingTraceSource source(program, schedule, layouts,
+                                           topology);
+  // The streaming profiling pass regenerates the trace (CPU for memory);
+  // the hints are identical to the eager ones.
+  if (karma) hints = trace::profile_range_hints(source, segment);
   storage::HierarchySimulator simulator(
-      topology, policy, io_nodes_of_threads(schedule, topology),
+      topology, config.policy, io_nodes_of_threads(schedule, topology),
       std::move(hints));
-  return simulator.run(trace);
+  return simulator.run(source);
 }
 
 }  // namespace
 
-ExperimentResult run_experiment(const ir::Program& program,
-                                const ExperimentConfig& config) {
+CompiledExperiment compile_experiment(const ir::Program& program,
+                                      const ExperimentConfig& config) {
   const storage::StorageTopology topology(config.topology);
   if (config.threads != config.topology.compute_nodes) {
     throw std::invalid_argument(
         "run_experiment: one thread per compute node is assumed");
   }
-  parallel::ParallelSchedule schedule(program, config.threads, config.mapping);
+  // Template-hierarchy runs (Section 4.3) compile against the family's
+  // reference topology instead of the one being simulated.
+  const storage::StorageTopology compile_topology(
+      config.compile_topology.value_or(config.topology));
+  CompiledExperiment out{
+      parallel::ParallelSchedule(program, config.threads, config.mapping),
+      {}, {}, 0};
 
-  ExperimentResult result;
   switch (config.scheme) {
     case Scheme::kDefault: {
-      const layout::LayoutMap layouts = layout::default_layouts(program);
-      result.sim =
-          simulate(program, schedule, layouts, topology, config.policy);
+      out.layouts = layout::default_layouts(program);
       break;
     }
     case Scheme::kInterNode:
@@ -91,37 +108,51 @@ ExperimentResult run_experiment(const ir::Program& program,
                          ? layout::LayerMask::kStorageOnly
                          : layout::LayerMask::kBoth;
       options.partitioning.weighted = !config.unweighted_step1;
-      const FileLayoutOptimizer optimizer(topology);
-      OptimizationResult opt = optimizer.optimize(program, schedule, options);
-      result.plan = std::move(opt.plan);
-      result.sim =
-          simulate(program, schedule, opt.layouts, topology, config.policy);
+      const FileLayoutOptimizer optimizer(compile_topology);
+      OptimizationResult opt =
+          optimizer.optimize(program, out.schedule, options);
+      out.plan = std::move(opt.plan);
+      out.layouts = std::move(opt.layouts);
       break;
     }
     case Scheme::kComputationMapping: {
-      const layout::LayoutMap layouts = layout::default_layouts(program);
-      const parallel::ParallelSchedule remapped =
-          baselines::apply_computation_mapping(program, schedule, layouts,
-                                               topology);
-      result.sim =
-          simulate(program, remapped, layouts, topology, config.policy);
+      out.layouts = layout::default_layouts(program);
+      out.schedule = baselines::apply_computation_mapping(
+          program, out.schedule, out.layouts, topology);
       break;
     }
     case Scheme::kDimensionReindexing: {
       std::size_t runs = 0;
       const auto profiler = [&](const layout::LayoutMap& candidate) {
         ++runs;
-        return simulate(program, schedule, candidate, topology, config.policy)
+        return simulate(program, out.schedule, candidate, topology, config)
             .exec_time;
       };
       baselines::ReindexResult reindex =
           baselines::apply_dimension_reindexing(program, profiler);
-      result.profiler_runs = runs;
-      result.sim = simulate(program, schedule, reindex.layouts, topology,
-                            config.policy);
+      out.profiler_runs = runs;
+      out.layouts = std::move(reindex.layouts);
       break;
     }
   }
+  return out;
+}
+
+storage::SimulationResult simulate_experiment(
+    const ir::Program& program, const CompiledExperiment& compiled,
+    const ExperimentConfig& config) {
+  const storage::StorageTopology topology(config.topology);
+  return simulate(program, compiled.schedule, compiled.layouts, topology,
+                  config);
+}
+
+ExperimentResult run_experiment(const ir::Program& program,
+                                const ExperimentConfig& config) {
+  const CompiledExperiment compiled = compile_experiment(program, config);
+  ExperimentResult result;
+  result.sim = simulate_experiment(program, compiled, config);
+  result.plan = compiled.plan;
+  result.profiler_runs = compiled.profiler_runs;
   return result;
 }
 

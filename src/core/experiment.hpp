@@ -1,7 +1,18 @@
 // ExperimentRunner — one-call "simulate application X under scheme Y",
 // shared by every bench binary and the examples.
+//
+// An experiment cell splits into two halves:
+//   compile_experiment  — schedule the program and derive the scheme's
+//                         file layouts (the expensive, shareable part);
+//   simulate_experiment — stream the trace through the hierarchy
+//                         simulator under the configured policy.
+// run_experiment composes the two; the ExperimentEngine (core/engine.hpp)
+// calls them separately so cells that share a compilation (e.g. the same
+// scheme under several cache policies) compute it once.
 #pragma once
 
+#include <cstddef>
+#include <optional>
 #include <string>
 
 #include "core/optimizer.hpp"
@@ -25,6 +36,12 @@ enum class Scheme {
 
 const char* scheme_name(Scheme scheme);
 
+/// How the simulator obtains the trace events.
+enum class TraceMode {
+  kStreaming,  ///< lazy per-thread cursors, O(threads) resident state
+  kEager,      ///< materialize the full TraceProgram first (legacy path)
+};
+
 struct ExperimentConfig {
   storage::TopologyConfig topology = storage::TopologyConfig::paper_default();
   std::size_t threads = 64;  ///< one per compute node, as in the paper
@@ -33,6 +50,24 @@ struct ExperimentConfig {
   Scheme scheme = Scheme::kDefault;
   /// Unweighted Step I (ablation); only affects inter-node schemes.
   bool unweighted_step1 = false;
+  /// Trace generation strategy; streaming and eager produce bit-identical
+  /// simulation results (golden-tested), so this is purely a memory knob.
+  TraceMode trace = TraceMode::kStreaming;
+  /// When set, the optimizer compiles against this topology while the
+  /// simulation runs on `topology` — the Section 4.3 template-hierarchy
+  /// scenario (compile once per template family, run on any member).
+  std::optional<storage::TopologyConfig> compile_topology;
+};
+
+/// Compile-time product of one experiment cell: the schedule actually used
+/// (possibly remapped by the computation-mapping baseline) plus the
+/// scheme's per-array layouts. Read-only after construction and therefore
+/// shareable across concurrently simulating cells.
+struct CompiledExperiment {
+  parallel::ParallelSchedule schedule;
+  layout::LayoutMap layouts;
+  layout::ProgramTransformPlan plan;  ///< empty for non-inter-node schemes
+  std::size_t profiler_runs = 0;      ///< extra sims (dimension reindexing)
 };
 
 struct ExperimentResult {
@@ -41,8 +76,19 @@ struct ExperimentResult {
   std::size_t profiler_runs = 0;      ///< extra sims (dimension reindexing)
 };
 
-/// Runs one experiment end to end: schedule, layouts per scheme, trace,
-/// KARMA hints (when the policy needs them), simulation.
+/// Runs the compile-time half: parallel schedule plus scheme-specific
+/// layouts (for dimension reindexing this includes the profiling sims).
+CompiledExperiment compile_experiment(const ir::Program& program,
+                                      const ExperimentConfig& config);
+
+/// Runs the simulation half against a precompiled cell: trace (streaming
+/// or eager), KARMA hints when the policy needs them, simulation.
+/// Thread-safe for concurrent calls sharing one `compiled`.
+storage::SimulationResult simulate_experiment(
+    const ir::Program& program, const CompiledExperiment& compiled,
+    const ExperimentConfig& config);
+
+/// Runs one experiment end to end: compile_experiment + simulate_experiment.
 ExperimentResult run_experiment(const ir::Program& program,
                                 const ExperimentConfig& config);
 

@@ -20,6 +20,16 @@ std::string RowMajorLayout::describe() const {
   return "row-major " + space_.to_string();
 }
 
+std::vector<std::int64_t> RowMajorLayout::linear_slot_strides() const {
+  std::vector<std::int64_t> strides(space_.dims());
+  std::int64_t acc = 1;
+  for (std::size_t k = space_.dims(); k-- > 0;) {
+    strides[k] = acc;
+    acc *= space_.extent(k);
+  }
+  return strides;
+}
+
 ColumnMajorLayout::ColumnMajorLayout(poly::DataSpace space)
     : space_(std::move(space)) {}
 
@@ -42,6 +52,16 @@ std::int64_t ColumnMajorLayout::file_slots() const {
 
 std::string ColumnMajorLayout::describe() const {
   return "column-major " + space_.to_string();
+}
+
+std::vector<std::int64_t> ColumnMajorLayout::linear_slot_strides() const {
+  std::vector<std::int64_t> strides(space_.dims());
+  std::int64_t acc = 1;
+  for (std::size_t k = 0; k < space_.dims(); ++k) {
+    strides[k] = acc;
+    acc *= space_.extent(k);
+  }
+  return strides;
 }
 
 }  // namespace flo::layout

@@ -13,6 +13,7 @@ class RowMajorLayout final : public FileLayout {
   std::int64_t slot(std::span<const std::int64_t> element) const override;
   std::int64_t file_slots() const override;
   std::string describe() const override;
+  std::vector<std::int64_t> linear_slot_strides() const override;
 
  private:
   poly::DataSpace space_;
@@ -25,6 +26,7 @@ class ColumnMajorLayout final : public FileLayout {
   std::int64_t slot(std::span<const std::int64_t> element) const override;
   std::int64_t file_slots() const override;
   std::string describe() const override;
+  std::vector<std::int64_t> linear_slot_strides() const override;
 
  private:
   poly::DataSpace space_;

@@ -22,6 +22,13 @@ class FileLayout {
   /// the simulator treats as a sparse file.
   virtual std::int64_t slot(std::span<const std::int64_t> element) const = 0;
 
+  /// Per-dimension strides s such that slot(a) == dot(s, a) for every
+  /// element of the data space, or empty when no such linear form exists
+  /// (chunk-addressed layouts). Streaming trace cursors use this to keep a
+  /// running slot with one add per iteration step instead of a virtual
+  /// call per element.
+  virtual std::vector<std::int64_t> linear_slot_strides() const { return {}; }
+
   /// File length in element slots (1 + highest assigned slot).
   virtual std::int64_t file_slots() const = 0;
 

@@ -50,8 +50,10 @@ InterNodeLayout::InterNodeLayout(const ir::Program& program,
     std::int64_t idx;
   };
   std::vector<std::vector<Item>> per_thread(schedule.thread_count());
-  slot_of_.reserve(1024);
-  owner_of_.reserve(1024);
+  // Dense tables over the declared box; -1 = untouched, -2 = touched but
+  // not yet assigned a slot (pass 2 overwrites every -2).
+  slot_of_.assign(static_cast<std::size_t>(space_.element_count()), -1);
+  owner_of_.assign(slot_of_.size(), 0);
   for (const auto& nest : program.nests()) {
     bool touches = false;
     for (const auto& ref : nest.references()) {
@@ -65,11 +67,13 @@ InterNodeLayout::InterNodeLayout(const ir::Program& program,
         if (ref.array != array) continue;
         const linalg::IntVector element = ref.map.evaluate(iter);
         const std::int64_t idx = space_.linearize_row_major(element);
-        if (slot_of_.emplace(idx, -1).second) {
+        if (slot_of_[idx] == -1) {
+          slot_of_[idx] = -2;
+          ++touched_;
           const std::int64_t s = linalg::dot(d, element);
           const parallel::ThreadId owner =
               static_cast<parallel::ThreadId>(owner_of_s(s, decomp));
-          owner_of_.emplace(idx, owner);
+          owner_of_[idx] = owner;
           per_thread[owner].push_back({s, idx});
         }
       }
@@ -114,8 +118,10 @@ InterNodeLayout::InterNodeLayout(const ir::Program& program,
 std::int64_t InterNodeLayout::slot(
     std::span<const std::int64_t> element) const {
   const std::int64_t idx = space_.linearize_row_major(element);
-  const auto it = slot_of_.find(idx);
-  if (it != slot_of_.end()) return it->second;
+  if (idx >= 0 && idx < static_cast<std::int64_t>(slot_of_.size())) {
+    const std::int64_t s = slot_of_[static_cast<std::size_t>(idx)];
+    if (s >= 0) return s;
+  }
   // Untouched element: lives in the canonical-order tail past the
   // patterned region (kept total and injective for robustness; the
   // program's own traces never reach here).
@@ -130,8 +136,10 @@ std::int64_t InterNodeLayout::file_slots() const {
 parallel::ThreadId InterNodeLayout::owner(
     std::span<const std::int64_t> element) const {
   const std::int64_t idx = space_.linearize_row_major(element);
-  const auto it = owner_of_.find(idx);
-  if (it != owner_of_.end()) return it->second;
+  if (idx >= 0 && idx < static_cast<std::int64_t>(slot_of_.size()) &&
+      slot_of_[static_cast<std::size_t>(idx)] >= 0) {
+    return owner_of_[static_cast<std::size_t>(idx)];
+  }
   // Untouched element: derive the owner from the hyperplane directly.
   const std::int64_t s = linalg::dot(partitioning_.hyperplane, element);
   const std::int64_t iu =

@@ -14,8 +14,6 @@
 // and injective.
 #pragma once
 
-#include <unordered_map>
-
 #include "ir/program.hpp"
 #include "layout/chunk_pattern.hpp"
 #include "layout/file_layout.hpp"
@@ -46,7 +44,7 @@ class InterNodeLayout final : public FileLayout {
   parallel::ThreadId owner(std::span<const std::int64_t> element) const;
 
   /// Number of elements the program touches in this array.
-  std::size_t touched_count() const { return slot_of_.size(); }
+  std::size_t touched_count() const { return touched_; }
 
   const ChunkPattern& pattern() const { return pattern_; }
   const ArrayPartitioning& partitioning() const { return partitioning_; }
@@ -59,9 +57,13 @@ class InterNodeLayout final : public FileLayout {
   ArrayPartitioning partitioning_;
   ChunkPattern pattern_;
 
-  /// touched row-major index -> file slot (Algorithm 1 packing).
-  std::unordered_map<std::int64_t, std::int64_t> slot_of_;
-  std::unordered_map<std::int64_t, parallel::ThreadId> owner_of_;
+  /// touched row-major index -> file slot (Algorithm 1 packing), dense
+  /// over the declared box; -1 marks untouched elements. The trace walk
+  /// calls slot() once per element access, so the lookup must be a plain
+  /// load, not a hash probe.
+  std::vector<std::int64_t> slot_of_;
+  std::vector<parallel::ThreadId> owner_of_;
+  std::size_t touched_ = 0;
   std::int64_t patterned_slots_ = 0;  ///< end of the chunked region
   std::int64_t file_slots_ = 0;
 };

@@ -41,6 +41,17 @@ std::int64_t DimensionPermutationLayout::file_slots() const {
   return space_.element_count();
 }
 
+std::vector<std::int64_t> DimensionPermutationLayout::linear_slot_strides()
+    const {
+  std::vector<std::int64_t> strides(space_.dims());
+  std::int64_t acc = 1;
+  for (std::size_t k = order_.size(); k-- > 0;) {
+    strides[order_[k]] = acc;
+    acc *= space_.extent(order_[k]);
+  }
+  return strides;
+}
+
 std::string DimensionPermutationLayout::describe() const {
   std::ostringstream os;
   os << "dim-permuted (";

@@ -20,6 +20,7 @@ class DimensionPermutationLayout final : public FileLayout {
   std::int64_t slot(std::span<const std::int64_t> element) const override;
   std::int64_t file_slots() const override;
   std::string describe() const override;
+  std::vector<std::int64_t> linear_slot_strides() const override;
 
   const std::vector<std::size_t>& order() const { return order_; }
 

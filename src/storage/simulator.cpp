@@ -58,7 +58,7 @@ double HierarchySimulator::on_io_eviction(NodeId io, BlockKey victim,
   const auto& cfg = topology_.config();
   const NodeId node = striping_.storage_node_of(victim);
   if (cfg.storage_cache_enabled) {
-    storage_insert(node, victim);
+    storage_insert(node, victim, result);
     storage_dirty_[node].insert(victim.packed());
   } else {
     t += disks_.service(node, striping_.lba_of(victim));
@@ -75,20 +75,36 @@ bool HierarchySimulator::storage_touch(NodeId node, BlockKey key) {
              : storage_caches_[node].touch(key);
 }
 
-void HierarchySimulator::storage_insert(NodeId node, BlockKey key) {
+void HierarchySimulator::storage_insert(NodeId node, BlockKey key,
+                                        SimulationResult& result) {
   const std::optional<BlockKey> victim =
       policy_ == PolicyKind::kMqInclusive ? storage_mq_[node].insert(key)
                                           : storage_caches_[node].insert(key);
-  if (victim && topology_.config().model_writes) {
-    // The write-back cost of a storage-level dirty eviction is accounted
-    // by the next request via pending_writeback_cost_.
-    if (storage_dirty_[node].erase(victim->packed()) != 0) {
-      pending_writeback_cost_ +=
-          disks_.peek_service(node, striping_.lba_of(*victim));
-      ++pending_writeback_count_;
-      disks_.advance_head(node, striping_.lba_of(*victim));
+  ++result.storage.fills;
+  result.storage.bytes_filled += topology_.config().block_size;
+  if (victim) {
+    ++result.storage.evictions;
+    if (topology_.config().model_writes) {
+      // The write-back cost of a storage-level dirty eviction is accounted
+      // by the next request via pending_writeback_cost_.
+      if (storage_dirty_[node].erase(victim->packed()) != 0) {
+        pending_writeback_cost_ +=
+            disks_.peek_service(node, striping_.lba_of(*victim));
+        ++pending_writeback_count_;
+        disks_.advance_head(node, striping_.lba_of(*victim));
+      }
     }
   }
+}
+
+void HierarchySimulator::io_insert(NodeId io, BlockKey key,
+                                   SimulationResult& result,
+                                   std::optional<BlockKey>* victim_out) {
+  const std::optional<BlockKey> victim = io_caches_[io].insert(key);
+  ++result.io.fills;
+  result.io.bytes_filled += topology_.config().block_size;
+  if (victim) ++result.io.evictions;
+  if (victim_out) *victim_out = victim;
 }
 
 bool HierarchySimulator::storage_erase(NodeId node, BlockKey key) {
@@ -125,7 +141,7 @@ void HierarchySimulator::after_storage_hit(BlockKey key, NodeId node,
     staged_to = striping_.lba_of(ahead);
     staged = true;
     if (!storage_contains(node, ahead)) {
-      storage_insert(node, ahead);
+      storage_insert(node, ahead, result);
       ++result.prefetches;
     }
   }
@@ -164,7 +180,7 @@ void HierarchySimulator::after_disk_read(BlockKey key, NodeId node,
     const BlockKey ahead{key.file, next};
     staged_to = striping_.lba_of(ahead);
     if (!storage_contains(node, ahead)) {
-      storage_insert(node, ahead);
+      storage_insert(node, ahead, result);
       ++result.prefetches;
     }
   }
@@ -203,7 +219,7 @@ double HierarchySimulator::storage_level(BlockKey key,
   if (cfg.storage_cache_enabled && (policy_ == PolicyKind::kLruInclusive ||
                                     policy_ == PolicyKind::kMqInclusive)) {
     // Inclusive fill: the block is retained below as well as above.
-    storage_insert(node, key);
+    storage_insert(node, key, result);
   }
   after_disk_read(key, node, lba, result);
   // DEMOTE-LRU deliberately does NOT insert on the read path: the storage
@@ -248,7 +264,7 @@ double HierarchySimulator::service(std::uint32_t thread,
       t += network_.io_storage_hop();
       t += disks_.service(node, lba);
       ++result.disk_reads;
-      cache.insert(key);
+      io_insert(io, key, result);
       last_lba_[node] = lba;  // keep the stream detector coherent
       return t;
     }
@@ -264,7 +280,9 @@ double HierarchySimulator::service(std::uint32_t thread,
       const std::uint64_t lba = striping_.lba_of(key);
       t += disks_.service(node, lba);
       ++result.disk_reads;
-      cache.insert(key);
+      if (cache.insert(key)) ++result.storage.evictions;
+      ++result.storage.fills;
+      result.storage.bytes_filled += cfg.block_size;
       after_disk_read(key, node, lba, result);
       return t;
     }
@@ -288,14 +306,15 @@ double HierarchySimulator::service(std::uint32_t thread,
       return t + cfg.latency.io_cache_hit;
     }
     t += storage_level(key, result);
-    const std::optional<BlockKey> victim = cache.insert(key);
+    std::optional<BlockKey> victim;
+    io_insert(io, key, result, &victim);
     if (write) mark_io_dirty(io, key);
     if (victim) {
       if (cfg.model_writes) t += on_io_eviction(io, *victim, result);
       if (policy_ == PolicyKind::kDemoteLru) {
         // Ship the evicted block down instead of dropping it
         // (Wong & Wilkes).
-        storage_insert(striping_.storage_node_of(*victim), *victim);
+        storage_insert(striping_.storage_node_of(*victim), *victim, result);
         t += network_.demotion();
         ++result.demotions;
       }
@@ -305,10 +324,13 @@ double HierarchySimulator::service(std::uint32_t thread,
   return t + storage_level(key, result);
 }
 
-SimulationResult HierarchySimulator::run(const TraceProgram& trace) {
+SimulationResult HierarchySimulator::run(const TraceSource& source) {
   SimulationResult result;
   const std::size_t threads = io_node_of_thread_.size();
-  striping_ = Striping(topology_.config().storage_nodes, trace.file_blocks);
+  if (source.thread_count() > threads) {
+    throw std::invalid_argument("HierarchySimulator: more traces than threads");
+  }
+  striping_ = Striping(topology_.config().storage_nodes, source.file_blocks());
   disks_ = DiskArray(topology_.config().storage_nodes,
                      topology_.config().disk, topology_.config().block_size);
   last_lba_.assign(topology_.config().storage_nodes,
@@ -324,29 +346,31 @@ SimulationResult HierarchySimulator::run(const TraceProgram& trace) {
 
   std::vector<double> clock(threads, 0.0);
   std::vector<double> busy(threads, 0.0);
+  const std::size_t streams = source.thread_count();
 
-  for (const auto& phase : trace.phases) {
-    if (phase.per_thread.size() > threads) {
-      throw std::invalid_argument("HierarchySimulator: more traces than threads");
-    }
-    for (std::uint32_t rep = 0; rep < phase.repeat; ++rep) {
+  for (std::size_t p = 0; p < source.phase_count(); ++p) {
+    for (std::uint32_t rep = 0; rep < source.phase_repeat(p); ++rep) {
       // Min-clock-first scheduling with thread id tiebreak: deterministic
       // and approximates concurrent execution against the shared caches.
+      // Each thread holds exactly one buffered event (`pending`); resident
+      // trace state is O(threads) regardless of trace length.
       using Entry = std::pair<double, std::uint32_t>;
       std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>
           queue;
-      std::vector<std::size_t> cursor(phase.per_thread.size(), 0);
-      for (std::uint32_t t = 0; t < phase.per_thread.size(); ++t) {
-        if (!phase.per_thread[t].empty()) queue.push({clock[t], t});
+      std::vector<std::unique_ptr<ThreadCursor>> cursors;
+      cursors.reserve(streams);
+      std::vector<AccessEvent> pending(streams);
+      for (std::uint32_t t = 0; t < streams; ++t) {
+        cursors.push_back(source.open(p, t));
+        if (cursors[t]->next(pending[t])) queue.push({clock[t], t});
       }
       while (!queue.empty()) {
         const auto [when, t] = queue.top();
         queue.pop();
-        const AccessEvent& event = phase.per_thread[t][cursor[t]];
-        const double dt = service(t, event, result);
+        const double dt = service(t, pending[t], result);
         clock[t] = when + dt;
         busy[t] += dt;
-        if (++cursor[t] < phase.per_thread[t].size()) {
+        if (cursors[t]->next(pending[t])) {
           queue.push({clock[t], t});
         }
       }
@@ -361,6 +385,10 @@ SimulationResult HierarchySimulator::run(const TraceProgram& trace) {
                                                        clock.end());
   result.thread_time = std::move(busy);
   return result;
+}
+
+SimulationResult HierarchySimulator::run(const TraceProgram& trace) {
+  return run(MaterializedTraceSource(trace));
 }
 
 }  // namespace flo::storage

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -24,34 +25,9 @@
 #include "storage/stats.hpp"
 #include "storage/striping.hpp"
 #include "storage/topology.hpp"
+#include "storage/trace_source.hpp"
 
 namespace flo::storage {
-
-/// One block request: `element_count` element accesses were coalesced into
-/// this request (they hit the same block back-to-back); the CPU cost is
-/// per element, the cache/disk cost per block request.
-struct AccessEvent {
-  FileId file = 0;
-  std::uint64_t block = 0;
-  std::uint32_t element_count = 1;
-  bool is_write = false;  ///< consulted only when model_writes is on
-};
-
-using ThreadTrace = std::vector<AccessEvent>;
-
-/// One bulk-synchronous phase (one parallelized loop nest execution).
-/// `repeat` replays the phase back to back (time-stepped outer loops) with
-/// a barrier between repetitions, without duplicating the event storage.
-struct PhaseTrace {
-  std::vector<ThreadTrace> per_thread;
-  std::uint32_t repeat = 1;
-};
-
-/// A full application trace plus the file geometry the simulator needs.
-struct TraceProgram {
-  std::vector<PhaseTrace> phases;
-  std::vector<std::uint64_t> file_blocks;  ///< size of each file in blocks
-};
 
 class HierarchySimulator {
  public:
@@ -62,7 +38,13 @@ class HierarchySimulator {
                      std::vector<NodeId> io_node_of_thread,
                      std::vector<RangeHint> hints = {});
 
-  /// Simulates the trace from cold caches and returns aggregate results.
+  /// Simulates the source's event streams from cold caches and returns
+  /// aggregate results. Events are pulled one at a time through per-thread
+  /// cursors, so memory stays O(threads) when the source generates lazily.
+  SimulationResult run(const TraceSource& source);
+
+  /// Convenience wrapper: simulates a materialized trace (adapts it
+  /// through MaterializedTraceSource; behaviour is bit-identical).
   SimulationResult run(const TraceProgram& trace);
 
  private:
@@ -89,11 +71,17 @@ class HierarchySimulator {
 
   /// Storage-cache operations dispatch on the policy: LRU containers for
   /// every policy except kMqInclusive, which manages the storage level
-  /// with the Multi-Queue algorithm.
+  /// with the Multi-Queue algorithm. Inserts book fills/evictions into the
+  /// per-layer stats of `result`.
   bool storage_touch(NodeId node, BlockKey key);
-  void storage_insert(NodeId node, BlockKey key);
+  void storage_insert(NodeId node, BlockKey key, SimulationResult& result);
   bool storage_erase(NodeId node, BlockKey key);
   bool storage_contains(NodeId node, BlockKey key) const;
+
+  /// I/O-cache insert with fill/eviction accounting; the displaced block
+  /// (if any) is reported through `victim_out` for write-back/demotion.
+  void io_insert(NodeId io, BlockKey key, SimulationResult& result,
+                 std::optional<BlockKey>* victim_out = nullptr);
 
   /// Write-back bookkeeping (TopologyConfig::model_writes).
   void mark_io_dirty(NodeId io, BlockKey key);

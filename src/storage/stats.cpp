@@ -22,4 +22,29 @@ std::string SimulationResult::summary() const {
   return os.str();
 }
 
+namespace {
+
+void layer_line(std::ostringstream& os, const char* label,
+                const LayerStats& layer) {
+  os << "  " << label << ": " << layer.lookups << " lookups, " << layer.hits
+     << " hits (" << util::format_percent(layer.hit_rate()) << "), "
+     << layer.fills << " fills, " << layer.evictions << " evictions, "
+     << util::format_bytes(layer.bytes_filled) << " filled\n";
+}
+
+}  // namespace
+
+std::string SimulationResult::detailed() const {
+  std::ostringstream os;
+  os << "exec " << util::format_duration(exec_time) << " over " << accesses
+     << " block requests (" << elements << " element accesses)\n";
+  layer_line(os, "io cache     ", io);
+  layer_line(os, "storage cache", storage);
+  os << "  disk         : " << disk_reads << " reads, " << disk_writes
+     << " writes\n";
+  os << "  traffic      : " << demotions << " demotions, " << writebacks
+     << " writebacks, " << prefetches << " prefetches";
+  return os.str();
+}
+
 }  // namespace flo::storage

@@ -10,12 +10,17 @@ namespace flo::storage {
 struct LayerStats {
   std::uint64_t lookups = 0;
   std::uint64_t hits = 0;
+  std::uint64_t fills = 0;      ///< blocks inserted into this level
+  std::uint64_t evictions = 0;  ///< blocks displaced to make room
+  std::uint64_t bytes_filled = 0;  ///< bytes moved into this level by fills
 
   double hit_rate() const {
     return lookups == 0 ? 0.0 : static_cast<double>(hits) / lookups;
   }
   double miss_rate() const { return lookups == 0 ? 0.0 : 1.0 - hit_rate(); }
   std::uint64_t misses() const { return lookups - hits; }
+
+  friend bool operator==(const LayerStats&, const LayerStats&) = default;
 };
 
 /// Outcome of simulating one application trace through the hierarchy.
@@ -35,6 +40,16 @@ struct SimulationResult {
   std::uint64_t elements = 0;      ///< element accesses represented
 
   std::string summary() const;
+
+  /// Multi-line per-layer breakdown (lookups/hits/fills/evictions/bytes
+  /// per cache level plus the disk and traffic counters).
+  std::string detailed() const;
+
+  /// Exact equality over every field, including per-thread times — the
+  /// determinism and golden streaming-vs-eager tests rely on this being
+  /// bitwise-strict (doubles compared with ==, not a tolerance).
+  friend bool operator==(const SimulationResult&,
+                         const SimulationResult&) = default;
 };
 
 }  // namespace flo::storage

@@ -1,0 +1,103 @@
+// Pull-based trace abstraction: the simulator consumes per-thread event
+// cursors instead of materialized event vectors, so a trace provider can
+// generate events lazily (O(threads) resident state) or replay a stored
+// TraceProgram. Both the eager and the streaming generator in trace/
+// implement this interface; the simulator cannot tell them apart — the
+// golden tests in tests/trace/source_test.cpp hold them to bit-identical
+// event streams.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "storage/topology.hpp"
+
+namespace flo::storage {
+
+/// One block request: `element_count` element accesses were coalesced into
+/// this request (they hit the same block back-to-back); the CPU cost is
+/// per element, the cache/disk cost per block request.
+struct AccessEvent {
+  FileId file = 0;
+  std::uint64_t block = 0;
+  std::uint32_t element_count = 1;
+  bool is_write = false;  ///< consulted only when model_writes is on
+
+  friend bool operator==(const AccessEvent&, const AccessEvent&) = default;
+};
+
+using ThreadTrace = std::vector<AccessEvent>;
+
+/// One bulk-synchronous phase (one parallelized loop nest execution).
+/// `repeat` replays the phase back to back (time-stepped outer loops) with
+/// a barrier between repetitions, without duplicating the event storage.
+struct PhaseTrace {
+  std::vector<ThreadTrace> per_thread;
+  std::uint32_t repeat = 1;
+};
+
+/// A full materialized application trace plus the file geometry the
+/// simulator needs.
+struct TraceProgram {
+  std::vector<PhaseTrace> phases;
+  std::vector<std::uint64_t> file_blocks;  ///< size of each file in blocks
+};
+
+/// Pull-cursor over one thread's event stream within one phase. Cursors
+/// are single-pass; re-traversal (phase repeats) re-opens a fresh cursor
+/// through TraceSource::open, which must yield the identical stream.
+class ThreadCursor {
+ public:
+  virtual ~ThreadCursor() = default;
+
+  /// Produces the next event into `out`; returns false at end of stream
+  /// (and leaves `out` untouched).
+  virtual bool next(AccessEvent& out) = 0;
+};
+
+/// A lazily traversable trace program: phase/thread structure, file
+/// geometry, and per-(phase, thread) event cursors.
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+
+  virtual std::size_t phase_count() const = 0;
+  virtual std::uint32_t phase_repeat(std::size_t phase) const = 0;
+
+  /// Number of thread streams per phase (threads beyond a phase's parallel
+  /// extent simply get empty cursors).
+  virtual std::size_t thread_count() const = 0;
+
+  virtual const std::vector<std::uint64_t>& file_blocks() const = 0;
+
+  /// Opens a fresh cursor at the start of `thread`'s stream in `phase`.
+  /// May be called any number of times per (phase, thread); every opening
+  /// must replay the same events.
+  virtual std::unique_ptr<ThreadCursor> open(std::size_t phase,
+                                             std::uint32_t thread) const = 0;
+};
+
+/// Adapter presenting a materialized TraceProgram as a TraceSource (does
+/// not own the trace; the trace must outlive the source).
+class MaterializedTraceSource final : public TraceSource {
+ public:
+  explicit MaterializedTraceSource(const TraceProgram& trace);
+
+  std::size_t phase_count() const override { return trace_->phases.size(); }
+  std::uint32_t phase_repeat(std::size_t phase) const override {
+    return trace_->phases[phase].repeat;
+  }
+  std::size_t thread_count() const override { return thread_count_; }
+  const std::vector<std::uint64_t>& file_blocks() const override {
+    return trace_->file_blocks;
+  }
+  std::unique_ptr<ThreadCursor> open(std::size_t phase,
+                                     std::uint32_t thread) const override;
+
+ private:
+  const TraceProgram* trace_;
+  std::size_t thread_count_ = 0;  ///< max per-thread streams over phases
+};
+
+}  // namespace flo::storage

@@ -7,23 +7,39 @@
 
 namespace flo::trace {
 
+namespace {
+
+/// Streams every (phase, thread, event) triple of `source` through `fn`
+/// once (repeats are NOT expanded; `fn` receives the phase repeat count).
+template <typename Fn>
+void for_each_event(const storage::TraceSource& source, Fn&& fn) {
+  for (std::size_t p = 0; p < source.phase_count(); ++p) {
+    const std::uint32_t repeat = source.phase_repeat(p);
+    for (std::uint32_t t = 0; t < source.thread_count(); ++t) {
+      const auto cursor = source.open(p, t);
+      storage::AccessEvent event;
+      while (cursor->next(event)) fn(repeat, t, event);
+    }
+  }
+}
+
+}  // namespace
+
 std::vector<storage::RangeHint> profile_range_hints(
-    const storage::TraceProgram& trace, std::uint64_t segment_blocks) {
+    const storage::TraceSource& source, std::uint64_t segment_blocks) {
   if (segment_blocks == 0) {
     throw std::invalid_argument("profile_range_hints: zero segment size");
   }
   // accesses per (file, segment)
   std::unordered_map<std::uint64_t, std::uint64_t> counts;
-  for (const auto& phase : trace.phases) {
-    for (const auto& thread_trace : phase.per_thread) {
-      for (const auto& event : thread_trace) {
-        const std::uint64_t segment = event.block / segment_blocks;
-        const std::uint64_t key =
-            (static_cast<std::uint64_t>(event.file) << 40) | segment;
-        counts[key] += static_cast<std::uint64_t>(phase.repeat);
-      }
-    }
-  }
+  for_each_event(source, [&](std::uint32_t repeat, std::uint32_t,
+                             const storage::AccessEvent& event) {
+    const std::uint64_t segment = event.block / segment_blocks;
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(event.file) << 40) | segment;
+    counts[key] += static_cast<std::uint64_t>(repeat);
+  });
+  const auto& file_blocks = source.file_blocks();
   std::vector<storage::RangeHint> hints;
   hints.reserve(counts.size());
   for (const auto& [key, count] : counts) {
@@ -33,7 +49,7 @@ std::vector<storage::RangeHint> profile_range_hints(
     hint.file = file;
     hint.begin_block = segment * segment_blocks;
     hint.end_block =
-        std::min(hint.begin_block + segment_blocks, trace.file_blocks[file]);
+        std::min(hint.begin_block + segment_blocks, file_blocks[file]);
     if (hint.end_block <= hint.begin_block) {
       hint.end_block = hint.begin_block + segment_blocks;
     }
@@ -50,6 +66,12 @@ std::vector<storage::RangeHint> profile_range_hints(
   return hints;
 }
 
+std::vector<storage::RangeHint> profile_range_hints(
+    const storage::TraceProgram& trace, std::uint64_t segment_blocks) {
+  return profile_range_hints(storage::MaterializedTraceSource(trace),
+                             segment_blocks);
+}
+
 double FootprintStats::mean_distinct() const {
   if (distinct_blocks.empty()) return 0.0;
   double sum = 0;
@@ -63,25 +85,28 @@ std::uint64_t FootprintStats::max_distinct() const {
   return best;
 }
 
-FootprintStats footprint_stats(const storage::TraceProgram& trace,
+FootprintStats footprint_stats(const storage::TraceSource& source,
                                std::size_t thread_count) {
   FootprintStats stats;
   stats.distinct_blocks.assign(thread_count, 0);
   std::vector<std::unordered_set<std::uint64_t>> seen(thread_count);
-  for (const auto& phase : trace.phases) {
-    for (std::size_t t = 0; t < phase.per_thread.size() && t < thread_count;
-         ++t) {
-      for (const auto& event : phase.per_thread[t]) {
-        seen[t].insert((static_cast<std::uint64_t>(event.file) << 40) |
-                       event.block);
-        stats.total_requests += phase.repeat;
-      }
-    }
-  }
+  for_each_event(source, [&](std::uint32_t repeat, std::uint32_t t,
+                             const storage::AccessEvent& event) {
+    if (t >= thread_count) return;
+    seen[t].insert((static_cast<std::uint64_t>(event.file) << 40) |
+                   event.block);
+    stats.total_requests += repeat;
+  });
   for (std::size_t t = 0; t < thread_count; ++t) {
     stats.distinct_blocks[t] = seen[t].size();
   }
   return stats;
+}
+
+FootprintStats footprint_stats(const storage::TraceProgram& trace,
+                               std::size_t thread_count) {
+  return footprint_stats(storage::MaterializedTraceSource(trace),
+                         thread_count);
 }
 
 }  // namespace flo::trace

@@ -8,6 +8,7 @@
 
 #include "storage/karma.hpp"
 #include "storage/simulator.hpp"
+#include "storage/trace_source.hpp"
 
 namespace flo::trace {
 
@@ -15,7 +16,11 @@ namespace flo::trace {
 /// touched segment with its measured access density. This models the
 /// profiling pass that produces KARMA's hints; a well-localized layout
 /// yields few dense segments (accurate hints), a scattered one yields many
-/// diluted segments.
+/// diluted segments. The TraceSource overload streams the events (one
+/// extra generation pass, O(touched segments) memory); the TraceProgram
+/// overload walks the materialized trace. Both produce identical hints.
+std::vector<storage::RangeHint> profile_range_hints(
+    const storage::TraceSource& source, std::uint64_t segment_blocks);
 std::vector<storage::RangeHint> profile_range_hints(
     const storage::TraceProgram& trace, std::uint64_t segment_blocks);
 
@@ -29,6 +34,8 @@ struct FootprintStats {
   std::uint64_t max_distinct() const;
 };
 
+FootprintStats footprint_stats(const storage::TraceSource& source,
+                               std::size_t thread_count);
 FootprintStats footprint_stats(const storage::TraceProgram& trace,
                                std::size_t thread_count);
 

@@ -12,7 +12,7 @@
 #include <sstream>
 #include <string>
 
-#include "core/experiment.hpp"
+#include "core/engine.hpp"
 #include "core/report.hpp"
 #include "ir/parser.hpp"
 #include "ir/printer.hpp"
@@ -89,9 +89,12 @@ int main(int argc, char** argv) {
     std::cout << result.plan.to_string() << '\n';
 
     if (simulate) {
-      const auto base = core::run_experiment(program, config);
-      config.scheme = core::Scheme::kInterNode;
-      const auto opt = core::run_experiment(program, config);
+      core::ExperimentConfig inter = config;
+      inter.scheme = core::Scheme::kInterNode;
+      const auto results = core::ExperimentEngine().run(
+          {{"default", &program, config}, {"inter-node", &program, inter}});
+      const auto& base = results[0];
+      const auto& opt = results[1];
       std::cout << "default:    " << base.sim.summary() << '\n';
       std::cout << "inter-node: " << opt.sim.summary() << '\n';
       std::cout << "normalized exec: "
