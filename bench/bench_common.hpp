@@ -4,8 +4,18 @@
 // Every figure is some grid of (application x scheme x policy x topology)
 // cells; the helpers here expand those grids into one engine submission so
 // cells sharing a compilation compute it once and independent cells run on
-// the worker pool. Set FLO_WORKERS to override the engine's worker count
-// (default: hardware concurrency).
+// the worker pool.
+//
+// Environment knobs (all optional; see README "Environment variables"):
+//   FLO_WORKERS      worker threads (default: hardware concurrency)
+//   FLO_FAULTS       fault-injection spec applied to every topology the
+//                    bench simulates (storage/fault_model.hpp syntax);
+//                    unset/empty leaves output byte-identical to a
+//                    fault-free build
+//   FLO_JOURNAL      checkpoint journal path — completed cells stream to
+//                    it and a rerun resumes, skipping journaled cells
+//   FLO_JOB_TIMEOUT  wall-clock seconds per cell attempt (0 = unlimited)
+//   FLO_JOB_RETRIES  extra attempts for cells failing with TransientError
 #pragma once
 
 #include <cstdio>
@@ -17,6 +27,7 @@
 #include "core/engine.hpp"
 #include "core/experiment.hpp"
 #include "core/report.hpp"
+#include "storage/fault_model.hpp"
 #include "util/format.hpp"
 #include "util/table.hpp"
 #include "workloads/suite.hpp"
@@ -31,21 +42,54 @@ inline std::size_t workers_from_env() {
   return 0;  // engine default: hardware concurrency
 }
 
+/// Engine options assembled from the environment (workers, checkpoint
+/// journal, per-cell timeout/retry budgets).
+inline core::EngineOptions engine_options_from_env() {
+  core::EngineOptions options;
+  options.workers = workers_from_env();
+  options.share_compilations = true;
+  if (const char* env = std::getenv("FLO_JOURNAL")) {
+    options.journal_path = env;
+  }
+  if (const char* env = std::getenv("FLO_JOB_TIMEOUT")) {
+    const double v = std::atof(env);
+    if (v > 0) options.job_timeout = v;
+  }
+  if (const char* env = std::getenv("FLO_JOB_RETRIES")) {
+    const long v = std::atol(env);
+    if (v > 0) options.max_retries = static_cast<std::uint32_t>(v);
+  }
+  return options;
+}
+
 /// The process-wide engine every bench binary submits to.
 inline core::ExperimentEngine& engine() {
-  static core::ExperimentEngine instance(
-      core::EngineOptions{workers_from_env(), /*share_compilations=*/true});
+  static core::ExperimentEngine instance(engine_options_from_env());
   return instance;
+}
+
+/// Applies the FLO_FAULTS spec (if any) to a config's topology. Benches
+/// call this on every config they build so an operator can study any
+/// figure under injected faults; without the variable this is an exact
+/// no-op, preserving byte-identical baseline output.
+inline core::ExperimentConfig with_env_faults(core::ExperimentConfig config) {
+  config.topology.fault =
+      storage::fault_config_from_env(config.topology.fault);
+  if (config.compile_topology) {
+    config.compile_topology->fault = config.topology.fault;
+  }
+  return config;
 }
 
 /// Runs one configuration over every application; results in suite order.
 inline std::vector<core::ExperimentResult> run_suite(
     const core::ExperimentConfig& config,
     const std::vector<workloads::Workload>& suite) {
+  const core::ExperimentConfig faulted = with_env_faults(config);
   std::vector<core::ExperimentJob> jobs;
   jobs.reserve(suite.size());
   for (const auto& app : suite) {
-    jobs.push_back({app.name, &app.program, config});
+    jobs.push_back({app.name, &app.program, faulted});
   }
   return engine().run(jobs);
 }
@@ -69,11 +113,13 @@ inline std::vector<std::vector<core::AppMeasurement>> run_variant_grid(
   std::vector<core::ExperimentJob> jobs;
   jobs.reserve(variants.size() * suite.size() * 2);
   for (const auto& variant : variants) {
+    const core::ExperimentConfig baseline = with_env_faults(variant.baseline);
+    const core::ExperimentConfig optimized = with_env_faults(variant.optimized);
     for (const auto& app : suite) {
       jobs.push_back({app.name + "/" + variant.label + "/base", &app.program,
-                      variant.baseline});
+                      baseline});
       jobs.push_back({app.name + "/" + variant.label + "/opt", &app.program,
-                      variant.optimized});
+                      optimized});
     }
   }
   const std::vector<core::ExperimentResult> results = engine().run(jobs);

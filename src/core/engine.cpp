@@ -1,8 +1,13 @@
 #include "core/engine.hpp"
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <sstream>
@@ -10,6 +15,7 @@
 #include <unordered_map>
 
 #include "storage/policy.hpp"
+#include "util/atomic_file.hpp"
 
 namespace flo::core {
 
@@ -49,6 +55,24 @@ void append_topology(std::string& key, const storage::TopologyConfig& t) {
   append_value(key, t.disk.rpm);
   append_value(key, t.disk.bandwidth);
   append_value(key, t.disk.capacity_blocks);
+  // Fault injection changes simulation results (and the dimension-
+  // reindexing profiler), so it participates in both the compile-sharing
+  // signature and the journal key.
+  append_value(key, t.fault.enabled);
+  append_value(key, t.fault.seed);
+  append_value(key, t.fault.storage_transient_rate);
+  append_value(key, t.fault.disk_transient_rate);
+  append_value(key, t.fault.max_retries);
+  append_value(key, t.fault.retry_backoff);
+  append_value(key, t.fault.slow_disk_rate);
+  append_value(key, t.fault.slow_disk_multiplier);
+  append_value(key, t.fault.outages.size());
+  for (const auto& outage : t.fault.outages) {
+    append_value(key, outage.layer);
+    append_value(key, outage.node);
+    append_value(key, outage.start);
+    append_value(key, outage.end);
+  }
 }
 
 /// Serialized compile signature of a job: two cells with equal keys yield
@@ -59,7 +83,7 @@ void append_topology(std::string& key, const storage::TopologyConfig& t) {
 /// "inter-node under KARMA" share one compilation.
 std::string compile_key(const ExperimentJob& job) {
   std::string key;
-  key.reserve(160);
+  key.reserve(256);
   append_value(key, job.program);  // identity, not contents
   append_value(key, job.config.threads);
   append_value(key, job.config.mapping);
@@ -86,6 +110,41 @@ std::string compile_key(const ExperimentJob& job) {
       break;
   }
   return key;
+}
+
+std::uint64_t fnv1a(const std::string& bytes) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Journal identity of a cell: the label plus every config field that can
+/// influence its result. Unlike compile_key it must be stable across
+/// processes, so the program is identified by the job label (grids give
+/// every cell a unique label), never by pointer.
+std::string journal_key(const ExperimentJob& job) {
+  std::string bytes;
+  bytes.reserve(256 + job.label.size());
+  bytes.append(job.label);
+  bytes.push_back('\0');
+  append_value(bytes, job.config.threads);
+  append_value(bytes, job.config.mapping);
+  append_value(bytes, job.config.policy);
+  append_value(bytes, job.config.scheme);
+  append_value(bytes, job.config.unweighted_step1);
+  append_value(bytes, job.config.trace);
+  append_topology(bytes, job.config.topology);
+  append_value(bytes, job.config.compile_topology.has_value());
+  if (job.config.compile_topology) {
+    append_topology(bytes, *job.config.compile_topology);
+  }
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(fnv1a(bytes)));
+  return std::string(hex);
 }
 
 using CompiledPtr = std::shared_ptr<const CompiledExperiment>;
@@ -127,44 +186,266 @@ class CompileCache {
   std::unordered_map<std::string, std::shared_future<CompiledPtr>> cache_;
 };
 
+// --- checkpoint journal ----------------------------------------------------
+// Text file, one completed cell per line after a version-tag header:
+//   flo-journal-v1
+//   <key> <profiler_runs> sim-v1 <SimulationResult wire fields>
+// where <key> is the 16-hex-digit journal_key. Every update rewrites the
+// whole file through atomic_write_file (tmp + fsync + rename), so a kill at
+// any instant leaves either the previous or the new journal — never a
+// truncated one. Unparseable files or lines are treated as absent cells
+// (the run recomputes them) rather than errors.
+
+constexpr const char* kJournalTag = "flo-journal-v1";
+
+class Journal {
+ public:
+  explicit Journal(std::string path) : path_(std::move(path)) {
+    if (path_.empty()) return;
+    std::ifstream in(path_);
+    if (!in) return;
+    std::string line;
+    if (!std::getline(in, line) || line != kJournalTag) return;
+    while (std::getline(in, line)) {
+      std::istringstream is(line);
+      std::string key;
+      std::uint64_t profiler_runs = 0;
+      if (!(is >> key >> profiler_runs)) continue;
+      std::string rest;
+      std::getline(is, rest);
+      if (!rest.empty() && rest.front() == ' ') rest.erase(0, 1);
+      const auto sim = storage::from_wire(rest);
+      if (!sim) continue;
+      cells_[key] = {profiler_runs, *sim};
+      lines_[key] = line;
+    }
+  }
+
+  bool enabled() const { return !path_.empty(); }
+
+  /// Restores a journaled cell into `out`; false if the key is absent.
+  bool restore(const std::string& key, JobResult& out) const {
+    const auto it = cells_.find(key);
+    if (it == cells_.end()) return false;
+    out.result.sim = it->second.second;
+    out.result.profiler_runs = static_cast<std::size_t>(it->second.first);
+    // ExperimentResult::plan is not journaled (transform plans do not
+    // round-trip through text); resumed cells carry an empty plan.
+    return true;
+  }
+
+  /// Records a completed cell and atomically rewrites the journal file.
+  /// Throws std::system_error if the write fails — a cell that cannot be
+  /// checkpointed is surfaced, not silently lost.
+  void record(const std::string& key, const ExperimentResult& result) {
+    if (path_.empty()) return;
+    std::ostringstream line;
+    line << key << ' ' << result.profiler_runs << ' '
+         << storage::to_wire(result.sim);
+    const std::lock_guard<std::mutex> lock(mutex_);
+    lines_[key] = line.str();
+    std::string contents(kJournalTag);
+    contents.push_back('\n');
+    // std::map iteration keeps the file content independent of worker
+    // scheduling (byte-identical journals across runs).
+    for (const auto& [k, l] : std::map<std::string, std::string>(
+             lines_.begin(), lines_.end())) {
+      contents.append(l);
+      contents.push_back('\n');
+    }
+    util::atomic_write_file(path_, contents);
+  }
+
+ private:
+  std::string path_;
+  std::unordered_map<std::string, std::string> lines_;
+  std::unordered_map<std::string,
+                     std::pair<std::uint64_t, storage::SimulationResult>>
+      cells_;
+  std::mutex mutex_;
+};
+
+// --- guarded execution -----------------------------------------------------
+
+/// The actual work of one attempt: the test-hook runner if present,
+/// otherwise compile (possibly shared) + simulate.
+ExperimentResult execute(const ExperimentJob& job, const EngineOptions& options,
+                         const std::shared_ptr<CompileCache>& cache) {
+  if (options.runner) return options.runner(job);
+  if (job.program == nullptr) {
+    throw std::invalid_argument("ExperimentEngine: null program in \"" +
+                                job.label + "\"");
+  }
+  const CompiledPtr compiled =
+      options.share_compilations && cache
+          ? cache->get(job)
+          : std::make_shared<const CompiledExperiment>(
+                compile_experiment(*job.program, job.config));
+  ExperimentResult result;
+  result.sim = simulate_experiment(*job.program, *compiled, job.config);
+  result.plan = compiled->plan;
+  result.profiler_runs = compiled->profiler_runs;
+  return result;
+}
+
+struct AttemptOutcome {
+  ExperimentResult result;
+  std::exception_ptr error;
+  bool timed_out = false;
+};
+
+/// One attempt under a wall-clock budget: the work runs on its own thread
+/// while the worker waits with a deadline. On timeout the thread is
+/// abandoned (detached); it owns copies of the job and the shared cache
+/// pointer, so nothing it touches can dangle when the grid moves on
+/// (except the unowned ir::Program — see EngineOptions::job_timeout).
+AttemptOutcome run_attempt_with_timeout(
+    const ExperimentJob& job, const EngineOptions& options,
+    const std::shared_ptr<CompileCache>& cache) {
+  struct State {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    ExperimentResult result;
+    std::exception_ptr error;
+  };
+  auto state = std::make_shared<State>();
+  std::thread attempt([state, job, options, cache] {
+    ExperimentResult result;
+    std::exception_ptr error;
+    try {
+      result = execute(job, options, cache);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      const std::lock_guard<std::mutex> lock(state->mutex);
+      state->result = std::move(result);
+      state->error = error;
+      state->done = true;
+    }
+    state->cv.notify_all();
+  });
+
+  AttemptOutcome outcome;
+  std::unique_lock<std::mutex> lock(state->mutex);
+  const bool finished =
+      state->cv.wait_for(lock, std::chrono::duration<double>(options.job_timeout),
+                         [&] { return state->done; });
+  if (!finished) {
+    lock.unlock();
+    attempt.detach();
+    outcome.timed_out = true;
+    return outcome;
+  }
+  outcome.result = std::move(state->result);
+  outcome.error = state->error;
+  lock.unlock();
+  attempt.join();
+  return outcome;
+}
+
+AttemptOutcome run_attempt(const ExperimentJob& job,
+                           const EngineOptions& options,
+                           const std::shared_ptr<CompileCache>& cache) {
+  if (options.job_timeout > 0) {
+    return run_attempt_with_timeout(job, options, cache);
+  }
+  AttemptOutcome outcome;
+  try {
+    outcome.result = execute(job, options, cache);
+  } catch (...) {
+    outcome.error = std::current_exception();
+  }
+  return outcome;
+}
+
+bool is_transient(const std::exception_ptr& error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const TransientError&) {
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+std::string describe(const std::exception_ptr& error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown exception";
+  }
+}
+
 }  // namespace
 
 ExperimentEngine::ExperimentEngine(EngineOptions options)
-    : options_(options),
-      workers_(options.workers != 0
-                   ? options.workers
+    : options_(std::move(options)),
+      workers_(options_.workers != 0
+                   ? options_.workers
                    : std::max<std::size_t>(
                          1, std::thread::hardware_concurrency())) {}
 
-std::vector<ExperimentResult> ExperimentEngine::run(
+std::vector<JobResult> ExperimentEngine::run_guarded(
     const std::vector<ExperimentJob>& jobs) {
-  std::vector<ExperimentResult> results(jobs.size());
-  std::vector<std::exception_ptr> errors(jobs.size());
+  std::vector<JobResult> results(jobs.size());
   if (jobs.empty()) return results;
 
-  CompileCache cache;
+  Journal journal(options_.journal_path);
+  // The cache is heap-shared so attempt threads abandoned by a timeout can
+  // keep using it safely after the grid (and this frame) are gone.
+  auto cache = std::make_shared<CompileCache>();
   std::atomic<std::size_t> next{0};
   const auto worker = [&] {
     for (;;) {
       const std::size_t i = next.fetch_add(1);
       if (i >= jobs.size()) return;
       const ExperimentJob& job = jobs[i];
-      try {
-        if (job.program == nullptr) {
-          throw std::invalid_argument("ExperimentEngine: null program in \"" +
-                                      job.label + "\"");
+      JobResult& out = results[i];
+      const std::string key =
+          journal.enabled() ? journal_key(job) : std::string();
+      if (journal.enabled() && journal.restore(key, out)) {
+        out.from_journal = true;
+        continue;
+      }
+      for (std::uint32_t attempt = 0;; ++attempt) {
+        ++out.attempts;
+        AttemptOutcome outcome = run_attempt(job, options_, cache);
+        if (outcome.timed_out) {
+          out.failed = true;
+          std::ostringstream reason;
+          reason << "wall-clock timeout after " << options_.job_timeout
+                 << "s (attempt " << out.attempts << ")";
+          out.reason = reason.str();
+          break;
         }
-        CompiledPtr compiled =
-            options_.share_compilations
-                ? cache.get(job)
-                : std::make_shared<const CompiledExperiment>(
-                      compile_experiment(*job.program, job.config));
-        results[i].sim =
-            simulate_experiment(*job.program, *compiled, job.config);
-        results[i].plan = compiled->plan;
-        results[i].profiler_runs = compiled->profiler_runs;
-      } catch (...) {
-        errors[i] = std::current_exception();
+        if (!outcome.error) {
+          out.result = std::move(outcome.result);
+          out.failed = false;
+          out.error = nullptr;
+          out.reason.clear();
+          if (journal.enabled()) {
+            try {
+              journal.record(key, out.result);
+            } catch (const std::exception& e) {
+              out.failed = true;
+              out.reason = std::string("journal write failed: ") + e.what();
+              out.error = std::current_exception();
+            }
+          }
+          break;
+        }
+        out.error = outcome.error;
+        out.reason = describe(outcome.error);
+        if (!is_transient(outcome.error) ||
+            attempt >= options_.max_retries) {
+          out.failed = true;
+          break;
+        }
+        // Transient: loop for another attempt (bounded by max_retries).
       }
     }
   };
@@ -178,12 +459,24 @@ std::vector<ExperimentResult> ExperimentEngine::run(
     for (std::size_t w = 0; w < pool; ++w) threads.emplace_back(worker);
     for (auto& t : threads) t.join();
   }
+  return results;
+}
 
+std::vector<ExperimentResult> ExperimentEngine::run(
+    const std::vector<ExperimentJob>& jobs) {
+  std::vector<JobResult> guarded = run_guarded(jobs);
   // Deterministic error reporting: the lowest-index failure wins,
-  // regardless of which worker hit it first.
-  for (const auto& error : errors) {
-    if (error) std::rethrow_exception(error);
+  // regardless of which worker hit it first. The concrete exception type
+  // is preserved for failures that threw; timeouts surface as
+  // std::runtime_error.
+  for (const JobResult& r : guarded) {
+    if (!r.failed) continue;
+    if (r.error) std::rethrow_exception(r.error);
+    throw std::runtime_error("ExperimentEngine: " + r.reason);
   }
+  std::vector<ExperimentResult> results;
+  results.reserve(guarded.size());
+  for (JobResult& r : guarded) results.push_back(std::move(r.result));
   return results;
 }
 

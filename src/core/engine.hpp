@@ -10,9 +10,18 @@
 // cache). results[i] always corresponds to jobs[i], whatever the worker
 // count: the determinism regression test holds 1-worker and N-worker runs
 // to byte-identical SimulationResults.
+//
+// Fault tolerance: run_guarded() isolates each cell, so one crashing or
+// hung cell yields a failed JobResult instead of killing the grid.
+// Transient failures (TransientError) are retried a bounded number of
+// times; completed cells can be checkpointed to an atomically-written
+// journal so an interrupted grid resumes where it left off.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -28,6 +37,14 @@ struct ExperimentJob {
   ExperimentConfig config;
 };
 
+/// Failure class the engine treats as retryable (e.g. a resource hiccup
+/// rather than a deterministic bug). Anything else fails the cell on the
+/// first attempt.
+class TransientError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 struct EngineOptions {
   /// Worker threads; 0 = std::thread::hardware_concurrency().
   std::size_t workers = 0;
@@ -35,6 +52,39 @@ struct EngineOptions {
   /// compile signatures (layouts are immutable after construction, so
   /// sharing is read-only). Disable to force per-cell compilation.
   bool share_compilations = true;
+  /// Extra attempts granted to a cell that throws TransientError; other
+  /// exceptions (and wall-clock timeouts) fail the cell immediately.
+  std::uint32_t max_retries = 0;
+  /// Wall-clock budget per attempt, in seconds; 0 = unlimited. When set,
+  /// each attempt runs on its own thread; a hung attempt is abandoned
+  /// (detached) and the cell reports failure. The abandoned thread keeps
+  /// only a copy of the job and the shared compile cache alive — callers
+  /// must keep the referenced ir::Program alive for process lifetime
+  /// (true of the static workload suites).
+  double job_timeout = 0;
+  /// Checkpoint journal path; empty = no journal. Completed cells are
+  /// streamed to this file (atomic tmp+rename on every update); a rerun
+  /// pointed at the same journal skips cells already recorded, restoring
+  /// their results bit-exactly. Only the simulation half is journaled:
+  /// resumed cells carry an empty transform plan (ExperimentResult::plan),
+  /// which no grid consumer inspects.
+  std::string journal_path;
+  /// Test hook: when set, replaces the compile+simulate step entirely.
+  /// Used by the fault-tolerance tests to inject crashing/hanging cells.
+  std::function<ExperimentResult(const ExperimentJob&)> runner;
+};
+
+/// Outcome of one guarded cell. Exactly one of these holds per job, in
+/// job order, whatever the worker count.
+struct JobResult {
+  ExperimentResult result;  ///< valid iff !failed
+  bool failed = false;
+  bool from_journal = false;  ///< restored from the checkpoint journal
+  std::uint32_t attempts = 0;  ///< attempts actually executed (0 if resumed)
+  std::string reason;          ///< human-readable failure description
+  /// The original exception when the attempt threw (null for timeouts);
+  /// lets strict callers rethrow with the concrete type preserved.
+  std::exception_ptr error;
 };
 
 class ExperimentEngine {
@@ -45,8 +95,15 @@ class ExperimentEngine {
   /// (lowest job index) captured exception after all workers finish.
   std::vector<ExperimentResult> run(const std::vector<ExperimentJob>& jobs);
 
+  /// Fault-isolated variant: never throws for per-cell failures. Every
+  /// cell yields a JobResult; crashed/hung cells report failed=true with
+  /// a reason while the rest of the grid completes normally.
+  std::vector<JobResult> run_guarded(const std::vector<ExperimentJob>& jobs);
+
   /// Worker threads the engine will actually use.
   std::size_t workers() const { return workers_; }
+
+  const EngineOptions& options() const { return options_; }
 
  private:
   EngineOptions options_;

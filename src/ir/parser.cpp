@@ -265,7 +265,7 @@ Program parse_program(const std::string& text) {
   if (!issues.empty()) {
     std::string message = "program failed validation:";
     for (const auto& issue : issues) message += "\n  - " + issue;
-    throw std::invalid_argument(message);
+    throw ParseError(line_no, message);
   }
   return program;
 }

@@ -30,16 +30,21 @@ class ParseError : public std::runtime_error {
  public:
   ParseError(std::size_t line, const std::string& message)
       : std::runtime_error("line " + std::to_string(line) + ": " + message),
-        line_(line) {}
+        line_(line),
+        message_(message) {}
   std::size_t line() const { return line_; }
+  /// The diagnostic without the "line N: " prefix, so drivers can compose
+  /// compiler-style "<file>:<line>: <message>" output.
+  const std::string& message() const { return message_; }
 
  private:
   std::size_t line_;
+  std::string message_;
 };
 
 /// Parses (and validates) a program from the text format above.
-/// Throws ParseError on syntax problems and std::invalid_argument when the
-/// assembled program fails semantic validation.
+/// Throws ParseError on syntax problems and on semantic-validation
+/// failures of the assembled program (reported at the last line).
 Program parse_program(const std::string& text);
 
 }  // namespace flo::ir

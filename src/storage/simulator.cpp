@@ -14,7 +14,8 @@ HierarchySimulator::HierarchySimulator(StorageTopology topology,
     : topology_(std::move(topology)),
       policy_(policy),
       io_node_of_thread_(std::move(io_node_of_thread)),
-      network_(topology_.config().latency, topology_.config().block_size) {
+      network_(topology_.config().latency, topology_.config().block_size),
+      faults_(topology_.config().fault) {
   const auto& cfg = topology_.config();
   for (NodeId io : io_node_of_thread_) {
     if (io >= cfg.io_nodes) {
@@ -151,9 +152,42 @@ void HierarchySimulator::after_storage_hit(BlockKey key, NodeId node,
   }
 }
 
+double HierarchySimulator::disk_read(NodeId node, std::uint64_t lba,
+                                     SimulationResult& result) {
+  double t = 0;
+  if (faults_.enabled()) {
+    // Transient failures: every failed attempt still spins the disk and
+    // then waits out an exponential backoff, all charged to the virtual
+    // clock. The disk is the hierarchy's floor, so an exhausted retry
+    // budget forces the read through instead of bypassing.
+    std::uint32_t attempt = 0;
+    while (faults_.disk_read_fails()) {
+      ++result.faults.disk.transient_failures;
+      if (attempt >= faults_.config().max_retries) {
+        ++result.faults.exhausted_retries;
+        break;
+      }
+      const double failed = disks_.service(node, lba);
+      const double delay = faults_.backoff(attempt++);
+      t += failed + delay;
+      result.faults.disk.degraded_time += failed + delay;
+    }
+  }
+  double svc = disks_.service(node, lba);
+  if (faults_.enabled() && faults_.disk_read_slow()) {
+    const double extra =
+        svc * (faults_.config().slow_disk_multiplier - 1.0);
+    svc += extra;
+    ++result.faults.disk.slow_services;
+    result.faults.disk.degraded_time += extra;
+  }
+  return t + svc;
+}
+
 void HierarchySimulator::after_disk_read(BlockKey key, NodeId node,
                                          std::uint64_t lba,
-                                         SimulationResult& result) {
+                                         SimulationResult& result,
+                                         bool staging_allowed) {
   const auto& cfg = topology_.config();
   // Stream detection per (node, file): the previous block of this file on
   // this node must be the preceding local stripe. This survives other
@@ -166,7 +200,8 @@ void HierarchySimulator::after_disk_read(BlockKey key, NodeId node,
       key.block == it->second + cfg.storage_nodes;
   stream_pos_[stream_key] = key.block;
   last_lba_[node] = lba;
-  if (!sequential || cfg.prefetch_depth == 0 || !cfg.storage_cache_enabled) {
+  if (!sequential || cfg.prefetch_depth == 0 || !cfg.storage_cache_enabled ||
+      !staging_allowed) {
     return;
   }
   // Readahead: stage the next local stripes of this file (they live on the
@@ -192,12 +227,38 @@ void HierarchySimulator::after_disk_read(BlockKey key, NodeId node,
   }
 }
 
-double HierarchySimulator::storage_level(BlockKey key,
+double HierarchySimulator::storage_level(BlockKey key, double now,
                                          SimulationResult& result) {
   const auto& cfg = topology_.config();
   const NodeId node = striping_.storage_node_of(key);
   double t = network_.io_storage_hop();
-  if (cfg.storage_cache_enabled) {
+  // Outages and exhausted fabric-retry budgets bypass the storage cache
+  // for this request: no lookup, no fill, no readahead staging.
+  bool bypass = false;
+  if (cfg.storage_cache_enabled && faults_.enabled()) {
+    if (faults_.offline(FaultLayer::kStorage, node, now)) {
+      bypass = true;
+      ++result.faults.storage.bypasses;
+    } else {
+      // Transient storage-fabric failures: each failed attempt waits out
+      // an exponential backoff (charged to the virtual clock) and retries
+      // until the budget runs out, which falls through to disk.
+      std::uint32_t attempt = 0;
+      while (faults_.storage_read_fails()) {
+        ++result.faults.storage.transient_failures;
+        if (attempt >= faults_.config().max_retries) {
+          ++result.faults.exhausted_retries;
+          ++result.faults.storage.bypasses;
+          bypass = true;
+          break;
+        }
+        const double delay = faults_.backoff(attempt++);
+        t += delay;
+        result.faults.storage.degraded_time += delay;
+      }
+    }
+  }
+  if (cfg.storage_cache_enabled && !bypass) {
     ++result.storage.lookups;
     if (storage_touch(node, key)) {
       ++result.storage.hits;
@@ -214,20 +275,21 @@ double HierarchySimulator::storage_level(BlockKey key,
     }
   }
   const std::uint64_t lba = striping_.lba_of(key);
-  t += disks_.service(node, lba);
+  t += disk_read(node, lba, result);
   ++result.disk_reads;
-  if (cfg.storage_cache_enabled && (policy_ == PolicyKind::kLruInclusive ||
-                                    policy_ == PolicyKind::kMqInclusive)) {
+  if (cfg.storage_cache_enabled && !bypass &&
+      (policy_ == PolicyKind::kLruInclusive ||
+       policy_ == PolicyKind::kMqInclusive)) {
     // Inclusive fill: the block is retained below as well as above.
     storage_insert(node, key, result);
   }
-  after_disk_read(key, node, lba, result);
+  after_disk_read(key, node, lba, result, /*staging_allowed=*/!bypass);
   // DEMOTE-LRU deliberately does NOT insert on the read path: the storage
   // cache is populated by demotions only (plus re-reads via LRU above).
   return t;
 }
 
-double HierarchySimulator::service(std::uint32_t thread,
+double HierarchySimulator::service(std::uint32_t thread, double now,
                                    const AccessEvent& event,
                                    SimulationResult& result) {
   const auto& cfg = topology_.config();
@@ -250,7 +312,9 @@ double HierarchySimulator::service(std::uint32_t thread,
 
   if (policy_ == PolicyKind::kKarma) {
     const CacheLevel level = karma_.level_of(key);
-    if (level == CacheLevel::kIo && cfg.io_cache_enabled) {
+    const bool io_online =
+        !faults_.enabled() || !faults_.offline(FaultLayer::kIo, io, now);
+    if (level == CacheLevel::kIo && cfg.io_cache_enabled && io_online) {
       LruCache& cache = io_caches_[io];
       ++result.io.lookups;
       if (cache.touch(key)) {
@@ -262,42 +326,53 @@ double HierarchySimulator::service(std::uint32_t thread,
       const NodeId node = striping_.storage_node_of(key);
       const std::uint64_t lba = striping_.lba_of(key);
       t += network_.io_storage_hop();
-      t += disks_.service(node, lba);
+      t += disk_read(node, lba, result);
       ++result.disk_reads;
       io_insert(io, key, result);
       last_lba_[node] = lba;  // keep the stream detector coherent
       return t;
     }
+    if (level == CacheLevel::kIo && cfg.io_cache_enabled && !io_online) {
+      // The pinned I/O cache is dark: fall through straight to disk.
+      ++result.faults.io.bypasses;
+    }
     if (level == CacheLevel::kStorage && cfg.storage_cache_enabled) {
       const NodeId node = striping_.storage_node_of(key);
-      LruCache& cache = storage_caches_[node];
-      t += network_.io_storage_hop();
-      ++result.storage.lookups;
-      if (cache.touch(key)) {
-        ++result.storage.hits;
-        return t + cfg.latency.storage_cache_hit;
+      if (!faults_.enabled() ||
+          !faults_.offline(FaultLayer::kStorage, node, now)) {
+        LruCache& cache = storage_caches_[node];
+        t += network_.io_storage_hop();
+        ++result.storage.lookups;
+        if (cache.touch(key)) {
+          ++result.storage.hits;
+          return t + cfg.latency.storage_cache_hit;
+        }
+        const std::uint64_t lba = striping_.lba_of(key);
+        t += disk_read(node, lba, result);
+        ++result.disk_reads;
+        if (cache.insert(key)) ++result.storage.evictions;
+        ++result.storage.fills;
+        result.storage.bytes_filled += cfg.block_size;
+        after_disk_read(key, node, lba, result, /*staging_allowed=*/true);
+        return t;
       }
-      const std::uint64_t lba = striping_.lba_of(key);
-      t += disks_.service(node, lba);
-      ++result.disk_reads;
-      if (cache.insert(key)) ++result.storage.evictions;
-      ++result.storage.fills;
-      result.storage.bytes_filled += cfg.block_size;
-      after_disk_read(key, node, lba, result);
-      return t;
+      ++result.faults.storage.bypasses;
     }
-    // Uncached range class: straight to disk.
+    // Uncached range class (or a range whose pinned cache is offline):
+    // straight to disk.
     const NodeId node = striping_.storage_node_of(key);
     const std::uint64_t lba = striping_.lba_of(key);
     t += network_.io_storage_hop();
-    t += disks_.service(node, lba);
+    t += disk_read(node, lba, result);
     ++result.disk_reads;
     last_lba_[node] = lba;
     return t;
   }
 
   // LRU-inclusive and DEMOTE-LRU share the I/O-level flow.
-  if (cfg.io_cache_enabled) {
+  const bool io_online =
+      !faults_.enabled() || !faults_.offline(FaultLayer::kIo, io, now);
+  if (cfg.io_cache_enabled && io_online) {
     LruCache& cache = io_caches_[io];
     ++result.io.lookups;
     if (cache.touch(key)) {
@@ -305,7 +380,7 @@ double HierarchySimulator::service(std::uint32_t thread,
       if (write) mark_io_dirty(io, key);
       return t + cfg.latency.io_cache_hit;
     }
-    t += storage_level(key, result);
+    t += storage_level(key, now, result);
     std::optional<BlockKey> victim;
     io_insert(io, key, result, &victim);
     if (write) mark_io_dirty(io, key);
@@ -321,7 +396,8 @@ double HierarchySimulator::service(std::uint32_t thread,
     }
     return t;
   }
-  return t + storage_level(key, result);
+  if (cfg.io_cache_enabled && !io_online) ++result.faults.io.bypasses;
+  return t + storage_level(key, now, result);
 }
 
 SimulationResult HierarchySimulator::run(const TraceSource& source) {
@@ -343,6 +419,7 @@ SimulationResult HierarchySimulator::run(const TraceSource& source) {
   for (auto& c : io_caches_) c.clear();
   for (auto& c : storage_caches_) c.clear();
   for (auto& c : storage_mq_) c.clear();
+  faults_.reset();  // replay the identical fault stream on every run
 
   std::vector<double> clock(threads, 0.0);
   std::vector<double> busy(threads, 0.0);
@@ -367,7 +444,7 @@ SimulationResult HierarchySimulator::run(const TraceSource& source) {
       while (!queue.empty()) {
         const auto [when, t] = queue.top();
         queue.pop();
-        const double dt = service(t, pending[t], result);
+        const double dt = service(t, when, pending[t], result);
         clock[t] = when + dt;
         busy[t] += dt;
         if (cursors[t]->next(pending[t])) {

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "storage/disk_model.hpp"
+#include "storage/fault_model.hpp"
 #include "storage/karma.hpp"
 #include "storage/lru_cache.hpp"
 #include "storage/mq_cache.hpp"
@@ -48,16 +49,25 @@ class HierarchySimulator {
   SimulationResult run(const TraceProgram& trace);
 
  private:
-  /// Services one request for `thread`; returns elapsed seconds.
-  double service(std::uint32_t thread, const AccessEvent& event,
+  /// Services one request issued by `thread` at virtual time `now` (the
+  /// fault model needs `now` to resolve outage windows); returns elapsed
+  /// seconds.
+  double service(std::uint32_t thread, double now, const AccessEvent& event,
                  SimulationResult& result);
 
-  double storage_level(BlockKey key, SimulationResult& result);
+  double storage_level(BlockKey key, double now, SimulationResult& result);
+
+  /// One fault-aware disk read: transient failures retried with backoff
+  /// (charged to the caller's clock) and slow-disk latency spikes, per the
+  /// topology's FaultConfig. Reduces to DiskArray::service when faults
+  /// are off.
+  double disk_read(NodeId node, std::uint64_t lba, SimulationResult& result);
 
   /// Disk-read epilogue: sequential-stream detection and readahead into
-  /// the owning storage cache (TopologyConfig::prefetch_depth).
+  /// the owning storage cache (TopologyConfig::prefetch_depth). Staging is
+  /// suppressed (stream bookkeeping kept) while the cache is offline.
   void after_disk_read(BlockKey key, NodeId node, std::uint64_t lba,
-                       SimulationResult& result);
+                       SimulationResult& result, bool staging_allowed);
 
   /// Storage-hit epilogue: keeps the readahead window moving through
   /// staged blocks.
@@ -68,6 +78,9 @@ class HierarchySimulator {
   std::vector<NodeId> io_node_of_thread_;
   KarmaAllocator karma_;
   NetworkModel network_;
+  /// Seeded fault decision stream (topology_.config().fault); rewound at
+  /// the start of every run() so repeated runs replay identical faults.
+  FaultPlan faults_;
 
   /// Storage-cache operations dispatch on the policy: LRU containers for
   /// every policy except kMqInclusive, which manages the storage level

@@ -1,5 +1,7 @@
 #include "storage/stats.hpp"
 
+#include <cstdio>
+#include <cstdlib>
 #include <sstream>
 
 #include "util/format.hpp"
@@ -19,6 +21,17 @@ std::string SimulationResult::summary() const {
   if (prefetches > 0) {
     os << ", " << prefetches << " prefetches";
   }
+  if (faults.any()) {
+    os << ", faults: "
+       << faults.storage.transient_failures + faults.disk.transient_failures
+       << " retries, "
+       << faults.io.bypasses + faults.storage.bypasses << " bypasses, "
+       << faults.disk.slow_services << " slow reads, "
+       << util::format_duration(faults.io.degraded_time +
+                                faults.storage.degraded_time +
+                                faults.disk.degraded_time)
+       << " degraded";
+  }
   return os.str();
 }
 
@@ -30,6 +43,14 @@ void layer_line(std::ostringstream& os, const char* label,
      << " hits (" << util::format_percent(layer.hit_rate()) << "), "
      << layer.fills << " fills, " << layer.evictions << " evictions, "
      << util::format_bytes(layer.bytes_filled) << " filled\n";
+}
+
+void fault_layer_line(std::ostringstream& os, const char* label,
+                      const FaultLayerStats& layer) {
+  os << "  " << label << ": " << layer.bypasses << " bypasses, "
+     << layer.transient_failures << " transient failures, "
+     << layer.slow_services << " slow services, "
+     << util::format_duration(layer.degraded_time) << " degraded\n";
 }
 
 }  // namespace
@@ -44,7 +65,134 @@ std::string SimulationResult::detailed() const {
      << " writes\n";
   os << "  traffic      : " << demotions << " demotions, " << writebacks
      << " writebacks, " << prefetches << " prefetches";
+  if (faults.any()) {
+    os << '\n';
+    fault_layer_line(os, "faults io    ", faults.io);
+    fault_layer_line(os, "faults storag", faults.storage);
+    fault_layer_line(os, "faults disk  ", faults.disk);
+    os << "  faults       : " << faults.exhausted_retries
+       << " exhausted retry budgets";
+  }
   return os.str();
+}
+
+namespace {
+
+// --- wire codec -----------------------------------------------------------
+// Space-separated fields in a fixed order; integers in decimal, doubles as
+// C99 hexfloats ("%a") so values round-trip bit-exactly through text. The
+// vector field is length-prefixed. A version tag leads the line so future
+// field additions can invalidate old journals instead of misparsing them.
+
+constexpr const char* kWireTag = "sim-v1";
+
+void put_double(std::ostringstream& os, double value) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "%a", value);
+  os << ' ' << buffer;
+}
+
+void put_layer(std::ostringstream& os, const LayerStats& layer) {
+  os << ' ' << layer.lookups << ' ' << layer.hits << ' ' << layer.fills << ' '
+     << layer.evictions << ' ' << layer.bytes_filled;
+}
+
+void put_fault_layer(std::ostringstream& os, const FaultLayerStats& layer) {
+  os << ' ' << layer.bypasses << ' ' << layer.transient_failures << ' '
+     << layer.slow_services;
+  put_double(os, layer.degraded_time);
+}
+
+/// Token cursor over a wire line; parse failures latch `ok = false`.
+struct Reader {
+  std::istringstream is;
+  bool ok = true;
+
+  explicit Reader(const std::string& line) : is(line) {}
+
+  std::string token() {
+    std::string t;
+    if (!(is >> t)) ok = false;
+    return t;
+  }
+  std::uint64_t u64() {
+    const std::string t = token();
+    if (!ok) return 0;
+    char* end = nullptr;
+    const std::uint64_t v = std::strtoull(t.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') ok = false;
+    return v;
+  }
+  double f64() {
+    // istream >> double does not reliably parse hexfloats; strtod does.
+    const std::string t = token();
+    if (!ok) return 0;
+    char* end = nullptr;
+    const double v = std::strtod(t.c_str(), &end);
+    if (end == nullptr || *end != '\0') ok = false;
+    return v;
+  }
+  void layer(LayerStats& out) {
+    out.lookups = u64();
+    out.hits = u64();
+    out.fills = u64();
+    out.evictions = u64();
+    out.bytes_filled = u64();
+  }
+  void fault_layer(FaultLayerStats& out) {
+    out.bypasses = u64();
+    out.transient_failures = u64();
+    out.slow_services = u64();
+    out.degraded_time = f64();
+  }
+};
+
+}  // namespace
+
+std::string to_wire(const SimulationResult& result) {
+  std::ostringstream os;
+  os << kWireTag;
+  put_layer(os, result.io);
+  put_layer(os, result.storage);
+  put_double(os, result.exec_time);
+  os << ' ' << result.thread_time.size();
+  for (double t : result.thread_time) put_double(os, t);
+  os << ' ' << result.disk_reads << ' ' << result.demotions << ' '
+     << result.prefetches << ' ' << result.disk_writes << ' '
+     << result.writebacks << ' ' << result.accesses << ' ' << result.elements;
+  put_fault_layer(os, result.faults.io);
+  put_fault_layer(os, result.faults.storage);
+  put_fault_layer(os, result.faults.disk);
+  os << ' ' << result.faults.exhausted_retries;
+  return os.str();
+}
+
+std::optional<SimulationResult> from_wire(const std::string& line) {
+  Reader reader(line);
+  if (reader.token() != kWireTag) return std::nullopt;
+  SimulationResult result;
+  reader.layer(result.io);
+  reader.layer(result.storage);
+  result.exec_time = reader.f64();
+  const std::uint64_t threads = reader.u64();
+  if (!reader.ok || threads > (1u << 22)) return std::nullopt;
+  result.thread_time.resize(static_cast<std::size_t>(threads));
+  for (auto& t : result.thread_time) t = reader.f64();
+  result.disk_reads = reader.u64();
+  result.demotions = reader.u64();
+  result.prefetches = reader.u64();
+  result.disk_writes = reader.u64();
+  result.writebacks = reader.u64();
+  result.accesses = reader.u64();
+  result.elements = reader.u64();
+  reader.fault_layer(result.faults.io);
+  reader.fault_layer(result.faults.storage);
+  reader.fault_layer(result.faults.disk);
+  result.faults.exhausted_retries = reader.u64();
+  std::string trailing;
+  if (reader.is >> trailing) return std::nullopt;  // extra fields: reject
+  if (!reader.ok) return std::nullopt;
+  return result;
 }
 
 }  // namespace flo::storage

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -23,6 +24,37 @@ struct LayerStats {
   friend bool operator==(const LayerStats&, const LayerStats&) = default;
 };
 
+/// Fault accounting for one hierarchy layer (storage/fault_model.hpp).
+/// All-zero when fault injection is disabled, keeping SimulationResult
+/// equality with pre-fault baselines intact.
+struct FaultLayerStats {
+  std::uint64_t bypasses = 0;  ///< requests that skipped an offline cache
+  std::uint64_t transient_failures = 0;  ///< failed read attempts (retried)
+  std::uint64_t slow_services = 0;       ///< latency-spiked services
+  double degraded_time = 0;  ///< extra virtual seconds charged by faults
+
+  bool any() const {
+    return bypasses != 0 || transient_failures != 0 || slow_services != 0 ||
+           degraded_time != 0;
+  }
+  friend bool operator==(const FaultLayerStats&,
+                         const FaultLayerStats&) = default;
+};
+
+struct FaultStats {
+  FaultLayerStats io;       ///< I/O-cache layer (outage bypasses)
+  FaultLayerStats storage;  ///< storage-cache layer (outages + fabric)
+  FaultLayerStats disk;     ///< disk layer (transient failures, slow reads)
+  /// Requests whose retry budget ran out (storage: bypassed to disk;
+  /// disk: forced through, since there is no layer below).
+  std::uint64_t exhausted_retries = 0;
+
+  bool any() const {
+    return io.any() || storage.any() || disk.any() || exhausted_retries != 0;
+  }
+  friend bool operator==(const FaultStats&, const FaultStats&) = default;
+};
+
 /// Outcome of simulating one application trace through the hierarchy.
 struct SimulationResult {
   LayerStats io;       ///< across all I/O-node caches
@@ -39,6 +71,9 @@ struct SimulationResult {
   std::uint64_t accesses = 0;      ///< block-level requests issued
   std::uint64_t elements = 0;      ///< element accesses represented
 
+  /// Fault-injection accounting; all-zero (and unprinted) without faults.
+  FaultStats faults;
+
   std::string summary() const;
 
   /// Multi-line per-layer breakdown (lookups/hits/fills/evictions/bytes
@@ -51,5 +86,15 @@ struct SimulationResult {
   friend bool operator==(const SimulationResult&,
                          const SimulationResult&) = default;
 };
+
+/// Compact single-line wire encoding of a SimulationResult, used by the
+/// ExperimentEngine's checkpoint journal. Doubles are emitted as C99
+/// hexfloats so a journaled result round-trips bit-exactly (resumed grids
+/// must reproduce byte-identical output).
+std::string to_wire(const SimulationResult& result);
+
+/// Inverse of to_wire; std::nullopt on any malformed input (a resumable
+/// journal treats such cells as not-yet-run rather than crashing).
+std::optional<SimulationResult> from_wire(const std::string& line);
 
 }  // namespace flo::storage

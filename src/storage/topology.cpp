@@ -47,6 +47,17 @@ StorageTopology::StorageTopology(TopologyConfig config)
     throw std::invalid_argument(
         "StorageTopology: cache smaller than one block");
   }
+  config_.fault.validate();
+  for (const auto& outage : config_.fault.outages) {
+    const std::size_t nodes = outage.layer == FaultLayer::kIo
+                                  ? config_.io_nodes
+                                  : config_.storage_nodes;
+    if (outage.node >= nodes) {
+      throw std::invalid_argument(std::string("StorageTopology: outage ") +
+                                  fault_layer_name(outage.layer) +
+                                  " node out of range");
+    }
+  }
 }
 
 NodeId StorageTopology::io_node_of(NodeId compute_node) const {

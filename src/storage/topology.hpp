@@ -9,6 +9,8 @@
 #include <cstdint>
 #include <string>
 
+#include "storage/fault_model.hpp"
+
 namespace flo::storage {
 
 using NodeId = std::uint32_t;
@@ -66,6 +68,11 @@ struct TopologyConfig {
 
   LatencyModel latency;
   DiskModel disk;
+
+  /// Fault injection (storage/fault_model.hpp). Disabled by default; a
+  /// disabled config takes the exact pre-fault simulator paths, so
+  /// baseline results stay byte-identical.
+  FaultConfig fault;
 
   /// Returns the paper's Table 1 configuration scaled down for fast
   /// simulation. Block size is divided by `block_scale` and cache capacities

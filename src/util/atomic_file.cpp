@@ -1,0 +1,52 @@
+#include "util/atomic_file.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <system_error>
+
+namespace flo::util {
+
+namespace {
+
+[[noreturn]] void fail(int err, const std::string& what) {
+  throw std::system_error(err, std::generic_category(),
+                          "atomic_write_file: " + what);
+}
+
+}  // namespace
+
+void atomic_write_file(const std::string& path, const std::string& contents) {
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (file == nullptr) fail(errno, "open " + tmp);
+
+  const std::size_t written =
+      contents.empty() ? 0
+                       : std::fwrite(contents.data(), 1, contents.size(), file);
+  if (written != contents.size()) {
+    const int err = errno ? errno : EIO;
+    std::fclose(file);
+    std::remove(tmp.c_str());
+    fail(err, "short write to " + tmp);
+  }
+  if (std::fflush(file) != 0 || ::fsync(::fileno(file)) != 0) {
+    const int err = errno ? errno : EIO;
+    std::fclose(file);
+    std::remove(tmp.c_str());
+    fail(err, "flush/fsync " + tmp);
+  }
+  if (std::fclose(file) != 0) {
+    const int err = errno ? errno : EIO;
+    std::remove(tmp.c_str());
+    fail(err, "close " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    std::remove(tmp.c_str());
+    fail(err, "rename " + tmp + " -> " + path);
+  }
+}
+
+}  // namespace flo::util

@@ -1,0 +1,17 @@
+// Crash-safe whole-file writes: write to a sibling temp file, flush and
+// fsync it, then atomically rename over the destination. Readers (and a
+// rerun after a mid-write crash) see either the complete old contents or
+// the complete new contents — never a torn prefix. Short writes, fsync
+// and rename failures surface as std::system_error; the temp file is
+// removed on every failure path.
+#pragma once
+
+#include <string>
+
+namespace flo::util {
+
+/// Atomically replaces `path` with `contents` (tmp + fsync + rename).
+/// Throws std::system_error on any I/O failure.
+void atomic_write_file(const std::string& path, const std::string& contents);
+
+}  // namespace flo::util

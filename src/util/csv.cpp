@@ -1,8 +1,9 @@
 #include "util/csv.hpp"
 
-#include <fstream>
 #include <sstream>
 #include <stdexcept>
+
+#include "util/atomic_file.hpp"
 
 namespace flo::util {
 
@@ -48,10 +49,9 @@ std::string CsvWriter::to_string() const {
 }
 
 void CsvWriter::write_file(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot open for write: " + path);
-  out << to_string();
-  if (!out) throw std::runtime_error("write failed: " + path);
+  // Crash-safe: a reader (or a resumed run) never observes a torn CSV, and
+  // short writes / fsync failures surface instead of being swallowed.
+  atomic_write_file(path, to_string());
 }
 
 }  // namespace flo::util

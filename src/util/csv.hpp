@@ -17,7 +17,8 @@ class CsvWriter {
   /// Renders the CSV document including the header line.
   std::string to_string() const;
 
-  /// Writes the document to `path`; throws std::runtime_error on failure.
+  /// Writes the document to `path` atomically (tmp + fsync + rename, see
+  /// util/atomic_file.hpp); throws std::system_error on any I/O failure.
   void write_file(const std::string& path) const;
 
  private:

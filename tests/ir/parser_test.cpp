@@ -122,8 +122,10 @@ nest n parallel=1 {
 }
 
 TEST(ParserTest, SemanticValidationRuns) {
-  // Indexes out of the declared extents: assembled, then rejected.
-  EXPECT_THROW(parse_program(R"(
+  // Indexes out of the declared extents: assembled, then rejected with a
+  // ParseError so drivers print one uniform file:line diagnostic.
+  try {
+    parse_program(R"(
 program p
 array A 4 4
 nest n parallel=1 {
@@ -131,8 +133,23 @@ nest n parallel=1 {
   for i2 = 0..3
   read A[i1, i2]
 }
-)"),
-               std::invalid_argument);
+)");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& err) {
+    EXPECT_GT(err.line(), 0u);
+    EXPECT_NE(err.message().find("failed validation"), std::string::npos);
+  }
+}
+
+TEST(ParserTest, ParseErrorCarriesLineAndMessage) {
+  try {
+    parse_program("program p\nbogus directive\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& err) {
+    EXPECT_EQ(err.line(), 2u);
+    EXPECT_EQ(err.message(), "unknown directive 'bogus'");
+    EXPECT_EQ(std::string(err.what()), "line 2: unknown directive 'bogus'");
+  }
 }
 
 TEST(ParserTest, CommentsAndBlankLines) {

@@ -1,0 +1,63 @@
+#include "util/atomic_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <system_error>
+#include <unistd.h>
+
+namespace flo::util {
+namespace {
+
+std::string temp_path(const char* name) {
+  return testing::TempDir() + "/" + name + "." + std::to_string(::getpid());
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(AtomicFileTest, WritesAndOverwrites) {
+  const std::string path = temp_path("atomic");
+  atomic_write_file(path, "first\n");
+  EXPECT_EQ(slurp(path), "first\n");
+  atomic_write_file(path, "second, longer contents\n");
+  EXPECT_EQ(slurp(path), "second, longer contents\n");
+  atomic_write_file(path, "");  // truncation to empty is a valid write
+  EXPECT_EQ(slurp(path), "");
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFileTest, LeavesNoTempFileBehind) {
+  const std::string path = temp_path("clean");
+  atomic_write_file(path, "payload");
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  EXPECT_NE(::access(path.c_str(), F_OK), -1);
+  EXPECT_EQ(::access(tmp.c_str(), F_OK), -1);
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFileTest, SurfacesUnwritableDestination) {
+  // The temp sibling cannot be created inside a missing directory; the
+  // failure must surface as std::system_error, not be swallowed.
+  EXPECT_THROW(
+      atomic_write_file(testing::TempDir() + "/no/such/dir/file", "x"),
+      std::system_error);
+}
+
+TEST(AtomicFileTest, BinarySafeContents) {
+  const std::string path = temp_path("binary");
+  const std::string contents("a\0b\r\n\xff tail", 10);
+  atomic_write_file(path, contents);
+  EXPECT_EQ(slurp(path), contents);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace flo::util

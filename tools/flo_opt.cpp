@@ -1,12 +1,17 @@
 // flo_opt — the standalone layout-optimizer driver.
 //
 //   flo_opt <program.flo> [--threads N] [--mask both|io|storage]
-//           [--simulate] [--pseudocode]
+//           [--simulate] [--pseudocode] [--faults SPEC]
 //
 // Reads a program in the text format of src/ir/parser.hpp, runs the
 // inter-node file layout optimizer against the (scaled) Table 1 topology,
 // prints the per-array transform plans, and optionally simulates the
-// default vs optimized executions.
+// default vs optimized executions. `--faults` (or the FLO_FAULTS
+// environment variable) injects storage faults into the simulation — see
+// src/storage/fault_model.hpp for the spec syntax.
+//
+// Malformed programs produce a compiler-style `file:line: message`
+// diagnostic and exit code 2; other failures exit 1.
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -16,6 +21,7 @@
 #include "core/report.hpp"
 #include "ir/parser.hpp"
 #include "ir/printer.hpp"
+#include "storage/fault_model.hpp"
 #include "util/format.hpp"
 
 namespace {
@@ -23,7 +29,7 @@ namespace {
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " <program.flo> [--threads N] [--mask both|io|storage]"
-               " [--simulate] [--pseudocode]\n";
+               " [--simulate] [--pseudocode] [--faults SPEC]\n";
   return 2;
 }
 
@@ -38,10 +44,13 @@ int main(int argc, char** argv) {
   layout::LayerMask mask = layout::LayerMask::kBoth;
   bool simulate = false;
   bool pseudocode = false;
+  std::string fault_spec;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--threads" && i + 1 < argc) {
       threads = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--faults" && i + 1 < argc) {
+      fault_spec = argv[++i];
     } else if (arg == "--mask" && i + 1 < argc) {
       const std::string m = argv[++i];
       if (m == "both") {
@@ -80,6 +89,9 @@ int main(int argc, char** argv) {
     core::ExperimentConfig config;
     config.topology.compute_nodes = threads;
     config.threads = threads;
+    config.topology.fault = fault_spec.empty()
+                                ? storage::fault_config_from_env()
+                                : storage::parse_fault_spec(fault_spec);
     const storage::StorageTopology topology(config.topology);
     const parallel::ParallelSchedule schedule(program, threads);
     const core::FileLayoutOptimizer optimizer(topology);
@@ -103,8 +115,8 @@ int main(int argc, char** argv) {
                 << '\n';
     }
   } catch (const ir::ParseError& err) {
-    std::cerr << path << ":" << err.what() << '\n';
-    return 1;
+    std::cerr << path << ':' << err.line() << ": " << err.message() << '\n';
+    return 2;
   } catch (const std::exception& err) {
     std::cerr << "error: " << err.what() << '\n';
     return 1;

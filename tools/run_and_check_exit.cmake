@@ -1,0 +1,19 @@
+# Test driver: runs `BINARY ARGS` and asserts the exit code and a stderr
+# substring. Invoked by ctest entries in tools/CMakeLists.txt:
+#   cmake -DBINARY=... -DARGS=... -DEXPECT_EXIT=2 -DEXPECT_STDERR=... \
+#         -P run_and_check_exit.cmake
+separate_arguments(arg_list UNIX_COMMAND "${ARGS}")
+execute_process(
+  COMMAND "${BINARY}" ${arg_list}
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+)
+if(NOT exit_code EQUAL "${EXPECT_EXIT}")
+  message(FATAL_ERROR
+          "expected exit ${EXPECT_EXIT}, got ${exit_code}\nstderr: ${err}")
+endif()
+if(DEFINED EXPECT_STDERR AND NOT err MATCHES "${EXPECT_STDERR}")
+  message(FATAL_ERROR
+          "stderr does not match '${EXPECT_STDERR}'\nstderr: ${err}")
+endif()
