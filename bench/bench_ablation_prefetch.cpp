@@ -1,50 +1,5 @@
-// Ablation — hardware I/O prefetching (Section 4.2: "The created (linear)
-// file layout can also help improve the effectiveness of hardware I/O
-// prefetching if supported by the underlying system").
-//
-// We enable storage-node readahead and measure the default and inter-node
-// executions with and without it. The claim to verify: prefetching helps
-// the optimized layouts more (their per-thread streams are sequential on
-// disk), i.e. the improvement of inter-node over default *grows* when
-// readahead is available.
-#include "bench/bench_common.hpp"
+// Thin alias over the scenario registry: identical output to
+// `flo_bench --filter ablation_prefetch`. The scenario body lives in bench/scenarios_*.cpp.
+#include "bench/scenario.hpp"
 
-int main() {
-  using namespace flo;
-  const auto suite = workloads::workload_suite();
-
-  std::vector<bench::VariantSpec> variants;
-  for (int pf = 0; pf < 2; ++pf) {
-    core::ExperimentConfig base;
-    base.topology.prefetch_depth = pf == 0 ? 0 : 4;
-    core::ExperimentConfig opt = base;
-    opt.scheme = core::Scheme::kInterNode;
-    variants.push_back({pf == 0 ? "no prefetch" : "prefetch", base, opt});
-  }
-  const auto grid = bench::run_variant_grid(variants, suite);
-
-  double averages[2] = {0, 0};
-  util::Table table({"Application", "no prefetch", "prefetch depth 4"});
-  std::vector<std::vector<std::string>> cells(suite.size());
-  for (int pf = 0; pf < 2; ++pf) {
-    const auto& rows = grid[pf];
-    for (std::size_t a = 0; a < rows.size(); ++a) {
-      cells[a].push_back(util::format_fixed(rows[a].normalized_exec(), 2));
-    }
-    averages[pf] = core::average_improvement(rows);
-  }
-  for (std::size_t a = 0; a < suite.size(); ++a) {
-    table.add_row({suite[a].name, cells[a][0], cells[a][1]});
-  }
-  std::cout << "Ablation — inter-node improvement with storage readahead\n"
-               "(normalized exec; each column vs the default execution "
-               "under the same prefetch setting)\n\n";
-  std::cout << table << '\n';
-  std::cout << "average improvement without prefetch: "
-            << util::format_percent(averages[0]) << '\n';
-  std::cout << "average improvement with prefetch:    "
-            << util::format_percent(averages[1]) << '\n';
-  std::cout << "paper claim: the linear layouts improve prefetch "
-               "effectiveness\n";
-  return 0;
-}
+int main() { return flo::bench::run_scenario_main("ablation_prefetch"); }

@@ -1,51 +1,5 @@
-// Ablation (DESIGN.md §5.4): stability of the normalized results across the
-// simulation scale factor. The workloads are calibrated at the default
-// capacity scale; this bench verifies the qualitative conclusions (group
-// ordering, sign of the improvement) survive halving/doubling the
-// capacity scale, i.e. that ratios rather than absolute bytes drive the
-// reproduction.
-#include "bench/bench_common.hpp"
+// Thin alias over the scenario registry: identical output to
+// `flo_bench --filter ablation_scale`. The scenario body lives in bench/scenarios_*.cpp.
+#include "bench/scenario.hpp"
 
-int main() {
-  using namespace flo;
-  const auto suite = workloads::workload_suite();
-
-  struct Point {
-    const char* label;
-    std::uint64_t capacity_scale;
-  };
-  // Default is 8192; smaller scale = larger caches.
-  const Point points[] = {{"capacity_scale 16384 (0.5x caches)", 16384},
-                          {"capacity_scale 8192 (default)", 8192},
-                          {"capacity_scale 4096 (2x caches)", 4096}};
-
-  std::vector<bench::VariantSpec> variants;
-  for (const auto& point : points) {
-    core::ExperimentConfig base;
-    base.topology = storage::TopologyConfig::paper_default(
-        point.capacity_scale, 64);
-    core::ExperimentConfig opt = base;
-    opt.scheme = core::Scheme::kInterNode;
-    variants.push_back({point.label, base, opt});
-  }
-  const auto grid = bench::run_variant_grid(variants, suite);
-
-  for (std::size_t pi = 0; pi < variants.size(); ++pi) {
-    const auto& point = points[pi];
-    const auto& rows = grid[pi];
-    double group_sum[4] = {0, 0, 0, 0};
-    int group_count[4] = {0, 0, 0, 0};
-    for (std::size_t a = 0; a < rows.size(); ++a) {
-      group_sum[suite[a].group] += rows[a].improvement();
-      ++group_count[suite[a].group];
-    }
-    std::cout << point.label << ": average "
-              << util::format_percent(core::average_improvement(rows))
-              << " | groups "
-              << util::format_percent(group_sum[1] / group_count[1]) << " / "
-              << util::format_percent(group_sum[2] / group_count[2]) << " / "
-              << util::format_percent(group_sum[3] / group_count[3]) << '\n';
-  }
-  std::cout << "expected: group 3 > group 2 > group 1 at every scale\n";
-  return 0;
-}
+int main() { return flo::bench::run_scenario_main("ablation_scale"); }

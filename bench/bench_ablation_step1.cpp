@@ -1,39 +1,5 @@
-// Ablation (DESIGN.md §5.1): the Eq. 5 weighted-greedy reference selection
-// in Step I versus an unweighted program-order greedy. Weighting should
-// matter exactly for the applications whose references conflict with
-// asymmetric weights (e.g. sar's corner turn).
-#include "bench/bench_common.hpp"
+// Thin alias over the scenario registry: identical output to
+// `flo_bench --filter ablation_step1`. The scenario body lives in bench/scenarios_*.cpp.
+#include "bench/scenario.hpp"
 
-int main() {
-  using namespace flo;
-  const auto suite = workloads::workload_suite();
-
-  core::ExperimentConfig base;
-  core::ExperimentConfig weighted = base;
-  weighted.scheme = core::Scheme::kInterNode;
-  core::ExperimentConfig unweighted = weighted;
-  unweighted.unweighted_step1 = true;
-  const auto grid = bench::run_variant_grid(
-      {{"weighted", base, weighted}, {"unweighted", base, unweighted}},
-      suite);
-
-  util::Table table({"Application", "weighted (Eq. 5)", "unweighted",
-                     "delta"});
-  double weighted_avg = 0, unweighted_avg = 0;
-  for (std::size_t a = 0; a < suite.size(); ++a) {
-    const double w = grid[0][a].normalized_exec();
-    const double u = grid[1][a].normalized_exec();
-    weighted_avg += 1.0 - w;
-    unweighted_avg += 1.0 - u;
-    table.add_row({suite[a].name, util::format_fixed(w, 2),
-                   util::format_fixed(u, 2),
-                   util::format_fixed(u - w, 2)});
-  }
-  std::cout << "Ablation — Step I reference weighting (normalized exec)\n\n";
-  std::cout << table << '\n';
-  std::cout << "average improvement, weighted:   "
-            << util::format_percent(weighted_avg / suite.size()) << '\n';
-  std::cout << "average improvement, unweighted: "
-            << util::format_percent(unweighted_avg / suite.size()) << '\n';
-  return 0;
-}
+int main() { return flo::bench::run_scenario_main("ablation_step1"); }

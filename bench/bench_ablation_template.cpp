@@ -1,61 +1,5 @@
-// Ablation — "template hierarchy" compilation (Section 4.3): compile the
-// layouts once against the template's reference capacities and run on
-// topologies from the same family at different absolute capacities. The
-// paper predicts a single compilation per template suffices "with some
-// performance loss, of course" — this bench quantifies that loss against
-// exact per-topology compilation.
-//
-// The template scenario is expressed through ExperimentConfig's
-// compile_topology field: the optimizer sees the family's reference
-// capacities while the simulation runs on the actual member.
-#include "bench/bench_common.hpp"
-#include "layout/template_hierarchy.hpp"
+// Thin alias over the scenario registry: identical output to
+// `flo_bench --filter ablation_template`. The scenario body lives in bench/scenarios_*.cpp.
+#include "bench/scenario.hpp"
 
-int main() {
-  using namespace flo;
-  const auto suite = workloads::workload_suite();
-  // Run topology: same template family as the default, 1.5x capacities.
-  core::ExperimentConfig run;
-  run.topology.io_cache_bytes = run.topology.io_cache_bytes * 3 / 2;
-  run.topology.storage_cache_bytes = run.topology.storage_cache_bytes * 3 / 2;
-  const storage::StorageTopology run_topo(run.topology);
-
-  // Template compiled at the family's reference capacities (the default).
-  const storage::TopologyConfig reference =
-      storage::TopologyConfig::paper_default();
-  const auto tmpl =
-      layout::HierarchyTemplate::from(storage::StorageTopology(reference));
-  std::cout << "compiling against " << tmpl.describe() << '\n';
-  std::cout << "running on        " << run_topo.describe() << '\n';
-  std::cout << "family member:    " << (tmpl.matches(run_topo) ? "yes" : "no")
-            << "\n\n";
-
-  core::ExperimentConfig with_template = run;
-  with_template.scheme = core::Scheme::kInterNode;
-  with_template.compile_topology = reference;
-  core::ExperimentConfig with_exact = run;
-  with_exact.scheme = core::Scheme::kInterNode;
-  const auto grid = bench::run_variant_grid(
-      {{"template", run, with_template}, {"exact", run, with_exact}}, suite);
-
-  util::Table table({"Application", "default", "template-compiled",
-                     "exact-compiled"});
-  double tmpl_sum = 0, exact_sum = 0;
-  for (std::size_t a = 0; a < suite.size(); ++a) {
-    const double norm_template = grid[0][a].normalized_exec();
-    const double norm_exact = grid[1][a].normalized_exec();
-    tmpl_sum += 1.0 - norm_template;
-    exact_sum += 1.0 - norm_exact;
-    table.add_row({suite[a].name, "1.00",
-                   util::format_fixed(norm_template, 2),
-                   util::format_fixed(norm_exact, 2)});
-  }
-  std::cout << table << '\n';
-  std::cout << "average improvement, template compilation: "
-            << util::format_percent(tmpl_sum / suite.size()) << '\n';
-  std::cout << "average improvement, exact compilation:    "
-            << util::format_percent(exact_sum / suite.size()) << '\n';
-  std::cout << "paper: one compilation per template family suffices with "
-               "some loss\n";
-  return 0;
-}
+int main() { return flo::bench::run_scenario_main("ablation_template"); }

@@ -1,48 +1,5 @@
-// Section 5.1 compile-time statistics: fraction of disk-resident arrays the
-// compiler determines a layout for ("about 72% of these arrays on
-// average ... all arrays in benchmark s3asim"), plus optimizer wall time
-// (the paper reports ~36% compile-time overhead, <= 50 s worst case on
-// SUIF; ours runs in milliseconds in-process).
-#include <chrono>
+// Thin alias over the scenario registry: identical output to
+// `flo_bench --filter compile_stats`. The scenario body lives in bench/scenarios_*.cpp.
+#include "bench/scenario.hpp"
 
-#include "bench/bench_common.hpp"
-
-int main() {
-  using namespace flo;
-  const storage::StorageTopology topo(storage::TopologyConfig::paper_default());
-  const core::FileLayoutOptimizer optimizer(topo);
-
-  util::Table table({"Application", "arrays", "Step I partitionable",
-                     "materialized", "optimizer time"});
-  std::size_t total = 0, partitionable = 0, materialized = 0;
-  for (const auto& app : workloads::workload_suite()) {
-    const parallel::ParallelSchedule schedule(app.program, 64);
-    const auto start = std::chrono::steady_clock::now();
-    const auto result = optimizer.optimize(app.program, schedule);
-    const auto elapsed = std::chrono::duration<double>(
-                             std::chrono::steady_clock::now() - start)
-                             .count();
-    std::size_t app_part = 0;
-    for (const auto& plan : result.plan.arrays) {
-      if (plan.partitioning.partitioned) ++app_part;
-    }
-    total += result.plan.arrays.size();
-    partitionable += app_part;
-    materialized += result.plan.optimized_count();
-    table.add_row({app.name, std::to_string(result.plan.arrays.size()),
-                   std::to_string(app_part) + "/" +
-                       std::to_string(result.plan.arrays.size()),
-                   std::to_string(result.plan.optimized_count()),
-                   util::format_duration(elapsed)});
-  }
-  std::cout << "Section 5.1 — compile-time layout statistics\n\n";
-  std::cout << table << '\n';
-  std::cout << "suite-wide Step I partitionable fraction: "
-            << util::format_percent(static_cast<double>(partitionable) /
-                                    total)
-            << " (paper: ~72% of arrays optimized on average)\n";
-  std::cout << "suite-wide materialized inter-node layouts: "
-            << util::format_percent(static_cast<double>(materialized) / total)
-            << " (after profitability/conflict gating)\n";
-  return 0;
-}
+int main() { return flo::bench::run_scenario_main("compile_stats"); }

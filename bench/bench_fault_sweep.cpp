@@ -1,79 +1,5 @@
-// Fault sweep: how gracefully does the optimized layout degrade as the
-// storage hierarchy misbehaves? Sweeps the transient-failure / slow-disk
-// rate and reports, per rate, the suite-average execution time of the
-// row-major baseline and the inter-node-optimized layout (each normalized
-// to its own fault-free run), the layout improvement retained, and the
-// injected-fault counters. Faults are seeded, so the table is
-// deterministic for any FLO_WORKERS.
-//
-// FLO_FAULTS overrides the per-rate FaultConfig this bench constructs
-// (every cell then runs under the same spec), which collapses the sweep —
-// leave it unset. FLO_JOURNAL / FLO_JOB_* apply as for every bench.
-#include "bench/bench_common.hpp"
+// Thin alias over the scenario registry: identical output to
+// `flo_bench --filter fault_sweep`. The scenario body lives in bench/scenarios_*.cpp.
+#include "bench/scenario.hpp"
 
-#include "storage/fault_model.hpp"
-
-int main() {
-  using namespace flo;
-  const double rates[] = {0.0, 0.01, 0.05, 0.1};
-  const auto suite = workloads::workload_suite();
-
-  std::vector<bench::VariantSpec> variants;
-  for (const double rate : rates) {
-    core::ExperimentConfig base;
-    base.topology.fault.enabled = rate > 0;
-    base.topology.fault.seed = 2012;
-    base.topology.fault.storage_transient_rate = rate;
-    base.topology.fault.disk_transient_rate = rate;
-    base.topology.fault.slow_disk_rate = rate;
-    core::ExperimentConfig opt = base;
-    opt.scheme = core::Scheme::kInterNode;
-    variants.push_back(
-        {"rate=" + util::format_fixed(rate, 2), base, opt});
-  }
-  const auto rows = bench::run_variant_grid(variants, suite);
-
-  // Suite-average exec time per (rate, scheme), plus summed fault counters.
-  std::vector<double> base_exec(variants.size(), 0);
-  std::vector<double> opt_exec(variants.size(), 0);
-  std::vector<double> improvement(variants.size(), 0);
-  std::vector<storage::FaultStats> fault_sums(variants.size());
-  for (std::size_t v = 0; v < variants.size(); ++v) {
-    for (const auto& m : rows[v]) {
-      base_exec[v] += m.baseline.exec_time;
-      opt_exec[v] += m.optimized.exec_time;
-      for (const auto* f : {&m.baseline.faults, &m.optimized.faults}) {
-        fault_sums[v].storage.transient_failures += f->storage.transient_failures;
-        fault_sums[v].disk.transient_failures += f->disk.transient_failures;
-        fault_sums[v].disk.slow_services += f->disk.slow_services;
-        fault_sums[v].exhausted_retries += f->exhausted_retries;
-        fault_sums[v].disk.degraded_time += f->io.degraded_time +
-                                            f->storage.degraded_time +
-                                            f->disk.degraded_time;
-      }
-    }
-    improvement[v] = core::average_improvement(rows[v]);
-  }
-
-  util::Table table({"fault rate", "row-major slowdown", "optimized slowdown",
-                     "improvement", "retries", "slow reads", "degraded"});
-  for (std::size_t v = 0; v < variants.size(); ++v) {
-    const double base_slow =
-        base_exec[0] == 0 ? 1.0 : base_exec[v] / base_exec[0];
-    const double opt_slow = opt_exec[0] == 0 ? 1.0 : opt_exec[v] / opt_exec[0];
-    table.add_row(
-        {util::format_fixed(rates[v], 2), util::format_fixed(base_slow, 3),
-         util::format_fixed(opt_slow, 3),
-         util::format_percent(improvement[v]),
-         std::to_string(fault_sums[v].storage.transient_failures +
-                        fault_sums[v].disk.transient_failures),
-         std::to_string(fault_sums[v].disk.slow_services),
-         util::format_duration(fault_sums[v].disk.degraded_time)});
-  }
-  std::cout << "Fault sweep — degradation vs injected fault rate "
-               "(row-major vs inter-node layout)\n";
-  std::cout << "slowdowns normalized to each scheme's fault-free run; "
-               "seed 2012\n\n";
-  std::cout << table << '\n';
-  return 0;
-}
+int main() { return flo::bench::run_scenario_main("fault_sweep"); }

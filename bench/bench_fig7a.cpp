@@ -1,39 +1,5 @@
-// Fig. 7(a): execution times under the inter-node file layout optimization,
-// normalized to the default execution. The paper reports three application
-// groups (no benefit / 8-13% / 21-26%) and a 23.7% overall average.
-#include "bench/bench_common.hpp"
+// Thin alias over the scenario registry: identical output to
+// `flo_bench --filter fig7a`. The scenario body lives in bench/scenarios_*.cpp.
+#include "bench/scenario.hpp"
 
-int main() {
-  using namespace flo;
-  core::ExperimentConfig base;
-  core::ExperimentConfig opt = base;
-  opt.scheme = core::Scheme::kInterNode;
-  const auto suite = workloads::workload_suite();
-  const auto rows = bench::run_suite_pair(base, opt, suite);
-
-  util::Table table({"Application", "group", "normalized exec",
-                     "improvement", "paper band"});
-  double group_sum[4] = {0, 0, 0, 0};
-  int group_count[4] = {0, 0, 0, 0};
-  for (std::size_t a = 0; a < suite.size(); ++a) {
-    const char* band = suite[a].group == 1   ? "~0%"
-                       : suite[a].group == 2 ? "8-13%"
-                                             : "21-26%";
-    group_sum[suite[a].group] += rows[a].improvement();
-    ++group_count[suite[a].group];
-    table.add_row({suite[a].name, std::to_string(suite[a].group),
-                   util::format_fixed(rows[a].normalized_exec(), 2),
-                   util::format_percent(rows[a].improvement()), band});
-  }
-  std::cout << "Fig. 7(a) — normalized execution time (inter-node layout)\n";
-  std::cout << core::describe_config(opt) << "\n\n";
-  std::cout << table << '\n';
-  for (int g = 1; g <= 3; ++g) {
-    std::cout << "group " << g << " average improvement: "
-              << util::format_percent(group_sum[g] / group_count[g]) << '\n';
-  }
-  std::cout << "overall average improvement: "
-            << util::format_percent(core::average_improvement(rows))
-            << " (paper: 23.7%)\n";
-  return 0;
-}
+int main() { return flo::bench::run_scenario_main("fig7a"); }

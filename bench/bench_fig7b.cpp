@@ -1,52 +1,5 @@
-// Fig. 7(b): different thread -> compute-node mappings. The paper finds
-// results largely mapping-independent, except in the master-slave
-// applications (cc-ver-2, afores, sar), and the spread stays within ~6%.
-#include <algorithm>
+// Thin alias over the scenario registry: identical output to
+// `flo_bench --filter fig7b`. The scenario body lives in bench/scenarios_*.cpp.
+#include "bench/scenario.hpp"
 
-#include "bench/bench_common.hpp"
-
-int main() {
-  using namespace flo;
-  const auto suite = workloads::workload_suite();
-  const parallel::MappingKind kinds[] = {
-      parallel::MappingKind::kIdentity, parallel::MappingKind::kPermutation2,
-      parallel::MappingKind::kPermutation3,
-      parallel::MappingKind::kPermutation4};
-
-  std::vector<bench::VariantSpec> variants;
-  for (const auto kind : kinds) {
-    core::ExperimentConfig base;
-    base.mapping = kind;
-    core::ExperimentConfig opt = base;
-    opt.scheme = core::Scheme::kInterNode;
-    variants.push_back({parallel::mapping_name(kind), base, opt});
-  }
-  const auto rows = bench::run_variant_grid(variants, suite);
-
-  util::Table table({"Application", "I", "II", "III", "IV", "spread",
-                     "master-slave"});
-  double max_spread = 0;
-  for (std::size_t a = 0; a < suite.size(); ++a) {
-    const auto& app = suite[a];
-    std::vector<double> norm;
-    for (std::size_t v = 0; v < variants.size(); ++v) {
-      norm.push_back(rows[v][a].optimized.exec_time /
-                     rows[v][a].baseline.exec_time);
-    }
-    const double lo = *std::min_element(norm.begin(), norm.end());
-    const double hi = *std::max_element(norm.begin(), norm.end());
-    max_spread = std::max(max_spread, hi - lo);
-    table.add_row({app.name, util::format_fixed(norm[0], 2),
-                   util::format_fixed(norm[1], 2),
-                   util::format_fixed(norm[2], 2),
-                   util::format_fixed(norm[3], 2),
-                   util::format_percent(hi - lo),
-                   app.master_slave ? "yes" : "no"});
-  }
-  std::cout << "Fig. 7(b) — normalized execution time per thread mapping\n\n";
-  std::cout << table << '\n';
-  std::cout << "max spread across mappings: "
-            << util::format_percent(max_spread)
-            << " (paper: within 6%, master-slave apps most sensitive)\n";
-  return 0;
-}
+int main() { return flo::bench::run_scenario_main("fig7b"); }

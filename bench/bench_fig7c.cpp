@@ -1,58 +1,5 @@
-// Fig. 7(c): sensitivity of the inter-node layout benefit to the storage
-// cache capacities. The paper halves/doubles the Table 1 capacities and
-// observes that smaller caches increase the improvement ("a smaller cache
-// capacity makes it more critical to exploit data locality").
-#include "bench/bench_common.hpp"
+// Thin alias over the scenario registry: identical output to
+// `flo_bench --filter fig7c`. The scenario body lives in bench/scenarios_*.cpp.
+#include "bench/scenario.hpp"
 
-int main() {
-  using namespace flo;
-  const auto suite = workloads::workload_suite();
-
-  struct Point {
-    const char* label;
-    double factor;
-  };
-  const Point points[] = {{"0.5x caches", 0.5},
-                          {"1x caches (Table 1)", 1.0},
-                          {"2x caches", 2.0}};
-
-  std::vector<bench::VariantSpec> variants;
-  for (const auto& point : points) {
-    core::ExperimentConfig base;
-    base.topology.io_cache_bytes = static_cast<std::uint64_t>(
-        base.topology.io_cache_bytes * point.factor);
-    base.topology.storage_cache_bytes = static_cast<std::uint64_t>(
-        base.topology.storage_cache_bytes * point.factor);
-    core::ExperimentConfig opt = base;
-    opt.scheme = core::Scheme::kInterNode;
-    variants.push_back({point.label, base, opt});
-  }
-  const auto grid = bench::run_variant_grid(variants, suite);
-
-  util::Table table({"app", "0.5x", "1x", "2x"});
-  std::vector<double> averages(3, 0.0);
-  std::vector<std::vector<double>> norm(suite.size(),
-                                        std::vector<double>(3, 0.0));
-  for (std::size_t pi = 0; pi < 3; ++pi) {
-    const auto& rows = grid[pi];
-    for (std::size_t a = 0; a < rows.size(); ++a) {
-      norm[a][pi] = rows[a].normalized_exec();
-      averages[pi] += rows[a].improvement();
-    }
-    averages[pi] /= static_cast<double>(rows.size());
-  }
-  for (std::size_t a = 0; a < suite.size(); ++a) {
-    table.add_row({suite[a].name, util::format_fixed(norm[a][0], 2),
-                   util::format_fixed(norm[a][1], 2),
-                   util::format_fixed(norm[a][2], 2)});
-  }
-  std::cout << "Fig. 7(c) — normalized execution time vs cache capacity\n";
-  std::cout << core::describe_config(core::ExperimentConfig{}) << "\n\n";
-  std::cout << table << '\n';
-  for (std::size_t pi = 0; pi < 3; ++pi) {
-    std::cout << "average improvement @ " << points[pi].label << ": "
-              << util::format_percent(averages[pi]) << '\n';
-  }
-  std::cout << "paper: smaller caches => larger improvements\n";
-  return 0;
-}
+int main() { return flo::bench::run_scenario_main("fig7c"); }

@@ -1,55 +1,5 @@
-// Fig. 7(d): sensitivity to node counts per layer. The paper's observation:
-// the approach is more successful when caches are shared by more clients
-// ((64, 8, 2) beats (64, 16, 4)), because careful management of cache space
-// matters most under high sharing.
-#include "bench/bench_common.hpp"
+// Thin alias over the scenario registry: identical output to
+// `flo_bench --filter fig7d`. The scenario body lives in bench/scenarios_*.cpp.
+#include "bench/scenario.hpp"
 
-int main() {
-  using namespace flo;
-  const auto suite = workloads::workload_suite();
-
-  struct Config {
-    const char* label;
-    std::size_t io_nodes;
-    std::size_t storage_nodes;
-  };
-  const Config configs[] = {{"(64,16,4)", 16, 4},
-                            {"(64,8,4)", 8, 4},
-                            {"(64,16,2)", 16, 2},
-                            {"(64,8,2)", 8, 2}};
-
-  std::vector<bench::VariantSpec> variants;
-  for (const auto& cfg : configs) {
-    core::ExperimentConfig base;
-    base.topology.io_nodes = cfg.io_nodes;
-    base.topology.storage_nodes = cfg.storage_nodes;
-    core::ExperimentConfig opt = base;
-    opt.scheme = core::Scheme::kInterNode;
-    variants.push_back({cfg.label, base, opt});
-  }
-
-  util::Table table({"Application", "(64,16,4)", "(64,8,4)", "(64,16,2)",
-                     "(64,8,2)"});
-  std::vector<std::vector<std::string>> cells(suite.size());
-  std::vector<double> averages;
-  for (const auto& rows : bench::run_variant_grid(variants, suite)) {
-    for (std::size_t a = 0; a < rows.size(); ++a) {
-      cells[a].push_back(util::format_fixed(rows[a].normalized_exec(), 2));
-    }
-    averages.push_back(core::average_improvement(rows));
-  }
-  for (std::size_t a = 0; a < suite.size(); ++a) {
-    table.add_row({suite[a].name, cells[a][0], cells[a][1], cells[a][2],
-                   cells[a][3]});
-  }
-  std::cout << "Fig. 7(d) — normalized execution time vs node counts\n"
-               "(compute, I/O, storage); per-node cache capacities fixed\n\n";
-  std::cout << table << '\n';
-  for (std::size_t i = 0; i < averages.size(); ++i) {
-    std::cout << "average improvement " << configs[i].label << ": "
-              << util::format_percent(averages[i]) << '\n';
-  }
-  std::cout << "paper: more sharing (fewer I/O or storage nodes) => larger "
-               "improvements\n";
-  return 0;
-}
+int main() { return flo::bench::run_scenario_main("fig7d"); }

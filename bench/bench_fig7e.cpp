@@ -1,48 +1,5 @@
-// Fig. 7(e): sensitivity to the data block size (the cache-management unit
-// and stripe size). The paper: smaller blocks allow finer-grained cache
-// management and improve the benefits of the optimization.
-#include "bench/bench_common.hpp"
+// Thin alias over the scenario registry: identical output to
+// `flo_bench --filter fig7e`. The scenario body lives in bench/scenarios_*.cpp.
+#include "bench/scenario.hpp"
 
-int main() {
-  using namespace flo;
-  const auto suite = workloads::workload_suite();
-
-  struct Point {
-    const char* label;
-    double factor;
-  };
-  const Point points[] = {{"0.5x block", 0.5},
-                          {"1x block (Table 1)", 1.0},
-                          {"2x block", 2.0}};
-
-  std::vector<bench::VariantSpec> variants;
-  for (const auto& point : points) {
-    core::ExperimentConfig base;
-    base.topology.block_size = static_cast<std::uint64_t>(
-        base.topology.block_size * point.factor);
-    core::ExperimentConfig opt = base;
-    opt.scheme = core::Scheme::kInterNode;
-    variants.push_back({point.label, base, opt});
-  }
-
-  util::Table table({"Application", "0.5x", "1x", "2x"});
-  std::vector<std::vector<std::string>> cells(suite.size());
-  std::vector<double> averages;
-  for (const auto& rows : bench::run_variant_grid(variants, suite)) {
-    for (std::size_t a = 0; a < rows.size(); ++a) {
-      cells[a].push_back(util::format_fixed(rows[a].normalized_exec(), 2));
-    }
-    averages.push_back(core::average_improvement(rows));
-  }
-  for (std::size_t a = 0; a < suite.size(); ++a) {
-    table.add_row({suite[a].name, cells[a][0], cells[a][1], cells[a][2]});
-  }
-  std::cout << "Fig. 7(e) — normalized execution time vs block size\n\n";
-  std::cout << table << '\n';
-  for (std::size_t i = 0; i < averages.size(); ++i) {
-    std::cout << "average improvement @ " << points[i].label << ": "
-              << util::format_percent(averages[i]) << '\n';
-  }
-  std::cout << "paper: smaller blocks => larger improvements\n";
-  return 0;
-}
+int main() { return flo::bench::run_scenario_main("fig7e"); }

@@ -1,48 +1,5 @@
-// Fig. 7(f): targeting only the I/O layer, only the storage layer, or both
-// layers of the hierarchy. The paper: I/O-only yields 9.1%, storage-only
-// 13.0%, both 23.7% — targeting the entire hierarchy is critical.
-#include "bench/bench_common.hpp"
+// Thin alias over the scenario registry: identical output to
+// `flo_bench --filter fig7f`. The scenario body lives in bench/scenarios_*.cpp.
+#include "bench/scenario.hpp"
 
-int main() {
-  using namespace flo;
-  const auto suite = workloads::workload_suite();
-
-  struct Variant {
-    const char* label;
-    core::Scheme scheme;
-  };
-  const Variant variants[] = {
-      {"I/O only", core::Scheme::kInterNodeIoOnly},
-      {"storage only", core::Scheme::kInterNodeStorageOnly},
-      {"both layers", core::Scheme::kInterNode}};
-
-  std::vector<bench::VariantSpec> specs;
-  for (const auto& variant : variants) {
-    core::ExperimentConfig base;
-    core::ExperimentConfig opt = base;
-    opt.scheme = variant.scheme;
-    specs.push_back({variant.label, base, opt});
-  }
-
-  util::Table table({"Application", "I/O only", "storage only", "both"});
-  std::vector<std::vector<std::string>> cells(suite.size());
-  std::vector<double> averages;
-  for (const auto& rows : bench::run_variant_grid(specs, suite)) {
-    for (std::size_t a = 0; a < rows.size(); ++a) {
-      cells[a].push_back(util::format_fixed(rows[a].normalized_exec(), 2));
-    }
-    averages.push_back(core::average_improvement(rows));
-  }
-  for (std::size_t a = 0; a < suite.size(); ++a) {
-    table.add_row({suite[a].name, cells[a][0], cells[a][1], cells[a][2]});
-  }
-  std::cout << "Fig. 7(f) — normalized execution time vs targeted layers\n\n";
-  std::cout << table << '\n';
-  std::cout << "average improvement, I/O layer only:     "
-            << util::format_percent(averages[0]) << " (paper: 9.1%)\n";
-  std::cout << "average improvement, storage layer only: "
-            << util::format_percent(averages[1]) << " (paper: 13.0%)\n";
-  std::cout << "average improvement, both layers:        "
-            << util::format_percent(averages[2]) << " (paper: 23.7%)\n";
-  return 0;
-}
+int main() { return flo::bench::run_scenario_main("fig7f"); }

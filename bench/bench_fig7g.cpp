@@ -1,51 +1,5 @@
-// Fig. 7(g): comparison against the two prior compiler-guided strategies —
-// computation mapping for multi-level storage caches (Kandemir et al.,
-// HPDC'10 [26]) and profiler-based dimension reindexing (Kandemir et al.,
-// FAST'08 [27]). The paper: 7.6% and 7.1% average improvement respectively,
-// versus 23.7% for the inter-node layout.
-#include "bench/bench_common.hpp"
+// Thin alias over the scenario registry: identical output to
+// `flo_bench --filter fig7g`. The scenario body lives in bench/scenarios_*.cpp.
+#include "bench/scenario.hpp"
 
-int main() {
-  using namespace flo;
-  const auto suite = workloads::workload_suite();
-
-  struct Variant {
-    const char* label;
-    core::Scheme scheme;
-  };
-  const Variant variants[] = {
-      {"comp-map [26]", core::Scheme::kComputationMapping},
-      {"reindex [27]", core::Scheme::kDimensionReindexing},
-      {"inter (this paper)", core::Scheme::kInterNode}};
-
-  std::vector<bench::VariantSpec> specs;
-  for (const auto& variant : variants) {
-    core::ExperimentConfig base;
-    core::ExperimentConfig opt = base;
-    opt.scheme = variant.scheme;
-    specs.push_back({variant.label, base, opt});
-  }
-
-  util::Table table(
-      {"Application", "comp-map [26]", "reindex [27]", "inter"});
-  std::vector<std::vector<std::string>> cells(suite.size());
-  std::vector<double> averages;
-  for (const auto& rows : bench::run_variant_grid(specs, suite)) {
-    for (std::size_t a = 0; a < rows.size(); ++a) {
-      cells[a].push_back(util::format_fixed(rows[a].normalized_exec(), 2));
-    }
-    averages.push_back(core::average_improvement(rows));
-  }
-  for (std::size_t a = 0; a < suite.size(); ++a) {
-    table.add_row({suite[a].name, cells[a][0], cells[a][1], cells[a][2]});
-  }
-  std::cout << "Fig. 7(g) — normalized execution time vs prior schemes\n\n";
-  std::cout << table << '\n';
-  std::cout << "average improvement, computation mapping [26]: "
-            << util::format_percent(averages[0]) << " (paper: 7.6%)\n";
-  std::cout << "average improvement, dimension reindexing [27]: "
-            << util::format_percent(averages[1]) << " (paper: 7.1%)\n";
-  std::cout << "average improvement, inter-node layout: "
-            << util::format_percent(averages[2]) << " (paper: 23.7%)\n";
-  return 0;
-}
+int main() { return flo::bench::run_scenario_main("fig7g"); }

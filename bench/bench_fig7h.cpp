@@ -1,53 +1,5 @@
-// Fig. 7(h): the inter-node layout under the exclusive cache-management
-// policies KARMA [47] and DEMOTE-LRU [44]. Each bar normalizes the
-// optimized execution to the default execution under the *same* policy.
-// The paper: improvements grow to 30.1% (KARMA) and 28.6% (DEMOTE-LRU)
-// from 23.7% under inclusive LRU.
-#include "bench/bench_common.hpp"
+// Thin alias over the scenario registry: identical output to
+// `flo_bench --filter fig7h`. The scenario body lives in bench/scenarios_*.cpp.
+#include "bench/scenario.hpp"
 
-int main() {
-  using namespace flo;
-  const auto suite = workloads::workload_suite();
-
-  struct Variant {
-    const char* label;
-    storage::PolicyKind policy;
-    const char* paper;
-  };
-  const Variant variants[] = {
-      {"LRU", storage::PolicyKind::kLruInclusive, "23.7%"},
-      {"KARMA [47]", storage::PolicyKind::kKarma, "30.1%"},
-      {"DEMOTE-LRU [44]", storage::PolicyKind::kDemoteLru, "28.6%"}};
-
-  std::vector<bench::VariantSpec> specs;
-  for (const auto& variant : variants) {
-    core::ExperimentConfig base;
-    base.policy = variant.policy;
-    core::ExperimentConfig opt = base;
-    opt.scheme = core::Scheme::kInterNode;
-    specs.push_back({variant.label, base, opt});
-  }
-
-  util::Table table({"Application", "LRU", "KARMA", "DEMOTE-LRU"});
-  std::vector<std::vector<std::string>> cells(suite.size());
-  std::vector<double> averages;
-  for (const auto& rows : bench::run_variant_grid(specs, suite)) {
-    for (std::size_t a = 0; a < rows.size(); ++a) {
-      cells[a].push_back(util::format_fixed(rows[a].normalized_exec(), 2));
-    }
-    averages.push_back(core::average_improvement(rows));
-  }
-  for (std::size_t a = 0; a < suite.size(); ++a) {
-    table.add_row({suite[a].name, cells[a][0], cells[a][1], cells[a][2]});
-  }
-  std::cout << "Fig. 7(h) — normalized execution time per cache policy\n"
-               "(each column normalized to the default execution under the "
-               "same policy)\n\n";
-  std::cout << table << '\n';
-  for (std::size_t i = 0; i < 3; ++i) {
-    std::cout << "average improvement under " << variants[i].label << ": "
-              << util::format_percent(averages[i]) << " (paper: "
-              << variants[i].paper << ")\n";
-  }
-  return 0;
-}
+int main() { return flo::bench::run_scenario_main("fig7h"); }

@@ -1,31 +1,5 @@
-// Table 2: applications, storage-cache miss rates, and execution times
-// under the "default execution" (original row-major file layouts, LRU
-// inclusive caches at the I/O and storage layers).
-#include "bench/bench_common.hpp"
+// Thin alias over the scenario registry: identical output to
+// `flo_bench --filter table2`. The scenario body lives in bench/scenarios_*.cpp.
+#include "bench/scenario.hpp"
 
-int main() {
-  using namespace flo;
-  const core::ExperimentConfig config;  // default scheme
-  const auto suite = workloads::workload_suite();
-  const auto results = bench::run_suite(config, suite);
-
-  util::Table table({"Application", "I/O miss", "paper", "Storage miss",
-                     "paper", "Exec time", "paper"});
-  for (std::size_t a = 0; a < suite.size(); ++a) {
-    const auto& app = suite[a];
-    const auto& result = results[a];
-    table.add_row({app.name,
-                   util::format_percent(result.sim.io.miss_rate()),
-                   util::format_fixed(app.paper.io_miss, 1) + "%",
-                   util::format_percent(result.sim.storage.miss_rate()),
-                   util::format_fixed(app.paper.storage_miss, 1) + "%",
-                   util::format_duration(result.sim.exec_time),
-                   app.paper.exec_time});
-  }
-  std::cout << "Table 2 — default execution (simulated vs paper)\n";
-  std::cout << core::describe_config(config) << "\n\n";
-  std::cout << table;
-  std::cout << "\nNote: simulated times are at the reduced DESIGN.md scale; "
-               "the paper's columns are reproduced for shape comparison.\n";
-  return 0;
-}
+int main() { return flo::bench::run_scenario_main("table2"); }

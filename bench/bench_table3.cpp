@@ -1,26 +1,5 @@
-// Table 3: cache misses after the inter-node file layout optimization,
-// normalized to the default execution of Table 2.
-#include "bench/bench_common.hpp"
+// Thin alias over the scenario registry: identical output to
+// `flo_bench --filter table3`. The scenario body lives in bench/scenarios_*.cpp.
+#include "bench/scenario.hpp"
 
-int main() {
-  using namespace flo;
-  core::ExperimentConfig base;
-  core::ExperimentConfig opt = base;
-  opt.scheme = core::Scheme::kInterNode;
-  const auto suite = workloads::workload_suite();
-  const auto rows = bench::run_suite_pair(base, opt, suite);
-
-  util::Table table({"Name", "I/O caches", "paper", "Storage caches",
-                     "paper"});
-  for (std::size_t a = 0; a < suite.size(); ++a) {
-    table.add_row({suite[a].name,
-                   util::format_fixed(rows[a].normalized_io_miss(), 2),
-                   util::format_fixed(suite[a].paper.norm_io_miss, 2),
-                   util::format_fixed(rows[a].normalized_storage_miss(), 2),
-                   util::format_fixed(suite[a].paper.norm_storage_miss, 2)});
-  }
-  std::cout << "Table 3 — normalized cache misses after optimization\n";
-  std::cout << core::describe_config(opt) << "\n\n";
-  std::cout << table;
-  return 0;
-}
+int main() { return flo::bench::run_scenario_main("table3"); }

@@ -1,44 +1,6 @@
-// Internal calibration tool (not a paper table): prints simulated default
-// miss rates / execution times and inter-node improvements next to the
-// paper's Table 2 / Table 3 / Fig. 7(a) targets, so workload parameters can
-// be tuned. Kept in-tree because it doubles as a coarse regression check.
-#include "bench/bench_common.hpp"
+// Thin alias over the scenario registry: identical output to
+// `flo_bench --filter calibrate`. The scenario body lives in
+// bench/scenarios_extra.cpp.
+#include "bench/scenario.hpp"
 
-int main() {
-  using namespace flo;
-  core::ExperimentConfig base;
-  core::ExperimentConfig opt = base;
-  opt.scheme = core::Scheme::kInterNode;
-
-  const auto suite = workloads::workload_suite();
-  const auto rows = bench::run_suite_pair(base, opt, suite);
-  util::Table table({"app", "io%", "io(paper)", "st%", "st(paper)", "exec",
-                     "norm", "target", "nIO", "nIO(p)", "nST", "nST(p)",
-                     "events"});
-  double sum_impr = 0;
-  for (std::size_t a = 0; a < suite.size(); ++a) {
-    const auto& app = suite[a];
-    const auto& m = rows[a];
-    const auto& b = m.baseline;
-    sum_impr += m.improvement();
-    const char* target = app.group == 1   ? "~1.00"
-                         : app.group == 2 ? "0.87-0.92"
-                                          : "0.74-0.79";
-    table.add_row({app.name, util::format_fixed(b.io.miss_rate() * 100, 1),
-                   util::format_fixed(app.paper.io_miss, 1),
-                   util::format_fixed(b.storage.miss_rate() * 100, 1),
-                   util::format_fixed(app.paper.storage_miss, 1),
-                   util::format_duration(b.exec_time),
-                   util::format_fixed(m.normalized_exec(), 2), target,
-                   util::format_fixed(m.normalized_io_miss(), 2),
-                   util::format_fixed(app.paper.norm_io_miss, 2),
-                   util::format_fixed(m.normalized_storage_miss(), 2),
-                   util::format_fixed(app.paper.norm_storage_miss, 2),
-                   std::to_string(b.accesses)});
-  }
-  std::cout << table;
-  std::cout << "average improvement: "
-            << util::format_percent(sum_impr / suite.size())
-            << " (paper: 23.7%)\n";
-  return 0;
-}
+int main() { return flo::bench::run_scenario_main("calibrate"); }

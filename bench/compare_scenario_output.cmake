@@ -1,0 +1,27 @@
+# Runs the flo_bench driver and a historical alias binary on the same
+# scenario and fails unless their stdout is byte-identical. Invoked by the
+# flo_bench_alias_identity ctest with -DDRIVER/-DALIAS/-DSCENARIO/-DWORK_DIR.
+execute_process(
+  COMMAND ${DRIVER} --filter ${SCENARIO}
+  OUTPUT_FILE ${WORK_DIR}/${SCENARIO}.driver.txt
+  RESULT_VARIABLE driver_rc)
+if(NOT driver_rc EQUAL 0)
+  message(FATAL_ERROR "flo_bench --filter ${SCENARIO} failed: ${driver_rc}")
+endif()
+
+execute_process(
+  COMMAND ${ALIAS}
+  OUTPUT_FILE ${WORK_DIR}/${SCENARIO}.alias.txt
+  RESULT_VARIABLE alias_rc)
+if(NOT alias_rc EQUAL 0)
+  message(FATAL_ERROR "alias binary for ${SCENARIO} failed: ${alias_rc}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${WORK_DIR}/${SCENARIO}.driver.txt ${WORK_DIR}/${SCENARIO}.alias.txt
+  RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+  message(FATAL_ERROR
+          "driver and alias output differ for scenario ${SCENARIO}")
+endif()

@@ -1,0 +1,88 @@
+#include "bench/scenario.hpp"
+
+#include <iostream>
+
+#include "obs/sink.hpp"
+
+namespace flo::bench {
+
+void register_paper_scenarios(std::vector<ScenarioSpec>& out);
+void register_extra_scenarios(std::vector<ScenarioSpec>& out);
+
+const std::vector<ScenarioSpec>& scenarios() {
+  static const std::vector<ScenarioSpec> all = [] {
+    std::vector<ScenarioSpec> out;
+    register_paper_scenarios(out);
+    register_extra_scenarios(out);
+    return out;
+  }();
+  return all;
+}
+
+const ScenarioSpec* find_scenario(const std::string& name) {
+  for (const auto& spec : scenarios()) {
+    if (spec.name == name) return &spec;
+  }
+  return nullptr;
+}
+
+bool glob_match(const std::string& pattern, const std::string& text) {
+  // Iterative star-backtracking matcher: on mismatch past a '*', rewind to
+  // one position after the last star's match and let the star absorb one
+  // more character.
+  std::size_t p = 0, t = 0;
+  std::size_t star = std::string::npos, star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '?' || pattern[p] == text[t])) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      star_t = t;
+    } else if (star != std::string::npos) {
+      p = star + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+std::vector<const ScenarioSpec*> match_scenarios(const std::string& pattern) {
+  std::vector<const ScenarioSpec*> out;
+  for (const auto& spec : scenarios()) {
+    bool matched = glob_match(pattern, spec.name);
+    for (std::size_t i = 0; !matched && i < spec.tags.size(); ++i) {
+      matched = glob_match(pattern, spec.tags[i]);
+    }
+    if (matched) out.push_back(&spec);
+  }
+  return out;
+}
+
+int run_scenario_main(const std::string& name) {
+  const ScenarioSpec* spec = find_scenario(name);
+  if (spec == nullptr) {
+    std::cerr << "unknown scenario: " << name << '\n';
+    return 2;
+  }
+  const obs::SinkMode mode = obs::sink_mode_from_env();
+  if (mode != obs::SinkMode::kOff) obs::set_enabled(true);
+  ScenarioContext ctx(std::cout);
+  ctx.set_scenario(spec->name);
+  const int rc = spec->run(ctx);
+  if (mode != obs::SinkMode::kOff) {
+    // Metrics go to a side file, never stdout, so enabling FLO_METRICS
+    // leaves the table output byte-identical.
+    const std::string path =
+        obs::flush_to_file(mode, obs::default_sink_path(mode, spec->name));
+    std::cerr << "metrics (" << obs::sink_mode_name(mode) << "): " << path
+              << '\n';
+  }
+  return rc;
+}
+
+}  // namespace flo::bench

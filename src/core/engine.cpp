@@ -14,6 +14,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "obs/span.hpp"
 #include "storage/policy.hpp"
 #include "util/atomic_file.hpp"
 
@@ -169,6 +170,15 @@ class CompileCache {
       } else {
         future = it->second;
       }
+    }
+    if (obs::enabled()) {
+      // Misses == distinct compile signatures, hits == cells served by a
+      // shared compilation; both are schedule-independent, so the split is
+      // deterministic across worker counts.
+      obs::registry()
+          .counter(owner ? "engine.compile_cache_misses"
+                         : "engine.compile_cache_hits")
+          .add(1);
     }
     if (owner) {
       try {
@@ -399,18 +409,36 @@ std::vector<JobResult> ExperimentEngine::run_guarded(
   // keep using it safely after the grid (and this frame) are gone.
   auto cache = std::make_shared<CompileCache>();
   std::atomic<std::size_t> next{0};
+  const bool tracing = obs::enabled();
+  const obs::ScopedSpan run_span(
+      "engine.run", "engine",
+      tracing ? obs::SpanArgs{{"cells", std::to_string(jobs.size())}}
+              : obs::SpanArgs{});
   const auto worker = [&] {
+    double busy_seconds = 0;
     for (;;) {
       const std::size_t i = next.fetch_add(1);
-      if (i >= jobs.size()) return;
+      if (i >= jobs.size()) break;
+      if (tracing) {
+        // Indicative only (last-writer-wins): cells not yet claimed.
+        obs::registry().gauge("engine.queue_depth").set(
+            static_cast<std::int64_t>(jobs.size() - i - 1));
+      }
       const ExperimentJob& job = jobs[i];
       JobResult& out = results[i];
       const std::string key =
           journal.enabled() ? journal_key(job) : std::string();
       if (journal.enabled() && journal.restore(key, out)) {
         out.from_journal = true;
+        if (tracing) {
+          obs::registry().counter("engine.cells_total").add(1);
+          obs::registry().counter("engine.journal_hits").add(1);
+        }
         continue;
       }
+      const obs::ScopedSpan cell_span(
+          "engine.cell", "engine",
+          tracing ? obs::SpanArgs{{"label", job.label}} : obs::SpanArgs{});
       for (std::uint32_t attempt = 0;; ++attempt) {
         ++out.attempts;
         AttemptOutcome outcome = run_attempt(job, options_, cache);
@@ -447,10 +475,30 @@ std::vector<JobResult> ExperimentEngine::run_guarded(
         }
         // Transient: loop for another attempt (bounded by max_retries).
       }
+      if (tracing) {
+        auto& reg = obs::registry();
+        reg.counter("engine.cells_total").add(1);
+        if (out.failed) reg.counter("engine.cells_failed").add(1);
+        if (out.attempts > 1) {
+          reg.counter("engine.cell_retries").add(out.attempts - 1);
+        }
+        const double cell_seconds = cell_span.elapsed_seconds();
+        reg.histogram("engine.cell_seconds").observe(cell_seconds);
+        busy_seconds += cell_seconds;
+      }
+    }
+    if (tracing) {
+      // Worker utilization = worker_busy_us / (workers * run span dur).
+      obs::registry().counter("engine.worker_busy_us").add(
+          static_cast<std::uint64_t>(busy_seconds * 1e6));
     }
   };
 
   const std::size_t pool = std::min(workers_, jobs.size());
+  if (tracing) {
+    obs::registry().gauge("engine.workers").set(
+        static_cast<std::int64_t>(pool));
+  }
   if (pool <= 1) {
     worker();
   } else {

@@ -5,6 +5,7 @@
 #include "baselines/computation_mapping.hpp"
 #include "baselines/dimension_reindexing.hpp"
 #include "layout/canonical.hpp"
+#include "obs/span.hpp"
 #include "trace/analysis.hpp"
 #include "trace/generator.hpp"
 #include "trace/source.hpp"
@@ -80,6 +81,11 @@ storage::SimulationResult simulate(const ir::Program& program,
 
 CompiledExperiment compile_experiment(const ir::Program& program,
                                       const ExperimentConfig& config) {
+  const obs::ScopedSpan span(
+      "compile.experiment", "compile",
+      obs::enabled() ? obs::SpanArgs{{"program", program.name()},
+                                     {"scheme", scheme_name(config.scheme)}}
+                     : obs::SpanArgs{});
   const storage::StorageTopology topology(config.topology);
   if (config.threads != config.topology.compute_nodes) {
     throw std::invalid_argument(
@@ -135,6 +141,9 @@ CompiledExperiment compile_experiment(const ir::Program& program,
       break;
     }
   }
+  if (obs::enabled() && out.profiler_runs != 0) {
+    obs::registry().counter("sim.profiler_runs").add(out.profiler_runs);
+  }
   return out;
 }
 
@@ -142,8 +151,13 @@ storage::SimulationResult simulate_experiment(
     const ir::Program& program, const CompiledExperiment& compiled,
     const ExperimentConfig& config) {
   const storage::StorageTopology topology(config.topology);
-  return simulate(program, compiled.schedule, compiled.layouts, topology,
-                  config);
+  storage::SimulationResult result =
+      simulate(program, compiled.schedule, compiled.layouts, topology, config);
+  // Per-layer hit/miss/bytes/fault counters flow into the registry here —
+  // once per experiment cell, never for the reindexing profiler's internal
+  // candidate sims (those are tallied as sim.profiler_runs instead).
+  storage::publish_to_registry(result);
+  return result;
 }
 
 ExperimentResult run_experiment(const ir::Program& program,

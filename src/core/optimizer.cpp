@@ -1,6 +1,7 @@
 #include "core/optimizer.hpp"
 
 #include "layout/canonical.hpp"
+#include "obs/span.hpp"
 #include "util/log.hpp"
 
 namespace flo::core {
@@ -11,6 +12,10 @@ FileLayoutOptimizer::FileLayoutOptimizer(storage::StorageTopology topology)
 OptimizationResult FileLayoutOptimizer::optimize(
     const ir::Program& program, const parallel::ParallelSchedule& schedule,
     const OptimizerOptions& options) const {
+  const obs::ScopedSpan span("compile.optimize", "compile",
+                             obs::enabled()
+                                 ? obs::SpanArgs{{"program", program.name()}}
+                                 : obs::SpanArgs{});
   OptimizationResult result;
   result.plan.program_name = program.name();
   result.layouts.reserve(program.arrays().size());
@@ -18,8 +23,12 @@ OptimizationResult FileLayoutOptimizer::optimize(
   for (ir::ArrayId a = 0; a < program.arrays().size(); ++a) {
     layout::ArrayTransformPlan plan;
     plan.array_name = program.array(a).name();
-    plan.partitioning =
-        layout::partition_array(program, a, schedule, options.partitioning);
+    {
+      // Step I: the Eq. 3-5 unimodular partitioning search.
+      const obs::ScopedSpan step1("compile.step1", "compile");
+      plan.partitioning =
+          layout::partition_array(program, a, schedule, options.partitioning);
+    }
 
     // Profitability test: an array within a small multiple of one I/O
     // cache is already served at the top of the hierarchy under any layout
@@ -52,12 +61,14 @@ OptimizationResult FileLayoutOptimizer::optimize(
                     << "/" << plan.partitioning.total_weight
                     << " weighted references satisfiable)";
     }
-    layout::FileLayoutPtr chosen =
-        (too_small_to_matter || too_conflicted)
-            ? nullptr
-            : layout::build_internode_layout(program, a, schedule, topology_,
-                                             options.mask,
-                                             options.partitioning);
+    layout::FileLayoutPtr chosen;
+    if (!too_small_to_matter && !too_conflicted) {
+      // Step II: hierarchy-aware chunk-pattern construction (Algorithm 1).
+      const obs::ScopedSpan step2("compile.step2", "compile");
+      chosen = layout::build_internode_layout(program, a, schedule, topology_,
+                                              options.mask,
+                                              options.partitioning);
+    }
     if (chosen) {
       plan.optimized = true;
       const auto* internode =
@@ -68,8 +79,27 @@ OptimizationResult FileLayoutOptimizer::optimize(
       chosen = std::make_unique<layout::RowMajorLayout>(
           program.array(a).space());
     }
+    if (obs::enabled()) {
+      auto& reg = obs::registry();
+      reg.counter("compile.arrays_total").add(1);
+      if (plan.partitioning.partitioned) {
+        reg.counter("compile.arrays_partitioned").add(1);
+      }
+      if (plan.optimized) reg.counter("compile.arrays_materialized").add(1);
+      if (too_small_to_matter && plan.partitioning.partitioned) {
+        reg.counter("compile.arrays_skipped_small").add(1);
+      }
+      if (too_conflicted) {
+        reg.counter("compile.arrays_skipped_conflicted").add(1);
+      }
+    }
     result.layouts.push_back(std::move(chosen));
     result.plan.arrays.push_back(std::move(plan));
+  }
+  if (obs::enabled()) {
+    obs::registry()
+        .histogram("compile.optimize_seconds")
+        .observe(span.elapsed_seconds());
   }
   return result;
 }

@@ -6,25 +6,28 @@
 
 namespace flo::core {
 
-namespace {
-double safe_ratio(double num, double den) { return den == 0 ? 1.0 : num / den; }
-}  // namespace
+double normalized_ratio(double num, double den) {
+  return den == 0 ? 1.0 : num / den;
+}
+
+double safe_average(double sum, std::size_t count) {
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
 
 double AppMeasurement::normalized_io_miss() const {
-  return safe_ratio(static_cast<double>(optimized.io.misses()),
-                    static_cast<double>(baseline.io.misses()));
+  return normalized_ratio(static_cast<double>(optimized.io.misses()),
+                          static_cast<double>(baseline.io.misses()));
 }
 
 double AppMeasurement::normalized_storage_miss() const {
-  return safe_ratio(static_cast<double>(optimized.storage.misses()),
-                    static_cast<double>(baseline.storage.misses()));
+  return normalized_ratio(static_cast<double>(optimized.storage.misses()),
+                          static_cast<double>(baseline.storage.misses()));
 }
 
 double average_improvement(const std::vector<AppMeasurement>& rows) {
-  if (rows.empty()) return 0.0;
   double sum = 0;
   for (const auto& row : rows) sum += row.improvement();
-  return sum / static_cast<double>(rows.size());
+  return safe_average(sum, rows.size());
 }
 
 std::string describe_config(const ExperimentConfig& config) {

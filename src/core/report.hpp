@@ -2,6 +2,7 @@
 // simulated results to the published numbers.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -9,6 +10,17 @@
 #include "util/table.hpp"
 
 namespace flo::core {
+
+/// Zero-baseline convention used by every normalized metric in the bench
+/// harness: a ratio against a zero denominator is defined as 1.0 ("no
+/// change"). A degenerate run that costs nothing cannot be improved upon, so
+/// reporting it as unchanged keeps averages finite and improvement() at 0
+/// instead of poisoning a whole table with NaN/inf.
+double normalized_ratio(double num, double den);
+
+/// Average with an empty-set convention of 0.0, so per-group aggregates
+/// over paper bands with no members never emit NaN.
+double safe_average(double sum, std::size_t count);
 
 /// One application's default + optimized measurements (Table 2 / Table 3 /
 /// Fig. 7(a) rows all derive from this pair).
@@ -18,8 +30,7 @@ struct AppMeasurement {
   storage::SimulationResult optimized;
 
   double normalized_exec() const {
-    return baseline.exec_time == 0 ? 1.0
-                                   : optimized.exec_time / baseline.exec_time;
+    return normalized_ratio(optimized.exec_time, baseline.exec_time);
   }
   double improvement() const { return 1.0 - normalized_exec(); }
   /// Table 3 metrics: miss *counts* after optimization, normalized to the

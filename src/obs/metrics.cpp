@@ -1,0 +1,148 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace flo::obs {
+
+namespace {
+std::atomic<bool> g_enabled{false};
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+void Histogram::observe(double sample) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (count_ == 0 || sample < min_) min_ = sample;
+  if (count_ == 0 || sample > max_) max_ = sample;
+  ++count_;
+  sum_ += sample;
+}
+
+std::uint64_t Histogram::count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return sum_;
+}
+
+double Histogram::min() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return min_;
+}
+
+double Histogram::max() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return max_;
+}
+
+void Histogram::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  count_ = 0;
+  sum_ = min_ = max_ = 0;
+}
+
+namespace {
+
+template <typename Map, typename... Others>
+void check_unbound(const std::string& name, const char* kind,
+                   const Map& first, const Others&... others) {
+  const bool clash = (first.count(name) != 0) || (... || (others.count(name) != 0));
+  if (clash) {
+    throw std::logic_error("obs::Registry: metric '" + name +
+                           "' already bound to another kind (requested " +
+                           kind + ")");
+  }
+}
+
+}  // namespace
+
+Counter& Registry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    check_unbound(name, "counter", gauges_, histograms_);
+    it = counters_.emplace(name, std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    check_unbound(name, "gauge", counters_, histograms_);
+    it = gauges_.emplace(name, std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    check_unbound(name, "histogram", counters_, gauges_);
+    it = histograms_.emplace(name, std::make_unique<Histogram>()).first;
+  }
+  return *it->second;
+}
+
+std::vector<MetricSample> Registry::snapshot() const {
+  // Gather under the map lock, then merge: the three maps are individually
+  // sorted, and metric names are unique across kinds, so a final sort by
+  // name yields a deterministic order.
+  std::vector<MetricSample> out;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+    for (const auto& [name, c] : counters_) {
+      MetricSample s;
+      s.name = name;
+      s.kind = MetricKind::kCounter;
+      s.value = static_cast<double>(c->value());
+      s.count = c->value();
+      out.push_back(std::move(s));
+    }
+    for (const auto& [name, g] : gauges_) {
+      MetricSample s;
+      s.name = name;
+      s.kind = MetricKind::kGauge;
+      s.value = static_cast<double>(g->value());
+      out.push_back(std::move(s));
+    }
+    for (const auto& [name, h] : histograms_) {
+      MetricSample s;
+      s.name = name;
+      s.kind = MetricKind::kHistogram;
+      s.count = h->count();
+      s.sum = h->sum();
+      s.min = h->min();
+      s.max = h->max();
+      s.value = s.sum;
+      out.push_back(std::move(s));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+void Registry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+Registry& registry() {
+  static Registry instance;
+  return instance;
+}
+
+}  // namespace flo::obs

@@ -1,0 +1,108 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+
+namespace flo::obs {
+
+namespace {
+
+std::atomic<double (*)()> g_test_clock{nullptr};
+
+double steady_us() {
+  // Epoch = first call, so traces start near t=0 and fit one Chrome view.
+  static const auto epoch = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
+}  // namespace
+
+double now_us() {
+  if (double (*clock)() = g_test_clock.load(std::memory_order_relaxed)) {
+    return clock();
+  }
+  return steady_us();
+}
+
+void set_clock_for_testing(double (*clock_us)()) {
+  g_test_clock.store(clock_us, std::memory_order_relaxed);
+}
+
+std::uint32_t thread_lane() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t lane = next.fetch_add(1);
+  return lane;
+}
+
+void TraceRecorder::record(SpanEvent event) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+std::vector<SpanEvent> TraceRecorder::snapshot() const {
+  std::vector<SpanEvent> out;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    out = events_;
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const SpanEvent& a, const SpanEvent& b) {
+                     if (a.start_us != b.start_us) return a.start_us < b.start_us;
+                     if (a.tid != b.tid) return a.tid < b.tid;
+                     return a.name < b.name;
+                   });
+  return out;
+}
+
+void TraceRecorder::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+}
+
+TraceRecorder& recorder() {
+  static TraceRecorder instance;
+  return instance;
+}
+
+void record_virtual_span(std::string name, std::string category,
+                         std::uint32_t lane, double start_seconds,
+                         double duration_seconds, SpanArgs args) {
+  if (!enabled()) return;
+  SpanEvent event;
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.tid = lane;
+  event.start_us = start_seconds * 1e6;
+  event.duration_us = duration_seconds * 1e6;
+  event.virtual_time = true;
+  event.args = std::move(args);
+  recorder().record(std::move(event));
+}
+
+ScopedSpan::ScopedSpan(const char* name, const char* category, SpanArgs args)
+    : active_(enabled()), name_(name), category_(category) {
+  if (!active_) return;
+  args_ = std::move(args);
+  start_us_ = now_us();
+}
+
+double ScopedSpan::elapsed_seconds() const {
+  return active_ ? (now_us() - start_us_) * 1e-6 : 0.0;
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  SpanEvent event;
+  event.name = name_;
+  event.category = category_;
+  event.tid = thread_lane();
+  event.start_us = start_us_;
+  event.duration_us = now_us() - start_us_;
+  event.args = std::move(args_);
+  recorder().record(std::move(event));
+}
+
+}  // namespace flo::obs

@@ -1,0 +1,101 @@
+// RAII span instrumentation feeding the process-wide TraceRecorder.
+//
+// Two timelines coexist (and export as two Chrome-trace "processes"):
+//   - wall spans: ScopedSpan stamps begin/end from a steady clock
+//     (overridable for tests via set_clock_for_testing) — the compiler
+//     phases and engine cells live here;
+//   - virtual spans: record_virtual_span() takes explicit timestamps from
+//     the simulator's deterministic virtual clocks, so simulation traces
+//     are byte-identical run to run.
+//
+// Span naming scheme (DESIGN.md "Observability"): the span name is the
+// operation (`engine.cell`, `compile.optimize`, `sim.phase`), the category
+// is the layer (`engine`, `compile`, `sim`), and variable identity (app
+// name, cell label, phase index) rides in args — never in the name, so
+// traces aggregate cleanly by operation.
+//
+// Everything is gated on obs::enabled(): a disabled ScopedSpan constructor
+// is one atomic load, no strings are copied and nothing is recorded.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace flo::obs {
+
+using SpanArgs = std::vector<std::pair<std::string, std::string>>;
+
+/// One completed span ("X" complete event in the Chrome trace format).
+struct SpanEvent {
+  std::string name;
+  std::string category;
+  std::uint32_t tid = 0;    ///< lane: worker thread or simulation run id
+  double start_us = 0;      ///< microseconds since trace epoch (or virtual)
+  double duration_us = 0;
+  bool virtual_time = false;  ///< simulator virtual clock, not wall clock
+  SpanArgs args;
+};
+
+/// Thread-safe append-only store of completed spans.
+class TraceRecorder {
+ public:
+  void record(SpanEvent event);
+  /// All recorded spans, sorted by (start, tid, name) — recording order
+  /// depends on thread scheduling, the sort restores determinism for
+  /// deterministic timestamps (virtual time or a test clock).
+  std::vector<SpanEvent> snapshot() const;
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<SpanEvent> events_;
+};
+
+/// The process-wide recorder; ScopedSpan and record_virtual_span feed it.
+TraceRecorder& recorder();
+
+/// Microseconds since the trace epoch (first use of the clock). Reads the
+/// steady clock unless a test clock is installed.
+double now_us();
+
+/// Installs a deterministic clock for golden tests (nullptr restores the
+/// steady clock). Not thread-safe against concurrent spans — install
+/// before instrumented code runs.
+void set_clock_for_testing(double (*clock_us)());
+
+/// Small dense id for the calling thread (first call assigns the next
+/// free lane). Chrome-trace tid for wall spans.
+std::uint32_t thread_lane();
+
+/// Records a span with explicit virtual-clock timestamps (seconds are the
+/// simulator's unit; stored as microseconds like everything else).
+void record_virtual_span(std::string name, std::string category,
+                         std::uint32_t lane, double start_seconds,
+                         double duration_seconds, SpanArgs args = {});
+
+/// RAII wall-clock span. When obs is disabled at construction the object
+/// is inert (no strings copied, nothing recorded at destruction).
+class ScopedSpan {
+ public:
+  ScopedSpan(const char* name, const char* category, SpanArgs args = {});
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Seconds elapsed since construction (0 when disabled) — lets call
+  /// sites feed the same measurement into a histogram.
+  double elapsed_seconds() const;
+
+ private:
+  bool active_;
+  const char* name_;
+  const char* category_;
+  SpanArgs args_;
+  double start_us_ = 0;
+};
+
+}  // namespace flo::obs

@@ -1,9 +1,12 @@
 #include "storage/simulator.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
 #include <queue>
 #include <stdexcept>
+
+#include "obs/span.hpp"
 
 namespace flo::storage {
 
@@ -425,8 +428,20 @@ SimulationResult HierarchySimulator::run(const TraceSource& source) {
   std::vector<double> busy(threads, 0.0);
   const std::size_t streams = source.thread_count();
 
+  // Virtual-clock observability lane: one per simulated run, so phase
+  // spans from concurrently simulating cells land on distinct Chrome-trace
+  // rows. Timestamps are the deterministic virtual clocks, not wall time.
+  const bool tracing = obs::enabled();
+  std::uint32_t lane = 0;
+  if (tracing) {
+    static std::atomic<std::uint32_t> next_lane{0};
+    lane = next_lane.fetch_add(1);
+  }
+
   for (std::size_t p = 0; p < source.phase_count(); ++p) {
     for (std::uint32_t rep = 0; rep < source.phase_repeat(p); ++rep) {
+      // All clocks are barrier-aligned here, so clock[0] is the phase start.
+      const double phase_start = clock.empty() ? 0.0 : clock[0];
       // Min-clock-first scheduling with thread id tiebreak: deterministic
       // and approximates concurrent execution against the shared caches.
       // Each thread holds exactly one buffered event (`pending`); resident
@@ -454,6 +469,11 @@ SimulationResult HierarchySimulator::run(const TraceSource& source) {
       // Bulk-synchronous barrier between nests / repetitions.
       const double barrier = *std::max_element(clock.begin(), clock.end());
       for (auto& c : clock) c = barrier;
+      if (tracing) {
+        obs::record_virtual_span(
+            "sim.phase", "sim", lane, phase_start, barrier - phase_start,
+            {{"phase", std::to_string(p)}, {"rep", std::to_string(rep)}});
+      }
     }
   }
 

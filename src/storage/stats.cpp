@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "obs/metrics.hpp"
 #include "util/format.hpp"
 
 namespace flo::storage {
@@ -193,6 +194,54 @@ std::optional<SimulationResult> from_wire(const std::string& line) {
   if (reader.is >> trailing) return std::nullopt;  // extra fields: reject
   if (!reader.ok) return std::nullopt;
   return result;
+}
+
+namespace {
+
+void publish_layer(const char* prefix, const LayerStats& layer) {
+  auto& reg = obs::registry();
+  const std::string p(prefix);
+  reg.counter(p + ".lookups").add(layer.lookups);
+  reg.counter(p + ".hits").add(layer.hits);
+  reg.counter(p + ".misses").add(layer.misses());
+  reg.counter(p + ".fills").add(layer.fills);
+  reg.counter(p + ".evictions").add(layer.evictions);
+  reg.counter(p + ".bytes_filled").add(layer.bytes_filled);
+}
+
+void publish_fault_layer(const char* prefix, const FaultLayerStats& layer) {
+  if (!layer.any()) return;  // keep fault-free snapshots free of fault keys
+  auto& reg = obs::registry();
+  const std::string p(prefix);
+  reg.counter(p + ".bypasses").add(layer.bypasses);
+  reg.counter(p + ".transient_failures").add(layer.transient_failures);
+  reg.counter(p + ".slow_services").add(layer.slow_services);
+  reg.histogram(p + ".degraded_seconds").observe(layer.degraded_time);
+}
+
+}  // namespace
+
+void publish_to_registry(const SimulationResult& result) {
+  if (!obs::enabled()) return;
+  auto& reg = obs::registry();
+  reg.counter("sim.runs").add(1);
+  publish_layer("sim.io", result.io);
+  publish_layer("sim.storage", result.storage);
+  reg.counter("sim.disk_reads").add(result.disk_reads);
+  reg.counter("sim.disk_writes").add(result.disk_writes);
+  reg.counter("sim.demotions").add(result.demotions);
+  reg.counter("sim.prefetches").add(result.prefetches);
+  reg.counter("sim.writebacks").add(result.writebacks);
+  reg.counter("sim.accesses").add(result.accesses);
+  reg.counter("sim.elements").add(result.elements);
+  reg.histogram("sim.exec_seconds").observe(result.exec_time);
+  publish_fault_layer("sim.faults.io", result.faults.io);
+  publish_fault_layer("sim.faults.storage", result.faults.storage);
+  publish_fault_layer("sim.faults.disk", result.faults.disk);
+  if (result.faults.exhausted_retries != 0) {
+    reg.counter("sim.faults.exhausted_retries")
+        .add(result.faults.exhausted_retries);
+  }
 }
 
 }  // namespace flo::storage

@@ -97,4 +97,11 @@ std::string to_wire(const SimulationResult& result);
 /// journal treats such cells as not-yet-run rather than crashing).
 std::optional<SimulationResult> from_wire(const std::string& line);
 
+/// Flows one simulation's per-layer hit/miss/bytes/fault counters into the
+/// process-wide obs::registry() under the `sim.*` namespace (DESIGN.md
+/// "Observability"). No-op when obs is disabled. Counter sums are
+/// order-independent, so grid runs publish deterministically for any
+/// engine worker count.
+void publish_to_registry(const SimulationResult& result);
+
 }  // namespace flo::storage

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace flo::core {
 namespace {
 
@@ -16,6 +18,24 @@ storage::SimulationResult make_result(double exec, std::uint64_t io_lookups,
   r.storage.lookups = st_lookups;
   r.storage.hits = st_hits;
   return r;
+}
+
+// The zero-baseline convention every bench table relies on: ratios against
+// a zero denominator are "no change" (1.0), empty-set averages are 0.0 —
+// never NaN/inf.
+TEST(NormalizedRatioTest, ZeroDenominatorMeansNoChange) {
+  EXPECT_DOUBLE_EQ(normalized_ratio(8.0, 10.0), 0.8);
+  EXPECT_DOUBLE_EQ(normalized_ratio(5.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(normalized_ratio(0.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(normalized_ratio(0.0, 4.0), 0.0);
+}
+
+TEST(SafeAverageTest, EmptyGroupIsZeroNotNaN) {
+  EXPECT_DOUBLE_EQ(safe_average(6.0, 3), 2.0);
+  EXPECT_DOUBLE_EQ(safe_average(0.0, 0), 0.0);
+  // The Fig. 7(a) regression: an empty paper group must not print NaN.
+  EXPECT_DOUBLE_EQ(safe_average(1.5, 0), 0.0);
+  EXPECT_FALSE(std::isnan(safe_average(1.5, 0)));
 }
 
 TEST(AppMeasurementTest, NormalizedExecAndImprovement) {

@@ -1,0 +1,187 @@
+// Golden-file tests for the sink writers: the JSONL and Chrome-trace
+// formats are compared byte-for-byte against hand-written expectations, so
+// any format drift is a deliberate, reviewed change.
+#include "obs/sink.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
+namespace flo::obs {
+namespace {
+
+std::vector<MetricSample> sample_metrics() {
+  MetricSample counter;
+  counter.name = "engine.cells_total";
+  counter.kind = MetricKind::kCounter;
+  counter.value = 4;
+  MetricSample gauge;
+  gauge.name = "engine.workers";
+  gauge.kind = MetricKind::kGauge;
+  gauge.value = 2;
+  MetricSample histogram;
+  histogram.name = "sim.exec_seconds";
+  histogram.kind = MetricKind::kHistogram;
+  histogram.count = 2;
+  histogram.sum = 14.5;
+  histogram.min = 6.25;
+  histogram.max = 8.25;
+  histogram.value = histogram.sum;
+  return {counter, gauge, histogram};
+}
+
+std::vector<SpanEvent> sample_spans() {
+  SpanEvent wall;
+  wall.name = "engine.cell";
+  wall.category = "engine";
+  wall.tid = 1;
+  wall.start_us = 100;
+  wall.duration_us = 250.5;
+  wall.args = {{"label", "bt/base"}};
+  SpanEvent virt;
+  virt.name = "sim.phase";
+  virt.category = "sim";
+  virt.tid = 0;
+  virt.start_us = 0;
+  virt.duration_us = 1.0e6;
+  virt.virtual_time = true;
+  virt.args = {{"phase", "0"}, {"rep", "1"}};
+  return {wall, virt};
+}
+
+TEST(SinkModeTest, ParseAndNameRoundTrip) {
+  EXPECT_EQ(parse_sink_mode("off"), SinkMode::kOff);
+  EXPECT_EQ(parse_sink_mode("text"), SinkMode::kText);
+  EXPECT_EQ(parse_sink_mode("json"), SinkMode::kJson);
+  EXPECT_EQ(parse_sink_mode("chrome"), SinkMode::kChrome);
+  EXPECT_EQ(parse_sink_mode("bogus"), SinkMode::kOff);
+  EXPECT_STREQ(sink_mode_name(SinkMode::kJson), "json");
+  EXPECT_STREQ(sink_mode_name(SinkMode::kChrome), "chrome");
+}
+
+TEST(SinkModeTest, DefaultPaths) {
+  EXPECT_EQ(default_sink_path(SinkMode::kOff, "x"), "");
+  EXPECT_EQ(default_sink_path(SinkMode::kText, "x"), "x.metrics.txt");
+  EXPECT_EQ(default_sink_path(SinkMode::kJson, "x"), "x.metrics.jsonl");
+  EXPECT_EQ(default_sink_path(SinkMode::kChrome, "x"), "x.trace.json");
+}
+
+TEST(JsonlSinkTest, GoldenOutput) {
+  std::ostringstream os;
+  write_jsonl(os, sample_metrics(), sample_spans());
+  EXPECT_EQ(os.str(),
+            "{\"type\":\"counter\",\"name\":\"engine.cells_total\","
+            "\"value\":4}\n"
+            "{\"type\":\"gauge\",\"name\":\"engine.workers\",\"value\":2}\n"
+            "{\"type\":\"histogram\",\"name\":\"sim.exec_seconds\","
+            "\"count\":2,\"sum\":14.5,\"min\":6.25,\"max\":8.25}\n"
+            "{\"type\":\"span\",\"name\":\"engine.cell\",\"cat\":\"engine\","
+            "\"tid\":1,\"ts\":100,\"dur\":250.5,\"clock\":\"wall\","
+            "\"args\":{\"label\":\"bt/base\"}}\n"
+            "{\"type\":\"span\",\"name\":\"sim.phase\",\"cat\":\"sim\","
+            "\"tid\":0,\"ts\":0,\"dur\":1000000,\"clock\":\"virtual\","
+            "\"args\":{\"phase\":\"0\",\"rep\":\"1\"}}\n");
+}
+
+TEST(ChromeSinkTest, GoldenOutput) {
+  std::ostringstream os;
+  write_chrome_trace(os, sample_metrics(), sample_spans());
+  EXPECT_EQ(os.str(),
+            "{\"traceEvents\":[\n"
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+            "\"args\":{\"name\":\"wall clock\"}},\n"
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,\"tid\":0,"
+            "\"args\":{\"name\":\"virtual clock (simulation)\"}},\n"
+            "{\"name\":\"engine.cell\",\"cat\":\"engine\",\"ph\":\"X\","
+            "\"pid\":1,\"tid\":1,\"ts\":100,\"dur\":250.5,"
+            "\"args\":{\"label\":\"bt/base\"}},\n"
+            "{\"name\":\"sim.phase\",\"cat\":\"sim\",\"ph\":\"X\",\"pid\":2,"
+            "\"tid\":0,\"ts\":0,\"dur\":1000000,"
+            "\"args\":{\"phase\":\"0\",\"rep\":\"1\"}},\n"
+            "{\"name\":\"metrics\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+            "\"args\":{\"engine.cells_total\":4,\"engine.workers\":2}}\n"
+            "]}\n");
+}
+
+TEST(TextSinkTest, GoldenOutput) {
+  std::ostringstream os;
+  write_text(os, sample_metrics(), sample_spans());
+  EXPECT_EQ(os.str(),
+            "# metrics\n"
+            "engine.cells_total (counter) = 4\n"
+            "engine.workers (gauge) = 2\n"
+            "sim.exec_seconds (histogram) count=2 sum=14.5 min=6.25 "
+            "max=8.25\n"
+            "# spans\n"
+            "engine.cell count=1 total=0.0002505s\n"
+            "sim.phase count=1 total=1s\n");
+}
+
+TEST(JsonlSinkTest, EscapesStrings) {
+  MetricSample m;
+  m.name = "weird\"name\n";
+  m.kind = MetricKind::kCounter;
+  m.value = 1;
+  std::ostringstream os;
+  write_jsonl(os, {m}, {});
+  EXPECT_EQ(os.str(),
+            "{\"type\":\"counter\",\"name\":\"weird\\\"name\\n\","
+            "\"value\":1}\n");
+}
+
+// End-to-end determinism: with a test clock installed, spans recorded via
+// ScopedSpan serialize byte-identically run to run.
+TEST(ScopedSpanTest, DeterministicUnderTestClock) {
+  static int ticks;
+  ticks = 0;
+  set_clock_for_testing([]() -> double { return 100.0 * ticks++; });
+  const std::string expected_suffix = "\"ts\":0,\"dur\":100,\"clock\":\"wall\"";
+
+  for (int run = 0; run < 2; ++run) {
+    ticks = 0;
+    recorder().clear();
+    set_enabled(true);
+    { const ScopedSpan span("test.op", "test"); }
+    set_enabled(false);
+    const auto spans = recorder().snapshot();
+    ASSERT_EQ(spans.size(), 1u);
+    std::ostringstream os;
+    write_jsonl(os, {}, spans);
+    EXPECT_NE(os.str().find(expected_suffix), std::string::npos) << os.str();
+  }
+  recorder().clear();
+  set_clock_for_testing(nullptr);
+}
+
+TEST(ScopedSpanTest, DisabledSpanRecordsNothing) {
+  recorder().clear();
+  ASSERT_FALSE(enabled());
+  {
+    const ScopedSpan span("test.noop", "test", {{"k", "v"}});
+    EXPECT_EQ(span.elapsed_seconds(), 0.0);
+  }
+  EXPECT_TRUE(recorder().snapshot().empty());
+}
+
+TEST(RecorderTest, SnapshotSortsByStartThenTidThenName) {
+  recorder().clear();
+  set_enabled(true);
+  record_virtual_span("b", "sim", 1, 2.0, 1.0);
+  record_virtual_span("a", "sim", 0, 1.0, 1.0);
+  record_virtual_span("a", "sim", 1, 2.0, 1.0);
+  set_enabled(false);
+  const auto spans = recorder().snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].name, "a");
+  EXPECT_EQ(spans[0].tid, 0u);
+  EXPECT_EQ(spans[1].name, "a");
+  EXPECT_EQ(spans[1].tid, 1u);
+  EXPECT_EQ(spans[2].name, "b");
+  recorder().clear();
+}
+
+}  // namespace
+}  // namespace flo::obs

@@ -2,13 +2,17 @@
 //
 //   flo_opt <program.flo> [--threads N] [--mask both|io|storage]
 //           [--simulate] [--pseudocode] [--faults SPEC]
+//           [--metrics off|text|json|chrome]
 //
 // Reads a program in the text format of src/ir/parser.hpp, runs the
 // inter-node file layout optimizer against the (scaled) Table 1 topology,
 // prints the per-array transform plans, and optionally simulates the
 // default vs optimized executions. `--faults` (or the FLO_FAULTS
 // environment variable) injects storage faults into the simulation — see
-// src/storage/fault_model.hpp for the spec syntax.
+// src/storage/fault_model.hpp for the spec syntax. `--metrics` (or
+// FLO_METRICS) dumps compile/simulation counters and spans to
+// flo_opt.metrics.* / flo_opt.trace.json next to the working directory;
+// stdout is unaffected.
 //
 // Malformed programs produce a compiler-style `file:line: message`
 // diagnostic and exit code 2; other failures exit 1.
@@ -21,6 +25,7 @@
 #include "core/report.hpp"
 #include "ir/parser.hpp"
 #include "ir/printer.hpp"
+#include "obs/sink.hpp"
 #include "storage/fault_model.hpp"
 #include "util/format.hpp"
 
@@ -29,7 +34,8 @@ namespace {
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " <program.flo> [--threads N] [--mask both|io|storage]"
-               " [--simulate] [--pseudocode] [--faults SPEC]\n";
+               " [--simulate] [--pseudocode] [--faults SPEC]"
+               " [--metrics off|text|json|chrome]\n";
   return 2;
 }
 
@@ -45,12 +51,19 @@ int main(int argc, char** argv) {
   bool simulate = false;
   bool pseudocode = false;
   std::string fault_spec;
+  obs::SinkMode metrics = obs::sink_mode_from_env();
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--threads" && i + 1 < argc) {
       threads = static_cast<std::size_t>(std::atoll(argv[++i]));
     } else if (arg == "--faults" && i + 1 < argc) {
       fault_spec = argv[++i];
+    } else if (arg == "--metrics" && i + 1 < argc) {
+      const std::string mode = argv[++i];
+      metrics = obs::parse_sink_mode(mode);
+      if (metrics == obs::SinkMode::kOff && mode != "off") {
+        return usage(argv[0]);
+      }
     } else if (arg == "--mask" && i + 1 < argc) {
       const std::string m = argv[++i];
       if (m == "both") {
@@ -73,6 +86,7 @@ int main(int argc, char** argv) {
     }
   }
   if (path.empty()) return usage(argv[0]);
+  if (metrics != obs::SinkMode::kOff) obs::set_enabled(true);
 
   std::ifstream in(path);
   if (!in) {
@@ -120,6 +134,12 @@ int main(int argc, char** argv) {
   } catch (const std::exception& err) {
     std::cerr << "error: " << err.what() << '\n';
     return 1;
+  }
+  if (metrics != obs::SinkMode::kOff) {
+    const std::string out =
+        obs::flush_to_file(metrics, obs::default_sink_path(metrics, "flo_opt"));
+    std::cerr << "metrics (" << obs::sink_mode_name(metrics) << "): " << out
+              << '\n';
   }
   return 0;
 }
