@@ -8,6 +8,7 @@
 #include "layout/chunk_pattern.hpp"
 #include "layout/canonical.hpp"
 #include "layout/internode.hpp"
+#include "storage/disk_model.hpp"
 #include "storage/lru_cache.hpp"
 #include "storage/simulator.hpp"
 #include "trace/generator.hpp"
@@ -164,6 +165,151 @@ void BM_HierarchySimulationStreaming(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_HierarchySimulationStreaming);
+
+// --- Extent primitives: range ops against their per-block loops. -------
+
+void BM_LruTouchPerBlock(benchmark::State& state) {
+  constexpr std::size_t kCap = 8192;
+  const std::uint32_t run = static_cast<std::uint32_t>(state.range(0));
+  storage::LruCache cache(kCap);
+  for (std::uint64_t b = 0; b < kCap; ++b) cache.insert({0, b});
+  std::uint64_t base = 0;
+  for (auto _ : state) {
+    for (std::uint32_t i = 0; i < run; ++i) {
+      benchmark::DoNotOptimize(cache.touch({0, base + i}));
+    }
+    base = (base + run) % (kCap - run);
+  }
+  state.SetItemsProcessed(state.iterations() * run);
+}
+BENCHMARK(BM_LruTouchPerBlock)->Arg(64);
+
+void BM_LruTouchRun(benchmark::State& state) {
+  constexpr std::size_t kCap = 8192;
+  const std::uint32_t run = static_cast<std::uint32_t>(state.range(0));
+  storage::LruCache cache(kCap);
+  for (std::uint64_t b = 0; b < kCap; ++b) cache.insert({0, b});
+  std::uint64_t base = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.touch_run({0, base}, run));
+    base = (base + run) % (kCap - run);
+  }
+  state.SetItemsProcessed(state.iterations() * run);
+}
+BENCHMARK(BM_LruTouchRun)->Arg(64);
+
+void BM_DiskServicePerBlock(benchmark::State& state) {
+  const std::uint32_t run = static_cast<std::uint32_t>(state.range(0));
+  storage::DiskArray disks(1, storage::DiskModel{}, 2048);
+  std::uint64_t lba = 0;
+  for (auto _ : state) {
+    double total = 0;
+    for (std::uint32_t i = 0; i < run; ++i) {
+      total += disks.service(0, lba + i);
+    }
+    benchmark::DoNotOptimize(total);
+    lba = (lba + 100003) % (1 << 24);  // scatter: pay a seek per extent
+  }
+  state.SetItemsProcessed(state.iterations() * run);
+}
+BENCHMARK(BM_DiskServicePerBlock)->Arg(64);
+
+void BM_DiskServiceRun(benchmark::State& state) {
+  const std::uint32_t run = static_cast<std::uint32_t>(state.range(0));
+  storage::DiskArray disks(1, storage::DiskModel{}, 2048);
+  std::uint64_t lba = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(disks.service_run(0, lba, run));
+    lba = (lba + 100003) % (1 << 24);
+  }
+  state.SetItemsProcessed(state.iterations() * run);
+}
+BENCHMARK(BM_DiskServiceRun)->Arg(64);
+
+// --- Simulator extent fast path vs the per-block reference. ------------
+//
+// A warm single-threaded sequential scan (repeat > 1 so re-reads hit the
+// I/O cache; one thread so the scheduler's inline budget stays open and
+// whole extents batch — concurrent lockstep threads must interleave per
+// block for bit-identity with the reference). The arg toggles extent
+// batching; items = logical blocks serviced, so the two counters compare
+// directly as blocks/second.
+
+void BM_ExtentSimulation(benchmark::State& state) {
+  const bool extents = state.range(0) != 0;
+  storage::TopologyConfig c;
+  c.compute_nodes = 4;
+  c.io_nodes = 2;
+  c.storage_nodes = 2;
+  c.block_size = 2048;
+  c.io_cache_bytes = 4096 * c.block_size;
+  c.storage_cache_bytes = 8192 * c.block_size;
+  const storage::StorageTopology topo(c);
+  storage::TraceProgram trace;
+  trace.file_blocks = {1 << 14};
+  storage::PhaseTrace phase;
+  phase.repeat = 8;
+  phase.per_thread.resize(1);
+  std::uint64_t blocks = 0;
+  for (std::uint32_t e = 0; e < 8; ++e) {
+    storage::AccessEvent ev;
+    ev.block = e * 256;
+    ev.element_count = 4;
+    ev.run_blocks = 256;
+    phase.per_thread[0].push_back(ev);
+    blocks += ev.run_blocks * phase.repeat;
+  }
+  trace.phases.push_back(std::move(phase));
+  const std::vector<storage::NodeId> io{topo.io_node_of(0)};
+  for (auto _ : state) {
+    storage::HierarchySimulator sim(topo, storage::PolicyKind::kLruInclusive,
+                                    io);
+    sim.set_extent_batching(extents);
+    benchmark::DoNotOptimize(sim.run(trace));
+  }
+  state.SetItemsProcessed(state.iterations() * blocks);
+}
+BENCHMARK(BM_ExtentSimulation)->Arg(0)->Arg(1);
+
+// Cache-less streaming: every block comes straight off the striped disks.
+// After the first stripe cycle positions the heads, the extent path
+// charges a constant per block, so this is where batching pays the most.
+
+void BM_ExtentSimulationStreaming(benchmark::State& state) {
+  const bool extents = state.range(0) != 0;
+  storage::TopologyConfig c;
+  c.compute_nodes = 4;
+  c.io_nodes = 2;
+  c.storage_nodes = 2;
+  c.block_size = 2048;
+  c.io_cache_enabled = false;
+  c.storage_cache_enabled = false;
+  const storage::StorageTopology topo(c);
+  storage::TraceProgram trace;
+  trace.file_blocks = {1 << 14};
+  storage::PhaseTrace phase;
+  phase.repeat = 4;
+  phase.per_thread.resize(1);
+  std::uint64_t blocks = 0;
+  for (std::uint32_t e = 0; e < 8; ++e) {
+    storage::AccessEvent ev;
+    ev.block = e * 1024;
+    ev.element_count = 4;
+    ev.run_blocks = 1024;
+    phase.per_thread[0].push_back(ev);
+    blocks += ev.run_blocks * phase.repeat;
+  }
+  trace.phases.push_back(std::move(phase));
+  const std::vector<storage::NodeId> io{topo.io_node_of(0)};
+  for (auto _ : state) {
+    storage::HierarchySimulator sim(topo, storage::PolicyKind::kLruInclusive,
+                                    io);
+    sim.set_extent_batching(extents);
+    benchmark::DoNotOptimize(sim.run(trace));
+  }
+  state.SetItemsProcessed(state.iterations() * blocks);
+}
+BENCHMARK(BM_ExtentSimulationStreaming)->Arg(0)->Arg(1);
 
 }  // namespace
 

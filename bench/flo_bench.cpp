@@ -19,6 +19,7 @@
 
 #include "bench/scenario.hpp"
 #include "obs/sink.hpp"
+#include "util/json.hpp"
 
 namespace {
 
@@ -74,7 +75,8 @@ void write_rows_csv(std::ostream& os, const std::vector<MetricRow>& rows) {
 
 void write_rows_jsonl(std::ostream& os, const std::vector<MetricRow>& rows) {
   for (const auto& row : rows) {
-    os << "{\"scenario\":\"" << row.scenario << "\",\"key\":\"" << row.key
+    os << "{\"scenario\":\"" << flo::util::json_escape(row.scenario)
+       << "\",\"key\":\"" << flo::util::json_escape(row.key)
        << "\",\"value\":" << format_value(row.value) << "}\n";
   }
 }

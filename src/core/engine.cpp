@@ -1,5 +1,6 @@
 #include "core/engine.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -13,7 +14,9 @@
 #include <sstream>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 
+#include "ir/printer.hpp"
 #include "obs/span.hpp"
 #include "storage/policy.hpp"
 #include "util/atomic_file.hpp"
@@ -122,15 +125,28 @@ std::uint64_t fnv1a(const std::string& bytes) {
   return h;
 }
 
-/// Journal identity of a cell: the label plus every config field that can
-/// influence its result. Unlike compile_key it must be stable across
-/// processes, so the program is identified by the job label (grids give
-/// every cell a unique label), never by pointer.
-std::string journal_key(const ExperimentJob& job) {
+std::string hex16(std::uint64_t value) {
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(value));
+  return std::string(hex);
+}
+
+/// Journal identity of a cell: the label, the program's CONTENT
+/// fingerprint, and every config field that can influence its result.
+/// Unlike compile_key it must be stable across processes, so the program
+/// is identified by its printed IR (hashed by the caller, cached per
+/// instance), never by pointer. Keying on content and not just the label
+/// is what makes resume safe: editing a program between runs changes its
+/// cells' keys, so a stale journal can no longer masquerade as completed
+/// work under an unchanged label.
+std::string journal_key(const ExperimentJob& job,
+                        std::uint64_t program_fingerprint) {
   std::string bytes;
   bytes.reserve(256 + job.label.size());
   bytes.append(job.label);
   bytes.push_back('\0');
+  append_value(bytes, program_fingerprint);
   append_value(bytes, job.config.threads);
   append_value(bytes, job.config.mapping);
   append_value(bytes, job.config.policy);
@@ -142,10 +158,7 @@ std::string journal_key(const ExperimentJob& job) {
   if (job.config.compile_topology) {
     append_topology(bytes, *job.config.compile_topology);
   }
-  char hex[17];
-  std::snprintf(hex, sizeof(hex), "%016llx",
-                static_cast<unsigned long long>(fnv1a(bytes)));
-  return std::string(hex);
+  return hex16(fnv1a(bytes));
 }
 
 using CompiledPtr = std::shared_ptr<const CompiledExperiment>;
@@ -198,24 +211,52 @@ class CompileCache {
 
 // --- checkpoint journal ----------------------------------------------------
 // Text file, one completed cell per line after a version-tag header:
-//   flo-journal-v1
+//   flo-journal-v2 <grid-hash>
 //   <key> <profiler_runs> sim-v1 <SimulationResult wire fields>
-// where <key> is the 16-hex-digit journal_key. Every update rewrites the
-// whole file through atomic_write_file (tmp + fsync + rename), so a kill at
-// any instant leaves either the previous or the new journal — never a
-// truncated one. Unparseable files or lines are treated as absent cells
-// (the run recomputes them) rather than errors.
+// where <key> is the 16-hex-digit journal_key and <grid-hash> fingerprints
+// the sorted key set of the grid that wrote the file. Every update rewrites
+// the whole file through atomic_write_file (tmp + fsync + rename), so a
+// kill at any instant leaves either the previous or the new journal —
+// never a truncated one.
+//
+// Resume safety: a journal whose grid hash differs from the current grid's
+// is accepted only when every journaled key still names a current cell
+// (the grid grew — the classic extend-the-sweep resume). Any journaled key
+// with no current counterpart means the journal belongs to a different
+// experiment (or to edited programs: keys fingerprint program content), and
+// the load REFUSES with a diagnostic instead of silently resuming from
+// stale results. v1 journals predate content fingerprints and are refused
+// outright for the same reason. Files that are not journals at all (no
+// flo-journal- header) and unparseable cell lines are still treated as
+// absent cells — the run recomputes them.
 
-constexpr const char* kJournalTag = "flo-journal-v1";
+constexpr const char* kJournalTag = "flo-journal-v2";
+constexpr const char* kJournalTagV1 = "flo-journal-v1";
+constexpr const char* kJournalPrefix = "flo-journal-";
 
 class Journal {
  public:
-  explicit Journal(std::string path) : path_(std::move(path)) {
+  Journal(std::string path, std::string grid_hash,
+          const std::unordered_set<std::string>& current_keys)
+      : path_(std::move(path)), grid_hash_(std::move(grid_hash)) {
     if (path_.empty()) return;
     std::ifstream in(path_);
     if (!in) return;
     std::string line;
-    if (!std::getline(in, line) || line != kJournalTag) return;
+    if (!std::getline(in, line)) return;
+    std::istringstream header(line);
+    std::string tag;
+    std::string stored_hash;
+    header >> tag >> stored_hash;
+    if (tag.rfind(kJournalPrefix, 0) != 0) return;  // not a journal: absent
+    if (tag != kJournalTag) {
+      throw std::runtime_error(
+          "checkpoint journal \"" + path_ + "\": unsupported format \"" + tag +
+          "\" (expected " + kJournalTag +
+          "); it predates program-content fingerprinting, so resuming from "
+          "it could restore results of a different program — delete the "
+          "file or point the journal path elsewhere to start fresh");
+    }
     while (std::getline(in, line)) {
       std::istringstream is(line);
       std::string key;
@@ -228,6 +269,21 @@ class Journal {
       if (!sim) continue;
       cells_[key] = {profiler_runs, *sim};
       lines_[key] = line;
+    }
+    if (stored_hash == grid_hash_) return;
+    // Different grid: resumable only if every journaled cell still exists
+    // in the current grid (pure extension). A foreign key means a stale or
+    // mismatched journal — refuse loudly rather than resume wrongly.
+    for (const auto& [key, cell] : cells_) {
+      if (current_keys.count(key) != 0) continue;
+      throw std::runtime_error(
+          "checkpoint journal \"" + path_ + "\": grid mismatch (journal " +
+          (stored_hash.empty() ? std::string("<no hash>") : stored_hash) +
+          ", current grid " + grid_hash_ + "); journaled cell " + key +
+          " does not correspond to any cell of this grid — the journal "
+          "belongs to a different experiment or to since-edited programs. "
+          "Delete the file or point the journal path elsewhere to start "
+          "fresh");
     }
   }
 
@@ -255,6 +311,8 @@ class Journal {
     const std::lock_guard<std::mutex> lock(mutex_);
     lines_[key] = line.str();
     std::string contents(kJournalTag);
+    contents.push_back(' ');
+    contents.append(grid_hash_);
     contents.push_back('\n');
     // std::map iteration keeps the file content independent of worker
     // scheduling (byte-identical journals across runs).
@@ -268,6 +326,7 @@ class Journal {
 
  private:
   std::string path_;
+  std::string grid_hash_;
   std::unordered_map<std::string, std::string> lines_;
   std::unordered_map<std::string,
                      std::pair<std::uint64_t, storage::SimulationResult>>
@@ -404,7 +463,35 @@ std::vector<JobResult> ExperimentEngine::run_guarded(
   std::vector<JobResult> results(jobs.size());
   if (jobs.empty()) return results;
 
-  Journal journal(options_.journal_path);
+  // Journal keys — and the grid hash binding a journal file to this job
+  // set — are computed up front. The program-content fingerprint is cached
+  // per distinct program instance (grids share a handful of programs
+  // across many cells).
+  std::vector<std::string> keys;
+  std::string grid_hash;
+  std::unordered_set<std::string> key_set;
+  if (!options_.journal_path.empty()) {
+    keys.resize(jobs.size());
+    std::unordered_map<const ir::Program*, std::uint64_t> fingerprints;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      const auto [it, fresh] = fingerprints.try_emplace(jobs[i].program, 0);
+      if (fresh && jobs[i].program != nullptr) {
+        it->second = fnv1a(ir::to_pseudocode(*jobs[i].program));
+      }
+      keys[i] = journal_key(jobs[i], it->second);
+      key_set.insert(keys[i]);
+    }
+    std::vector<std::string> sorted(key_set.begin(), key_set.end());
+    std::sort(sorted.begin(), sorted.end());
+    std::string bytes;
+    bytes.reserve(sorted.size() * 17);
+    for (const auto& k : sorted) {
+      bytes.append(k);
+      bytes.push_back('\n');
+    }
+    grid_hash = hex16(fnv1a(bytes));
+  }
+  Journal journal(options_.journal_path, grid_hash, key_set);
   // The cache is heap-shared so attempt threads abandoned by a timeout can
   // keep using it safely after the grid (and this frame) are gone.
   auto cache = std::make_shared<CompileCache>();
@@ -426,8 +513,7 @@ std::vector<JobResult> ExperimentEngine::run_guarded(
       }
       const ExperimentJob& job = jobs[i];
       JobResult& out = results[i];
-      const std::string key =
-          journal.enabled() ? journal_key(job) : std::string();
+      const std::string key = journal.enabled() ? keys[i] : std::string();
       if (journal.enabled() && journal.restore(key, out)) {
         out.from_journal = true;
         if (tracing) {

@@ -65,9 +65,16 @@ struct EngineOptions {
   /// Checkpoint journal path; empty = no journal. Completed cells are
   /// streamed to this file (atomic tmp+rename on every update); a rerun
   /// pointed at the same journal skips cells already recorded, restoring
-  /// their results bit-exactly. Only the simulation half is journaled:
-  /// resumed cells carry an empty transform plan (ExperimentResult::plan),
-  /// which no grid consumer inspects.
+  /// their results bit-exactly. Cell keys fingerprint the program CONTENT
+  /// (printed IR) plus the full config, and the file header carries a hash
+  /// of the whole grid's key set: a journal from a different grid is
+  /// accepted only when it is a pure subset of the current one (a grown
+  /// sweep resuming), and otherwise — edited programs, a foreign
+  /// experiment, a pre-v2 journal — run_guarded throws std::runtime_error
+  /// with a diagnostic naming the file, instead of silently resuming from
+  /// stale results. Only the simulation half is journaled: resumed cells
+  /// carry an empty transform plan (ExperimentResult::plan), which no grid
+  /// consumer inspects.
   std::string journal_path;
   /// Test hook: when set, replaces the compile+simulate step entirely.
   /// Used by the fault-tolerance tests to inject crashing/hanging cells.

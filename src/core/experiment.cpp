@@ -66,8 +66,12 @@ storage::SimulationResult simulate(const ir::Program& program,
     return simulator.run(trace);
   }
 
+  // Extent emission follows the FLO_EXTENTS knob: the expanded stream is
+  // identical, so this only selects the simulator's batched fast path.
+  trace::TraceOptions trace_options;
+  trace_options.emit_extents = storage::extents_enabled();
   const trace::StreamingTraceSource source(program, schedule, layouts,
-                                           topology);
+                                           topology, trace_options);
   // The streaming profiling pass regenerates the trace (CPU for memory);
   // the hints are identical to the eager ones.
   if (karma) hints = trace::profile_range_hints(source, segment);

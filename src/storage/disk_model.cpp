@@ -35,6 +35,20 @@ double DiskArray::service(NodeId disk, std::uint64_t lba) {
   return t;
 }
 
+double DiskArray::service_run(NodeId disk, std::uint64_t lba,
+                              std::uint32_t run_blocks) {
+  if (run_blocks == 0) return 0.0;
+  // First block pays the positioning cost; every later block is adjacent
+  // to the new head (distance 1 -> zero seek, zero rotation), i.e. exactly
+  // what per-block service() charges once the head is in place. Summation
+  // order matches the per-block loop for bitwise-equal totals.
+  double total = service(disk, lba);
+  for (std::uint32_t i = 1; i < run_blocks; ++i) {
+    total += service(disk, lba + i);
+  }
+  return total;
+}
+
 double DiskArray::peek_service(NodeId disk, std::uint64_t lba) const {
   const double seek = seek_time(head_.at(disk), lba);
   // Sequential reads (head already positioned) skip the rotational wait:
@@ -45,6 +59,13 @@ double DiskArray::peek_service(NodeId disk, std::uint64_t lba) const {
 
 void DiskArray::advance_head(NodeId disk, std::uint64_t lba) {
   head_.at(disk) = lba;
+}
+
+void DiskArray::note_sequential_reads(NodeId disk, std::uint64_t last_lba,
+                                      std::uint64_t count) {
+  if (count == 0) return;
+  head_.at(disk) = last_lba;
+  reads_ += count;
 }
 
 void DiskArray::reset() {

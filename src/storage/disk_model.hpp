@@ -24,8 +24,30 @@ class DiskArray {
   /// Service time (s) for reading `lba` on `disk`; advances the head.
   double service(NodeId disk, std::uint64_t lba);
 
+  /// Service time (s) for the sequential extent [lba, lba + run_blocks):
+  /// seek + rotation once to reach `lba`, then the remaining blocks stream
+  /// under the head at transfer rate. Advances the head to the last block
+  /// and counts run_blocks reads. The total is accumulated exactly as
+  /// run_blocks successive service() calls would compute it, so extent and
+  /// per-block simulations report bit-identical times.
+  double service_run(NodeId disk, std::uint64_t lba, std::uint32_t run_blocks);
+
   /// Peeks the would-be service time without moving the head.
   double peek_service(NodeId disk, std::uint64_t lba) const;
+
+  /// Service time of a read with the head already in position (distance
+  /// <= 1): pure transfer, zero seek and rotation. Bitwise-equal to what
+  /// service() returns in that case, so callers streaming a long run can
+  /// charge this constant per block instead of re-deriving it.
+  double sequential_transfer() const { return transfer_time_; }
+
+  /// Settles the bookkeeping for `count` sequential reads on `disk` whose
+  /// times the caller already charged via sequential_transfer(): moves the
+  /// head to `last_lba` (the final block of the run) and counts the reads,
+  /// leaving the array in exactly the state the equivalent service() calls
+  /// would.
+  void note_sequential_reads(NodeId disk, std::uint64_t last_lba,
+                             std::uint64_t count);
 
   /// Moves the head without charging service time (readahead staging
   /// physically streams the blocks while the disk is already positioned).

@@ -22,6 +22,26 @@ bool LruCache::touch(BlockKey key) {
   return true;
 }
 
+std::uint32_t LruCache::resident_run(BlockKey key,
+                                     std::uint32_t max_blocks) const {
+  const std::uint64_t base = key.packed();
+  std::uint32_t n = 0;
+  while (n < max_blocks && map_.find(base + n) != map_.end()) ++n;
+  return n;
+}
+
+std::uint32_t LruCache::touch_run(BlockKey key, std::uint32_t max_blocks) {
+  const std::uint64_t base = key.packed();
+  std::uint32_t n = 0;
+  while (n < max_blocks) {
+    const auto it = map_.find(base + n);
+    if (it == map_.end()) break;
+    order_.splice(order_.begin(), order_, it->second);
+    ++n;
+  }
+  return n;
+}
+
 std::optional<BlockKey> LruCache::insert(BlockKey key) {
   if (touch(key)) return std::nullopt;
   order_.push_front(key.packed());

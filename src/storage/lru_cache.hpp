@@ -43,6 +43,21 @@ class LruCache {
   /// If resident, promotes to MRU and returns true.
   bool touch(BlockKey key);
 
+  /// Longest resident prefix of the run [key, key + max_blocks): stops at
+  /// the first non-resident block. Does NOT update recency — the extent
+  /// fast path probes first so it can bound a run by the scheduler budget
+  /// before committing any recency changes.
+  std::uint32_t resident_run(BlockKey key, std::uint32_t max_blocks) const;
+
+  /// Promotes blocks key, key+1, ..., key+n-1 to MRU exactly as n
+  /// successive touch() calls would (final recency order: key+n-1 most
+  /// recent), stopping at the first non-resident block; returns the number
+  /// promoted. One call services a whole sequential extent: the per-block
+  /// cost is a single hash probe plus a list splice, with the dispatch,
+  /// scheduler, and cursor overheads of the per-block path paid once per
+  /// extent instead of once per block.
+  std::uint32_t touch_run(BlockKey key, std::uint32_t max_blocks);
+
   /// Inserts at MRU; returns the evicted key if capacity was exceeded.
   /// Inserting a resident key just promotes it (returns nullopt).
   std::optional<BlockKey> insert(BlockKey key);

@@ -68,6 +68,18 @@ bool MqCache::touch(BlockKey key) {
   return true;
 }
 
+std::uint32_t MqCache::touch_run(BlockKey key, std::uint32_t max_blocks) {
+  // MQ's clock and expiry demotion advance per reference, so a run is
+  // genuinely n sequential touches — the saving is call/dispatch overhead,
+  // not algorithmic work.
+  std::uint32_t n = 0;
+  while (n < max_blocks &&
+         touch({key.file, key.block + n})) {
+    ++n;
+  }
+  return n;
+}
+
 std::optional<BlockKey> MqCache::insert(BlockKey key) {
   if (touch(key)) return std::nullopt;  // resident: counted as a reference
   const std::uint64_t packed = key.packed();

@@ -39,6 +39,12 @@ class MqCache {
   /// Resident-block reference: bumps the frequency, requeues, returns true.
   bool touch(BlockKey key);
 
+  /// References blocks key, key+1, ..., stopping at the first non-resident
+  /// block or after max_blocks; returns the number touched. Equivalent to
+  /// that many successive touch() calls (each advances the logical clock
+  /// and runs expiry adjustment), so extent-path results match per-block.
+  std::uint32_t touch_run(BlockKey key, std::uint32_t max_blocks);
+
   /// Inserts a missing block (ghost-queue frequency restored if present);
   /// returns the evicted block if capacity was exceeded.
   std::optional<BlockKey> insert(BlockKey key);

@@ -292,6 +292,131 @@ double HierarchySimulator::storage_level(BlockKey key, double now,
   return t;
 }
 
+std::uint32_t HierarchySimulator::service_extent_bulk(
+    std::uint32_t thread, AccessEvent& ev, double& now, double& busy,
+    const ScheduleQueue& queue, SimulationResult& result) {
+  if (!extent_batching_ || ev.run_blocks <= 1) return 0;
+  const auto& cfg = topology_.config();
+  // Anything that makes per-block behaviour state-dependent in ways a run
+  // cannot batch — fault decision streams, KARMA range classes, dirty-bit
+  // marking, a deferred write-back charge pending against the next
+  // request — falls back to the per-block reference.
+  if (faults_.enabled() || policy_ == PolicyKind::kKarma ||
+      (cfg.model_writes && ev.is_write) || pending_writeback_cost_ > 0) {
+    return 0;
+  }
+  // Scheduler budget: the thread keeps servicing blocks inline only while
+  // it would still be popped next, i.e. (clock, id) stays strictly below
+  // the queue's minimum. The queue is untouched during the run, so its top
+  // is a constant bound.
+  const bool bounded = !queue.empty();
+  const double bound_when = bounded ? queue.top().first : 0.0;
+  const std::uint32_t bound_thread = bounded ? queue.top().second : 0;
+  const auto within_budget = [&](double at) {
+    return !bounded || at < bound_when ||
+           (at == bound_when && thread < bound_thread);
+  };
+
+  if (cfg.io_cache_enabled) {
+    // Run of I/O-cache hits, promoted block by block as each is serviced
+    // (exactly what per-block service() does on a hit), so a budget cut or
+    // a mid-run miss leaves the cache as the reference path would. Each
+    // block is charged what service() charges an I/O hit, accumulated
+    // block by block so the clocks match the reference bit for bit. The
+    // touch doubles as the residency probe: one map find per serviced
+    // block, none wasted when the budget cuts the run short.
+    LruCache& cache = io_caches_[io_node_of_thread_[thread]];
+    double per = cfg.latency.cpu_per_element *
+                 static_cast<double>(ev.element_count);
+    per += network_.compute_io_hop();
+    per += cfg.latency.io_cache_hit;
+    std::uint32_t m = 0;
+    for (;;) {
+      if (!cache.touch({ev.file, ev.block + m})) break;  // miss ends the run
+      now += per;
+      busy += per;
+      ++m;
+      if (m == ev.run_blocks || !within_budget(now)) break;
+    }
+    if (m == 0) return 0;
+    result.accesses += m;
+    result.elements += ev.element_count * m;
+    result.io.lookups += m;
+    result.io.hits += m;
+    ev.block += m;
+    ev.run_blocks -= m;
+    return m;
+  }
+
+  if (!cfg.storage_cache_enabled) {
+    // Cache-less hierarchy: the run streams straight off the disks.
+    // Stream-detector bookkeeping is skipped: with the storage cache
+    // disabled it can never stage a block or alter any charged time.
+    //
+    // Round-robin striping sends consecutive blocks to consecutive nodes,
+    // with per-node LBAs one apart — so once the first `cycle` blocks have
+    // positioned every disk, each remaining block costs hop + pure
+    // transfer, the identical double every time. The steady loop charges
+    // that constant per block (the same adds in the same order as the
+    // reference), then settles heads and read counts in one pass per disk.
+    double t1 = cfg.latency.cpu_per_element *
+                static_cast<double>(ev.element_count);
+    t1 += network_.compute_io_hop();
+    const std::uint32_t cycle =
+        static_cast<std::uint32_t>(striping_.storage_nodes());
+    std::uint32_t m = 0;
+    bool more = true;
+    for (;;) {  // position each disk in the stripe cycle once
+      const BlockKey key{ev.file, ev.block + m};
+      const NodeId node = striping_.storage_node_of(key);
+      double t2 = network_.io_storage_hop();
+      t2 += disks_.service(node, striping_.lba_of(key));
+      const double dt = t1 + t2;
+      now += dt;
+      busy += dt;
+      ++m;
+      if (m == ev.run_blocks || !within_budget(now)) {
+        more = false;
+        break;
+      }
+      if (m >= cycle) break;
+    }
+    if (more) {
+      double t2 = network_.io_storage_hop();
+      t2 += disks_.sequential_transfer();
+      const double dt = t1 + t2;
+      const std::uint32_t start = m;
+      for (;;) {
+        now += dt;
+        busy += dt;
+        ++m;
+        if (m == ev.run_blocks || !within_budget(now)) break;
+      }
+      const std::uint64_t first = ev.block + start;
+      const std::uint32_t len = m - start;
+      const std::uint32_t full = len / cycle;
+      const std::uint32_t rem = len % cycle;
+      const std::uint32_t phase = static_cast<std::uint32_t>(first % cycle);
+      for (std::uint32_t d = 0; d < cycle; ++d) {
+        const std::uint32_t offset = (d + cycle - phase) % cycle;
+        const std::uint32_t count = full + (offset < rem ? 1u : 0u);
+        if (count == 0) continue;
+        const std::uint64_t last =
+            first + offset + (count - 1ull) * cycle;
+        disks_.note_sequential_reads(
+            static_cast<NodeId>(d), striping_.lba_of({ev.file, last}), count);
+      }
+    }
+    result.accesses += m;
+    result.elements += ev.element_count * m;
+    result.disk_reads += m;
+    ev.block += m;
+    ev.run_blocks -= m;
+    return m;
+  }
+  return 0;
+}
+
 double HierarchySimulator::service(std::uint32_t thread, double now,
                                    const AccessEvent& event,
                                    SimulationResult& result) {
@@ -445,10 +570,11 @@ SimulationResult HierarchySimulator::run(const TraceSource& source) {
       // Min-clock-first scheduling with thread id tiebreak: deterministic
       // and approximates concurrent execution against the shared caches.
       // Each thread holds exactly one buffered event (`pending`); resident
-      // trace state is O(threads) regardless of trace length.
-      using Entry = std::pair<double, std::uint32_t>;
-      std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>
-          queue;
+      // trace state is O(threads) regardless of trace length. Multi-block
+      // extents (AccessEvent::run_blocks) are split here: every block is
+      // one scheduling step, so interleaving against other threads is
+      // identical to a per-block event stream.
+      ScheduleQueue queue;
       std::vector<std::unique_ptr<ThreadCursor>> cursors;
       cursors.reserve(streams);
       std::vector<AccessEvent> pending(streams);
@@ -459,12 +585,34 @@ SimulationResult HierarchySimulator::run(const TraceSource& source) {
       while (!queue.empty()) {
         const auto [when, t] = queue.top();
         queue.pop();
-        const double dt = service(t, when, pending[t], result);
-        clock[t] = when + dt;
-        busy[t] += dt;
-        if (cursors[t]->next(pending[t])) {
-          queue.push({clock[t], t});
+        double now = when;
+        // Inline continuation: keep stepping thread t while it would be
+        // popped next anyway ((clock, id) strictly below the queue's
+        // minimum). This reproduces push-then-pop ordering exactly while
+        // skipping a heap operation per block — and is what lets the
+        // extent fast path run a long resident run in one tight loop.
+        bool finished = false;
+        for (;;) {
+          AccessEvent& ev = pending[t];
+          if (service_extent_bulk(t, ev, now, busy[t], queue, result) == 0) {
+            AccessEvent head = ev;
+            head.run_blocks = 1;
+            const double dt = service(t, now, head, result);
+            now += dt;
+            busy[t] += dt;
+            ++ev.block;
+            // A hand-built run_blocks == 0 event degrades to one block
+            // instead of underflowing the remaining-run counter.
+            if (ev.run_blocks != 0) --ev.run_blocks;
+          }
+          if (ev.run_blocks == 0 && !cursors[t]->next(ev)) {
+            finished = true;
+            break;
+          }
+          if (!queue.empty() && !(ScheduleEntry{now, t} < queue.top())) break;
         }
+        clock[t] = now;
+        if (!finished) queue.push({now, t});
       }
       // Bulk-synchronous barrier between nests / repetitions.
       const double barrier = *std::max_element(clock.begin(), clock.end());

@@ -12,8 +12,10 @@
 
 #include <cstdint>
 #include <optional>
+#include <queue>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "storage/disk_model.hpp"
@@ -48,12 +50,39 @@ class HierarchySimulator {
   /// through MaterializedTraceSource; behaviour is bit-identical).
   SimulationResult run(const TraceProgram& trace);
 
+  /// Extent fast paths on/off (default: the FLO_EXTENTS environment knob,
+  /// on unless set to "0"). Off forces every multi-block event through the
+  /// per-block reference path; results are bit-identical either way — the
+  /// switch exists so the equivalence suite and benchmarks can pin a path.
+  void set_extent_batching(bool enabled) { extent_batching_ = enabled; }
+  bool extent_batching() const { return extent_batching_; }
+
  private:
-  /// Services one request issued by `thread` at virtual time `now` (the
-  /// fault model needs `now` to resolve outage windows); returns elapsed
-  /// seconds.
+  /// Min-clock-first scheduler order: (virtual clock, thread id).
+  using ScheduleEntry = std::pair<double, std::uint32_t>;
+  using ScheduleQueue =
+      std::priority_queue<ScheduleEntry, std::vector<ScheduleEntry>,
+                          std::greater<ScheduleEntry>>;
+
+  /// Services one single-block request (`event.run_blocks` is ignored;
+  /// run() splits extents before calling) issued by `thread` at virtual
+  /// time `now` (the fault model needs `now` to resolve outage windows);
+  /// returns elapsed seconds. This is the golden per-block reference path.
   double service(std::uint32_t thread, double now, const AccessEvent& event,
                  SimulationResult& result);
+
+  /// Extent fast path: services as many leading blocks of `ev` as stay
+  /// within (a) a bulk-eligible flow — a resident I/O-cache run, or a
+  /// cache-less disk stream — and (b) the scheduler budget (the thread
+  /// must remain the strict (clock, id) minimum against `queue`).
+  /// Advances `now`, `busy` and `ev` in place and returns the number of
+  /// blocks consumed; 0 means the head block must take the per-block
+  /// reference path. Charged times and recorded stats are bit-identical
+  /// to servicing each block through service().
+  std::uint32_t service_extent_bulk(std::uint32_t thread, AccessEvent& ev,
+                                    double& now, double& busy,
+                                    const ScheduleQueue& queue,
+                                    SimulationResult& result);
 
   double storage_level(BlockKey key, double now, SimulationResult& result);
 
@@ -114,6 +143,7 @@ class HierarchySimulator {
   /// Per-(node, file) last block index — the readahead stream detector
   /// (real readahead tracks file streams, which survive interleaving).
   std::unordered_map<std::uint64_t, std::uint64_t> stream_pos_;
+  bool extent_batching_ = extents_enabled();
 };
 
 }  // namespace flo::storage

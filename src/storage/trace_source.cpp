@@ -1,8 +1,18 @@
 #include "storage/trace_source.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 
 namespace flo::storage {
+
+bool extents_enabled() {
+  static const bool enabled = [] {
+    const char* env = std::getenv("FLO_EXTENTS");
+    return env == nullptr || std::strcmp(env, "0") != 0;
+  }();
+  return enabled;
+}
 
 namespace {
 

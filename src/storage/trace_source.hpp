@@ -15,17 +15,36 @@
 
 namespace flo::storage {
 
-/// One block request: `element_count` element accesses were coalesced into
-/// this request (they hit the same block back-to-back); the CPU cost is
-/// per element, the cache/disk cost per block request.
+/// One block-request extent: `run_blocks` consecutive blocks starting at
+/// `block`, each of which coalesces `element_count` element accesses (the
+/// CPU cost is per element, the cache/disk cost per block request). The
+/// common case is `run_blocks == 1` — one request for one block; extent
+/// producers (trace/source.cpp with `emit_extents`) run-length-encode
+/// ascending same-count block runs so the simulator can service a whole
+/// sequential run per scheduler step. An extent is *defined* as exactly
+/// the per-block events {file, block + i, element_count, is_write} for
+/// i in [0, run_blocks): expanding it reproduces the reference stream
+/// bit-for-bit, which the extent/per-block equivalence suite enforces.
 struct AccessEvent {
   FileId file = 0;
   std::uint64_t block = 0;
-  std::uint32_t element_count = 1;
+  /// Elements coalesced into EACH block request of the extent. 64-bit:
+  /// a stride-0 innermost dimension coalesces its entire trip count into
+  /// one request, which can exceed 2^32 (tests/trace/source_test.cpp).
+  std::uint64_t element_count = 1;
   bool is_write = false;  ///< consulted only when model_writes is on
+  /// Consecutive blocks in this extent. Declared after is_write so the
+  /// ubiquitous {file, block, count, is_write} aggregate initializers keep
+  /// meaning what they say (run_blocks then defaults to 1).
+  std::uint32_t run_blocks = 1;
 
   friend bool operator==(const AccessEvent&, const AccessEvent&) = default;
 };
+
+/// FLO_EXTENTS switch: extent batching is on by default (the fast path is
+/// bit-identical to the per-block reference); FLO_EXTENTS=0 forces every
+/// producer and the simulator onto the golden per-block path.
+bool extents_enabled();
 
 using ThreadTrace = std::vector<AccessEvent>;
 

@@ -11,6 +11,9 @@ namespace {
 
 /// Streams every (phase, thread, event) triple of `source` through `fn`
 /// once (repeats are NOT expanded; `fn` receives the phase repeat count).
+/// Multi-block extents ARE expanded: `fn` always sees single-block events,
+/// so profiles computed from an extent-emitting source match the per-block
+/// stream exactly (KARMA's range densities depend on this).
 template <typename Fn>
 void for_each_event(const storage::TraceSource& source, Fn&& fn) {
   for (std::size_t p = 0; p < source.phase_count(); ++p) {
@@ -18,7 +21,15 @@ void for_each_event(const storage::TraceSource& source, Fn&& fn) {
     for (std::uint32_t t = 0; t < source.thread_count(); ++t) {
       const auto cursor = source.open(p, t);
       storage::AccessEvent event;
-      while (cursor->next(event)) fn(repeat, t, event);
+      while (cursor->next(event)) {
+        const std::uint32_t run = std::max<std::uint32_t>(event.run_blocks, 1);
+        storage::AccessEvent block = event;
+        block.run_blocks = 1;
+        for (std::uint32_t i = 0; i < run; ++i) {
+          fn(repeat, t, block);
+          ++block.block;
+        }
+      }
     }
   }
 }

@@ -19,6 +19,13 @@ struct TraceOptions {
   /// one I/O per block for a streaming run over it). Disable to stress the
   /// caches with raw per-element requests.
   bool coalesce = true;
+  /// Streaming only: run-length-encode ascending same-count block runs
+  /// into multi-block extents (AccessEvent::run_blocks). The expanded
+  /// stream is bit-identical to the coalesced per-block stream; the
+  /// simulator's extent fast path services whole runs per scheduler step.
+  /// Requires `coalesce`. Ignored by the eager generator, which stays the
+  /// per-block golden reference.
+  bool emit_extents = false;
 };
 
 /// Generates the full trace program: one phase per loop nest (with the

@@ -1,5 +1,6 @@
 #include "trace/source.hpp"
 
+#include <limits>
 #include <stdexcept>
 
 #include "trace/walker.hpp"
@@ -18,12 +19,48 @@ class StreamingCursor final : public storage::ThreadCursor {
   StreamingCursor(const ir::Program& program, const ir::LoopNest& nest,
                   const parallel::BlockDecomposition& decomp,
                   parallel::ThreadId thread, const layout::LayoutMap& layouts,
-                  std::uint64_t block_size, bool coalesce)
+                  std::uint64_t block_size, bool coalesce, bool emit_extents)
       : walker_(program, nest, decomp, thread, layouts, block_size,
                 /*merge_runs=*/coalesce),
-        coalesce_(coalesce) {}
+        coalesce_(coalesce),
+        emit_extents_(emit_extents && coalesce) {}
 
   bool next(storage::AccessEvent& out) override {
+    if (!emit_extents_) return next_block(out);
+    // Extent RLE on top of the coalesced per-block stream: ascending
+    // same-count same-kind block runs fold into one event. Expanding the
+    // extents reproduces the per-block stream exactly, so downstream
+    // per-block splitting is bit-identical to the reference.
+    if (!has_extent_) {
+      if (!next_block(extent_)) return false;
+      has_extent_ = true;
+    }
+    storage::AccessEvent nb;
+    while (next_block(nb)) {
+      if (nb.file == extent_.file &&
+          nb.block == extent_.block + extent_.run_blocks &&
+          nb.element_count == extent_.element_count &&
+          nb.is_write == extent_.is_write &&
+          extent_.run_blocks < std::numeric_limits<std::uint32_t>::max()) {
+        ++extent_.run_blocks;
+      } else {
+        out = extent_;
+        extent_ = nb;
+        return true;
+      }
+    }
+    out = extent_;
+    has_extent_ = false;
+    return true;
+  }
+
+  std::size_t state_bytes() const {
+    return sizeof(*this) - sizeof(walker_) + walker_.state_bytes();
+  }
+
+ private:
+  /// The pre-extent stream: one event per block (the golden reference).
+  bool next_block(storage::AccessEvent& out) {
     if (!has_pending_) {
       if (!walker_.next(pending_)) return false;
       has_pending_ = true;
@@ -49,15 +86,13 @@ class StreamingCursor final : public storage::ThreadCursor {
     return true;
   }
 
-  std::size_t state_bytes() const {
-    return sizeof(*this) - sizeof(walker_) + walker_.state_bytes();
-  }
-
- private:
   ThreadNestWalker walker_;
   bool coalesce_;
+  bool emit_extents_;
   storage::AccessEvent pending_{};
   bool has_pending_ = false;
+  storage::AccessEvent extent_{};
+  bool has_extent_ = false;
 };
 
 }  // namespace
@@ -70,7 +105,8 @@ StreamingTraceSource::StreamingTraceSource(
       schedule_(&schedule),
       layouts_(&layouts),
       block_size_(topology.config().block_size),
-      coalesce_(options.coalesce) {
+      coalesce_(options.coalesce),
+      emit_extents_(options.emit_extents) {
   if (layouts.size() != program.arrays().size()) {
     throw std::invalid_argument("StreamingTraceSource: layouts size mismatch");
   }
@@ -107,14 +143,14 @@ std::unique_ptr<storage::ThreadCursor> StreamingTraceSource::open(
     std::size_t phase, std::uint32_t thread) const {
   return std::make_unique<StreamingCursor>(
       *program_, program_->nests()[phase], schedule_->decomposition(phase),
-      thread, *layouts_, block_size_, coalesce_);
+      thread, *layouts_, block_size_, coalesce_, emit_extents_);
 }
 
 std::size_t StreamingTraceSource::cursor_state_bytes(
     std::size_t phase, std::uint32_t thread) const {
   const StreamingCursor cursor(
       *program_, program_->nests()[phase], schedule_->decomposition(phase),
-      thread, *layouts_, block_size_, coalesce_);
+      thread, *layouts_, block_size_, coalesce_, emit_extents_);
   return cursor.state_bytes();
 }
 

@@ -50,6 +50,7 @@ class StreamingTraceSource final : public storage::TraceSource {
   const layout::LayoutMap* layouts_;
   std::uint64_t block_size_;
   bool coalesce_;
+  bool emit_extents_;
   std::vector<std::uint64_t> file_blocks_;
 };
 

@@ -210,7 +210,10 @@ class ThreadNestWalker {
       }
       if (run > room) run = room;
       if (run > 0) {
-        out.element_count += static_cast<std::uint32_t>(run);
+        // 64-bit: a stride-0 innermost dimension (d == 0) merges its whole
+        // remaining trip count into this one event, which can exceed 2^32;
+        // the old uint32 accumulation silently wrapped.
+        out.element_count += static_cast<std::uint64_t>(run);
         iter_[last] += run;
         rs.state[0] += run * d;
       }

@@ -1,0 +1,17 @@
+// Minimal JSON string escaping, shared by every sink that hand-writes
+// JSON (obs metric/trace sinks, bench row exports). Centralized so hostile
+// names — quotes, backslashes, control characters — cannot corrupt an
+// output document from any one writer.
+#pragma once
+
+#include <string>
+
+namespace flo::util {
+
+/// Escapes `s` for embedding inside a JSON double-quoted string literal:
+/// quote, backslash, and the C0 control range (RFC 8259's mandatory set).
+/// Everything else — including non-ASCII bytes — passes through untouched
+/// (the sinks emit UTF-8 as-is).
+std::string json_escape(const std::string& s);
+
+}  // namespace flo::util

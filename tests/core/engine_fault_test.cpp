@@ -193,6 +193,56 @@ TEST(EngineFaultToleranceTest, JournalResumeSkipsCompletedCells) {
   std::remove(journal.c_str());
 }
 
+TEST(EngineFaultToleranceTest, StaleJournalFromChangedProgramIsRefused) {
+  // The seed bug this guards against: journal cells were keyed by label
+  // alone, so editing a workload and resuming silently served results of
+  // the OLD program. Keys now carry a program-content fingerprint and the
+  // header a grid hash; a label whose program changed no longer matches
+  // any current cell, and the resume is refused loudly.
+  const auto before = tiny_program(32);
+  const auto after = tiny_program(16);  // same label, different content
+  ExperimentConfig base;
+  const std::string journal = temp_journal("stale");
+  std::remove(journal.c_str());
+  EngineOptions options;
+  options.workers = 1;
+  options.journal_path = journal;
+  const auto first =
+      ExperimentEngine(options).run_guarded({{"cell", &before, base}});
+  ASSERT_FALSE(first[0].failed);
+  try {
+    ExperimentEngine(options).run_guarded({{"cell", &after, base}});
+    FAIL() << "stale journal was accepted";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("grid mismatch"), std::string::npos) << what;
+    EXPECT_NE(what.find(journal), std::string::npos) << what;
+  }
+  std::remove(journal.c_str());
+}
+
+TEST(EngineFaultToleranceTest, JournalV1FormatRefusedWithDiagnostic) {
+  const auto p = tiny_program();
+  ExperimentConfig base;
+  const std::string journal = temp_journal("v1");
+  {
+    std::ofstream out(journal);
+    out << "flo-journal-v1\n";
+  }
+  EngineOptions options;
+  options.workers = 1;
+  options.journal_path = journal;
+  try {
+    ExperimentEngine(options).run_guarded({{"cell", &p, base}});
+    FAIL() << "v1 journal was accepted";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unsupported format"), std::string::npos) << what;
+    EXPECT_NE(what.find(journal), std::string::npos) << what;
+  }
+  std::remove(journal.c_str());
+}
+
 TEST(EngineFaultToleranceTest, JournalSurvivesUnparseableFile) {
   const auto p = tiny_program();
   ExperimentConfig base;

@@ -210,6 +210,60 @@ TEST(StreamingSourceTest, ResidentStateStaysSmallWhereEagerWouldNot) {
   EXPECT_LT(streaming_bytes, kCap);
 }
 
+// Regression: the walker's run merging accumulates element counts in
+// 64 bits. A stride-0 innermost dimension folds its entire trip count into
+// one event; with a trip count above 2^32 the old uint32 accumulation
+// silently wrapped (e.g. 2^32 + 1 became 1), collapsing the simulated
+// compute time of the whole loop.
+TEST(StreamingSourceTest, RunMergeElementCountSurvivesPastUint32) {
+  constexpr std::int64_t kInner = (1ll << 32);  // trip count 2^32 + 1
+  const auto p = ir::ProgramBuilder("p")
+                     .array("A", {4})
+                     .nest("hot", {{0, 3}, {0, kInner}}, 0)
+                     .read("A", {{1, 0}})  // A[i]: inner dim has stride 0
+                     .done()
+                     .build();
+  const parallel::ParallelSchedule schedule(p, 4);
+  const auto layouts = layout::default_layouts(p);
+  const StreamingTraceSource source(p, schedule, layouts, tiny_topology());
+  // Each thread owns one outer iteration: one block, one merged event
+  // covering every inner-loop access.
+  const auto events = collect(source, 0, 0);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].element_count, (1ull << 32) + 1);
+}
+
+// The extent-emitting cursor folds ascending same-block runs into one
+// event with run_blocks > 1; expanding those extents must reproduce the
+// plain coalesced stream exactly.
+TEST(StreamingSourceTest, ExtentStreamExpandsToCoalescedStream) {
+  const auto p = row_scan_program(16);
+  const parallel::ParallelSchedule schedule(p, 4);
+  const auto layouts = layout::default_layouts(p);
+  const StreamingTraceSource plain(p, schedule, layouts, tiny_topology());
+  TraceOptions options;
+  options.emit_extents = true;
+  const StreamingTraceSource extents(p, schedule, layouts, tiny_topology(),
+                                     options);
+  for (std::uint32_t t = 0; t < 4; ++t) {
+    const auto expected = collect(plain, 0, t);
+    const auto merged = collect(extents, 0, t);
+    // The sequential scan's 8 consecutive blocks fold into one extent.
+    ASSERT_EQ(merged.size(), 1u);
+    EXPECT_EQ(merged[0].run_blocks, 8u);
+    std::vector<storage::AccessEvent> expanded;
+    for (storage::AccessEvent ev : merged) {
+      const std::uint32_t run = ev.run_blocks;
+      ev.run_blocks = 1;
+      for (std::uint32_t i = 0; i < run; ++i) {
+        expanded.push_back(ev);
+        ++ev.block;
+      }
+    }
+    EXPECT_EQ(expanded, expected);
+  }
+}
+
 // Acceptance: the simulator's output under the streaming trace source is
 // bit-identical to the eager path on every existing workload, for both the
 // default and the optimized layouts.

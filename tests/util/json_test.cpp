@@ -1,0 +1,48 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace flo::util {
+namespace {
+
+TEST(JsonEscapeTest, PlainTextPassesThrough) {
+  EXPECT_EQ(json_escape("scenario-a_42.json"), "scenario-a_42.json");
+  EXPECT_EQ(json_escape(""), "");
+}
+
+TEST(JsonEscapeTest, QuotesAndBackslashes) {
+  EXPECT_EQ(json_escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(json_escape("C:\\traces\\run"), "C:\\\\traces\\\\run");
+  EXPECT_EQ(json_escape("\\\""), "\\\\\\\"");
+}
+
+TEST(JsonEscapeTest, CommonControlShortcuts) {
+  EXPECT_EQ(json_escape("line1\nline2"), "line1\\nline2");
+  EXPECT_EQ(json_escape("col\tcol"), "col\\tcol");
+  EXPECT_EQ(json_escape("cr\rlf"), "cr\\rlf");
+}
+
+TEST(JsonEscapeTest, OtherControlsUseUnicodeEscapes) {
+  EXPECT_EQ(json_escape(std::string("\x01", 1)), "\\u0001");
+  EXPECT_EQ(json_escape(std::string("a\x1f" "b")), "a\\u001fb");
+  EXPECT_EQ(json_escape(std::string("nul\0nul", 7)), "nul\\u0000nul");
+}
+
+TEST(JsonEscapeTest, HighBytesAreLeftIntact) {
+  // Non-ASCII UTF-8 needs no escaping per RFC 8259; bytes >= 0x80 must not
+  // be misclassified as controls by a signed-char comparison.
+  const std::string utf8 = "caf\xc3\xa9";
+  EXPECT_EQ(json_escape(utf8), utf8);
+}
+
+TEST(JsonEscapeTest, HostileScenarioNameGolden) {
+  // The kind of name that reaches JSONL sinks via scenario/key fields.
+  const std::string hostile = "evil\"name\\with\nnewline\tand\x02 ctrl";
+  EXPECT_EQ(json_escape(hostile),
+            "evil\\\"name\\\\with\\nnewline\\tand\\u0002 ctrl");
+}
+
+}  // namespace
+}  // namespace flo::util
