@@ -63,7 +63,8 @@ const std::vector<ScenarioSpec>& scenarios();
 const ScenarioSpec* find_scenario(const std::string& name);
 
 /// Shell-style glob over `*` and `?` (no character classes); anchored at
-/// both ends, so "fig7*" matches "fig7a" but not "xfig7a".
+/// both ends, so "fig7*" matches "fig7a" but not "xfig7a". Thin wrapper
+/// over util::glob_match, kept for the alias binaries' existing includes.
 bool glob_match(const std::string& pattern, const std::string& text);
 
 /// Scenarios whose name or any tag matches the glob, in registry order.

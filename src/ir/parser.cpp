@@ -3,6 +3,7 @@
 #include <cctype>
 #include <optional>
 #include <sstream>
+#include <stdexcept>
 #include <vector>
 
 #include "ir/validate.hpp"
@@ -79,16 +80,23 @@ void parse_index_expr(const std::string& expr, std::size_t depth,
         throw ParseError(line, "iterator '" + iter + "' out of range (nest depth " +
                                    std::to_string(depth) + ")");
       }
-      q.at(row, static_cast<std::size_t>(k - 1)) =
-          linalg::checked_add(q.at(row, static_cast<std::size_t>(k - 1)),
-                              linalg::checked_mul(sign, coeff));
+      try {
+        q.at(row, static_cast<std::size_t>(k - 1)) =
+            linalg::checked_add(q.at(row, static_cast<std::size_t>(k - 1)),
+                                linalg::checked_mul(sign, coeff));
+      } catch (const std::overflow_error&) {
+        throw ParseError(line, "coefficient overflows in '" + expr + "'");
+      }
     } else {
       if (star != std::string::npos) {
         throw ParseError(line, "constant term with '*' in '" + term + "'");
       }
-      offset = linalg::checked_add(offset,
-                                   linalg::checked_mul(sign,
-                                                       parse_int(iter, line)));
+      try {
+        offset = linalg::checked_add(
+            offset, linalg::checked_mul(sign, parse_int(iter, line)));
+      } catch (const std::overflow_error&) {
+        throw ParseError(line, "constant term overflows in '" + expr + "'");
+      }
     }
   }
 }
@@ -206,9 +214,13 @@ Program parse_program(const std::string& text) {
         extents.push_back(parse_int(tokens[i], line_no));
       }
       try {
-        program.add_array(ArrayDecl(tokens[1], poly::DataSpace(extents)));
+        ArrayDecl decl(tokens[1], poly::DataSpace(extents));
+        (void)decl.byte_size();  // reject extents whose product overflows
+        program.add_array(std::move(decl));
       } catch (const std::invalid_argument& err) {
         throw ParseError(line_no, err.what());
+      } catch (const std::overflow_error&) {
+        throw ParseError(line_no, "array byte size overflows");
       }
     } else if (head == "nest") {
       if (nest) throw ParseError(line_no, "nested 'nest' blocks");
@@ -225,6 +237,11 @@ Program parse_program(const std::string& text) {
           pending.parallel = static_cast<std::size_t>(k - 1);
         } else if (auto r = keyword_value(tokens[i], "repeat")) {
           pending.repeat = parse_int(*r, line_no);
+          // Downstream phase_repeat is a uint32; a zero/negative repeat
+          // would silently wrap to ~2^32 phase repetitions.
+          if (pending.repeat < 1) {
+            throw ParseError(line_no, "repeat must be >= 1");
+          }
         } else {
           throw ParseError(line_no, "unknown nest option '" + tokens[i] + "'");
         }
@@ -247,6 +264,14 @@ Program parse_program(const std::string& text) {
       if (bound.upper < bound.lower) {
         throw ParseError(line_no, "empty loop range");
       }
+      try {
+        // trip_count computes upper - lower + 1 unchecked; a range like
+        // INT64_MIN..INT64_MAX would be signed-overflow UB downstream.
+        (void)linalg::checked_add(
+            linalg::checked_sub(bound.upper, bound.lower), 1);
+      } catch (const std::overflow_error&) {
+        throw ParseError(line_no, "loop range too large");
+      }
       nest->bounds.push_back(bound);
     } else if (head == "read" || head == "write") {
       if (!nest) throw ParseError(line_no, "'" + head + "' outside a nest");
@@ -261,7 +286,14 @@ Program parse_program(const std::string& text) {
   if (nest) throw ParseError(line_no, "unterminated nest (missing '}')");
   if (!have_name) throw ParseError(line_no, "missing 'program' directive");
 
-  const auto issues = validate(program);
+  std::vector<std::string> issues;
+  try {
+    issues = validate(program);
+  } catch (const std::overflow_error& err) {
+    // Corner evaluation or trip-count products on extreme-but-parseable
+    // bounds; surface as a diagnostic instead of leaking the exception.
+    throw ParseError(line_no, std::string("program too large: ") + err.what());
+  }
   if (!issues.empty()) {
     std::string message = "program failed validation:";
     for (const auto& issue : issues) message += "\n  - " + issue;

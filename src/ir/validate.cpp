@@ -1,6 +1,7 @@
 #include "ir/validate.hpp"
 
 #include <sstream>
+#include <stdexcept>
 
 namespace flo::ir {
 
@@ -32,10 +33,27 @@ std::vector<std::string> validate(const Program& program) {
         issues.push_back(where.str() + ": access matrix width != nest depth");
         continue;
       }
-      if (!ref.map.stays_within(nest.iterations(), decl.space())) {
-        issues.push_back(where.str() + ": indexes outside array " +
-                         decl.name() + decl.space().to_string());
+      try {
+        if (!ref.map.stays_within(nest.iterations(), decl.space())) {
+          issues.push_back(where.str() + ": indexes outside array " +
+                           decl.name() + decl.space().to_string());
+        }
+      } catch (const std::overflow_error&) {
+        issues.push_back(where.str() +
+                         ": index computation overflows at a corner");
       }
+    }
+    try {
+      (void)nest.reference_trip_count();
+    } catch (const std::overflow_error&) {
+      issues.push_back("nest '" + nest.name() + "': trip count overflows");
+    }
+  }
+  for (const auto& array : program.arrays()) {
+    try {
+      (void)array.byte_size();
+    } catch (const std::overflow_error&) {
+      issues.push_back("array '" + array.name() + "': byte size overflows");
     }
   }
   return issues;

@@ -1,0 +1,127 @@
+#include "testing/emit.hpp"
+
+#include <sstream>
+
+namespace flo::testing {
+
+namespace {
+
+/// One affine row as the parser's index-expression grammar: signed
+/// `c*ik` / `ik` terms plus a trailing constant; "0" when everything
+/// vanishes.
+std::string render_row(const linalg::IntMatrix& q, std::size_t row,
+                       std::int64_t offset) {
+  std::ostringstream os;
+  bool first = true;
+  for (std::size_t k = 0; k < q.cols(); ++k) {
+    const std::int64_t c = q.at(row, k);
+    if (c == 0) continue;
+    if (c > 0 && !first) os << '+';
+    if (c == -1) {
+      os << '-';
+    } else if (c != 1) {
+      os << c << '*';
+    }
+    os << 'i' << (k + 1);
+    first = false;
+  }
+  if (offset != 0 || first) {
+    if (offset >= 0 && !first) os << '+';
+    os << offset;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string emit_flo(const ir::Program& program) {
+  std::ostringstream os;
+  os << "program " << program.name() << '\n';
+  for (const auto& array : program.arrays()) {
+    os << "array " << array.name();
+    for (std::int64_t extent : array.space().extents()) os << ' ' << extent;
+    os << '\n';
+  }
+  for (const auto& nest : program.nests()) {
+    os << "nest " << nest.name() << " parallel=" << (nest.parallel_dim() + 1)
+       << " repeat=" << nest.repeat() << " {\n";
+    for (std::size_t k = 0; k < nest.depth(); ++k) {
+      const auto& bound = nest.iterations().bound(k);
+      os << "  for i" << (k + 1) << " = " << bound.lower << ".." << bound.upper
+         << '\n';
+    }
+    for (const auto& ref : nest.references()) {
+      os << "  " << (ref.kind == ir::AccessKind::kRead ? "read  " : "write ")
+         << program.array(ref.array).name() << '[';
+      for (std::size_t d = 0; d < ref.map.array_dims(); ++d) {
+        if (d > 0) os << ", ";
+        os << render_row(ref.map.access_matrix(), d, ref.map.offset()[d]);
+      }
+      os << "]\n";
+    }
+    os << "}\n";
+  }
+  return os.str();
+}
+
+std::string first_difference(const ir::Program& a, const ir::Program& b) {
+  std::ostringstream os;
+  if (a.name() != b.name()) {
+    return "program name: '" + a.name() + "' vs '" + b.name() + "'";
+  }
+  if (a.arrays().size() != b.arrays().size()) {
+    os << "array count: " << a.arrays().size() << " vs " << b.arrays().size();
+    return os.str();
+  }
+  for (std::size_t i = 0; i < a.arrays().size(); ++i) {
+    const auto& x = a.arrays()[i];
+    const auto& y = b.arrays()[i];
+    if (x.name() != y.name() || x.space().extents() != y.space().extents() ||
+        x.element_size() != y.element_size()) {
+      os << "array #" << i << ": " << x.to_string() << " vs " << y.to_string();
+      return os.str();
+    }
+  }
+  if (a.nests().size() != b.nests().size()) {
+    os << "nest count: " << a.nests().size() << " vs " << b.nests().size();
+    return os.str();
+  }
+  for (std::size_t n = 0; n < a.nests().size(); ++n) {
+    const auto& x = a.nests()[n];
+    const auto& y = b.nests()[n];
+    if (x.name() != y.name() || x.parallel_dim() != y.parallel_dim() ||
+        x.repeat() != y.repeat() ||
+        x.iterations().bounds().size() != y.iterations().bounds().size()) {
+      os << "nest #" << n << " header differs";
+      return os.str();
+    }
+    for (std::size_t k = 0; k < x.depth(); ++k) {
+      if (x.iterations().bound(k).lower != y.iterations().bound(k).lower ||
+          x.iterations().bound(k).upper != y.iterations().bound(k).upper) {
+        os << "nest #" << n << " loop i" << (k + 1) << " bounds differ";
+        return os.str();
+      }
+    }
+    if (x.references().size() != y.references().size()) {
+      os << "nest #" << n << " reference count: " << x.references().size()
+         << " vs " << y.references().size();
+      return os.str();
+    }
+    for (std::size_t r = 0; r < x.references().size(); ++r) {
+      const auto& p = x.references()[r];
+      const auto& q = y.references()[r];
+      if (p.array != q.array || p.kind != q.kind || !(p.map == q.map)) {
+        os << "nest #" << n << " reference #" << r << ": "
+           << p.map.to_string() << " vs " << q.map.to_string();
+        return os.str();
+      }
+    }
+  }
+  return "";
+}
+
+bool programs_equal(const ir::Program& a, const ir::Program& b) {
+  return first_difference(a, b).empty();
+}
+
+}  // namespace flo::testing

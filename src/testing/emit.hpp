@@ -1,0 +1,30 @@
+// Re-emission of IR programs as parseable `.flo` text, plus structural
+// program equality — together they close the parser round-trip loop
+// (parse(emit(p)) must equal p) and give the shrinker a committed-ready
+// repro format.
+//
+// Unlike ir::to_pseudocode (human-oriented, not parseable), emit_flo
+// produces exactly the grammar of src/ir/parser.hpp. element_size is not
+// expressible in the text format, so programs with non-default element
+// sizes cannot round-trip; the generator only produces the default.
+#pragma once
+
+#include <string>
+
+#include "ir/program.hpp"
+
+namespace flo::testing {
+
+/// Renders `program` in the text format parse_program accepts.
+std::string emit_flo(const ir::Program& program);
+
+/// Structural equality: same arrays (name, extents, element size), same
+/// nests (name, bounds, parallel dim, repeat) and same references (array,
+/// affine map, access kind), in the same order.
+bool programs_equal(const ir::Program& a, const ir::Program& b);
+
+/// First structural difference as a human-readable description; empty when
+/// programs_equal. Used in oracle failure messages.
+std::string first_difference(const ir::Program& a, const ir::Program& b);
+
+}  // namespace flo::testing

@@ -1,0 +1,84 @@
+// Seeded random generation of valid IR programs and storage systems — the
+// input half of the property-based testing subsystem (DESIGN.md §4f).
+//
+// The generator samples the same space the paper's framework handles:
+// rectangular affine loop nests (random depth, bounds and parallel
+// dimension), multi-dimensional disk arrays, and affine access matrices
+// with offsets. Validity is guaranteed *by construction*: references are
+// sampled first with arbitrary small coefficients, then each array's
+// extents are derived from the corner values of every referencing row (and
+// offsets lifted so the minimum index is never negative), so ir::validate
+// accepts every generated program. All randomness flows through util::Rng —
+// the same seed reproduces the same program on any platform.
+#pragma once
+
+#include <cstdint>
+
+#include "ir/program.hpp"
+#include "parallel/thread_mapping.hpp"
+#include "storage/policy.hpp"
+#include "storage/topology.hpp"
+#include "util/rng.hpp"
+
+namespace flo::testing {
+
+struct GeneratorOptions {
+  std::size_t max_arrays = 3;   ///< 1..max arrays
+  std::size_t max_dims = 3;     ///< array rank 1..max
+  std::size_t max_nests = 2;    ///< 1..max loop nests
+  std::size_t max_depth = 3;    ///< nest depth 1..max
+  std::int64_t max_trip = 10;   ///< per-loop trip count 1..max
+  std::size_t max_refs = 3;     ///< references per nest 1..max
+  std::int64_t max_coeff = 2;   ///< |access-matrix coefficient| <= max
+  std::int64_t max_offset = 3;  ///< sampled offset 0..max (before lifting)
+  std::int64_t max_repeat = 2;  ///< nest repeat 1..max
+  bool allow_writes = true;     ///< ~1/4 of references become writes
+  bool allow_negative_lower = true;  ///< loop lower bounds in [-2, 2]
+};
+
+/// Samples a valid program. Throws std::logic_error if the construction
+/// ever produces a program ir::validate rejects (a generator bug).
+ir::Program random_program(util::Rng& rng, const GeneratorOptions& options = {});
+
+/// The "huge-trip" family: a single-reference nest whose innermost
+/// dimension has a trip count in [2^32 + 1, 2^33] and a zero access-matrix
+/// column (stride-0), so the streaming walker's run merging folds more than
+/// 2^32 elements into single events. Walking such a program per element is
+/// infeasible — only closed-form oracles (count conservation, parse
+/// round-trips) may consume it; FuzzCase::huge flags this.
+ir::Program random_huge_trip_program(util::Rng& rng);
+
+struct SystemOptions {
+  std::size_t max_threads = 16;  ///< compute nodes == threads, capped here
+  bool sample_faults = true;     ///< ~1/4 of systems get a seeded FaultPlan
+};
+
+/// One sampled storage system: a small, valid topology (node counts nest,
+/// caches hold at least one block) plus the simulation knobs an experiment
+/// cell needs. threads always equals config.compute_nodes.
+struct SampledSystem {
+  storage::TopologyConfig config;
+  std::size_t threads = 4;
+  storage::PolicyKind policy = storage::PolicyKind::kLruInclusive;
+  parallel::MappingKind mapping = parallel::MappingKind::kIdentity;
+
+  /// Compact one-line description for repro headers and failure logs.
+  std::string describe() const;
+};
+
+SampledSystem random_system(util::Rng& rng, const SystemOptions& options = {});
+
+/// One complete differential-testing case: program + system. `huge` marks
+/// the huge-trip family, whose element count rules out per-element oracles.
+struct FuzzCase {
+  ir::Program program;
+  SampledSystem system;
+  bool huge = false;
+};
+
+/// Samples a full case; `huge` requests the huge-trip program family.
+FuzzCase random_case(util::Rng& rng, bool huge = false,
+                     const GeneratorOptions& options = {},
+                     const SystemOptions& system_options = {});
+
+}  // namespace flo::testing

@@ -1,0 +1,128 @@
+#include "testing/harness.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "testing/emit.hpp"
+#include "testing/generator.hpp"
+#include "testing/oracles.hpp"
+#include "testing/shrinker.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace flo::testing {
+
+namespace {
+
+std::string jsonl_record(const FuzzFailure& f) {
+  std::ostringstream os;
+  os << "{\"iteration\":" << f.iteration << ",\"case_seed\":\"" << f.case_seed
+     << "\",\"oracle\":\"" << util::json_escape(f.oracle) << "\",\"message\":\""
+     << util::json_escape(f.message) << "\",\"repro\":\""
+     << util::json_escape(f.repro) << "\"}";
+  return os.str();
+}
+
+}  // namespace
+
+std::string FuzzReport::summary() const {
+  std::ostringstream os;
+  os << iterations << " cases, " << checks << " oracle checks, " << skipped
+     << " skipped (huge cases), " << failures.size() << " failure"
+     << (failures.size() == 1 ? "" : "s");
+  return os.str();
+}
+
+FuzzReport run_fuzz(const FuzzOptions& options, std::ostream* progress) {
+  const std::vector<const Oracle*> oracles =
+      select_oracles(options.oracle_glob);
+  if (oracles.empty()) {
+    throw std::runtime_error("no oracle matches glob '" + options.oracle_glob +
+                             "'");
+  }
+
+  std::ofstream log;
+  if (!options.log_path.empty()) {
+    log.open(options.log_path, std::ios::trunc);
+    if (!log) {
+      throw std::runtime_error("cannot open failure log '" +
+                               options.log_path + "'");
+    }
+  }
+  if (!options.repro_dir.empty()) {
+    std::filesystem::create_directories(options.repro_dir);
+  }
+
+  FuzzReport report;
+  for (std::size_t iter = 0; iter < options.iters; ++iter) {
+    if (report.failures.size() >= options.max_failures) break;
+    ++report.iterations;
+
+    // Per-iteration seed: decorrelated from neighbours so inserting or
+    // removing an iteration does not shift every later case.
+    std::uint64_t state =
+        options.seed ^ (0x9E3779B97F4A7C15ULL * (iter + 1));
+    const std::uint64_t case_seed = util::splitmix64(state);
+    util::Rng rng(case_seed);
+    const bool huge =
+        options.huge_every != 0 && (iter + 1) % options.huge_every == 0;
+    const FuzzCase fuzz_case = random_case(rng, huge);
+
+    for (const Oracle* oracle : oracles) {
+      if (huge && oracle->element_walk) {
+        ++report.skipped;
+        continue;
+      }
+      ++report.checks;
+      auto failure = run_oracle(*oracle, fuzz_case);
+      if (!failure) continue;
+
+      FuzzFailure record;
+      record.iteration = iter;
+      record.case_seed = case_seed;
+      record.oracle = oracle->name;
+      record.message = *failure;
+      FuzzCase minimized = fuzz_case;
+      if (options.shrink) {
+        ShrinkResult shrunk = shrink_case(*oracle, fuzz_case);
+        if (!shrunk.failure.empty()) {
+          minimized = std::move(shrunk.minimized);
+          record.message = shrunk.failure;
+        }
+      }
+      record.repro =
+          render_repro(*oracle, minimized, case_seed, record.message);
+
+      if (!options.repro_dir.empty()) {
+        const std::string path = options.repro_dir + "/" + oracle->name +
+                                 "_" + std::to_string(case_seed) + ".flo";
+        std::ofstream out(path, std::ios::trunc);
+        out << record.repro;
+        if (out) record.repro_path = path;
+      }
+      if (log.is_open()) {
+        log << jsonl_record(record) << '\n';
+        log.flush();
+      }
+      if (progress != nullptr) {
+        *progress << "FAIL iter=" << iter << " seed=" << case_seed
+                  << " oracle=" << oracle->name << "\n  "
+                  << record.message.substr(0, record.message.find('\n'))
+                  << '\n';
+      }
+      report.failures.push_back(std::move(record));
+      if (report.failures.size() >= options.max_failures) break;
+    }
+
+    if (progress != nullptr && (iter + 1) % 25 == 0) {
+      *progress << "..." << (iter + 1) << "/" << options.iters << " cases, "
+                << report.failures.size() << " failures\n";
+    }
+  }
+  return report;
+}
+
+}  // namespace flo::testing

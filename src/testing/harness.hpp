@@ -1,0 +1,56 @@
+// The fuzzing loop: seeds -> generated cases -> glob-selected oracles ->
+// shrunk repros + JSONL failure log. Deterministic for a fixed (seed,
+// iters, oracle set); the flo_fuzz binary is a thin CLI over run_fuzz.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace flo::testing {
+
+struct FuzzOptions {
+  std::uint64_t seed = 1;
+  std::size_t iters = 100;
+  /// Oracle name glob (util::glob_match); "*" runs the full registry.
+  std::string oracle_glob = "*";
+  /// JSONL failure log path; empty disables logging.
+  std::string log_path;
+  /// Directory for shrunk `.flo` repro files; empty disables them.
+  std::string repro_dir;
+  bool shrink = true;
+  /// Every Nth iteration generates a huge-trip case (inner trip > 2^32,
+  /// checked only by closed-form oracles); 0 disables them.
+  std::size_t huge_every = 8;
+  /// Stop after this many failures (keeps logs bounded on a broken build).
+  std::size_t max_failures = 25;
+};
+
+struct FuzzFailure {
+  std::size_t iteration = 0;
+  std::uint64_t case_seed = 0;
+  std::string oracle;
+  std::string message;     ///< oracle message on the (shrunk) case
+  std::string repro;       ///< committed-ready repro text
+  std::string repro_path;  ///< file written under repro_dir, if any
+};
+
+struct FuzzReport {
+  std::size_t iterations = 0;
+  std::size_t checks = 0;   ///< oracle executions
+  std::size_t skipped = 0;  ///< element-walk oracles skipped on huge cases
+  std::vector<FuzzFailure> failures;
+
+  bool ok() const { return failures.empty(); }
+  std::string summary() const;
+};
+
+/// Runs the loop. Progress lines (one per ~25 iterations plus one per
+/// failure) go to `*progress` when non-null. Never throws for oracle
+/// failures; throws only for harness-level errors (unwritable log path,
+/// no oracle matching the glob).
+FuzzReport run_fuzz(const FuzzOptions& options,
+                    std::ostream* progress = nullptr);
+
+}  // namespace flo::testing

@@ -1,0 +1,334 @@
+#include "testing/shrinker.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "ir/validate.hpp"
+#include "testing/emit.hpp"
+
+namespace flo::testing {
+
+namespace {
+
+// An editable mirror of ir::Program: candidates are produced by mutating
+// this plain-struct form and rebuilding, so every simplification funnels
+// through the same validity gate (IR constructors + ir::validate).
+
+struct EditableRef {
+  std::size_t array = 0;
+  linalg::IntMatrix access;
+  linalg::IntVector offset;
+  ir::AccessKind kind = ir::AccessKind::kRead;
+};
+
+struct EditableNest {
+  std::string name;
+  std::vector<poly::LoopBound> bounds;
+  std::size_t parallel = 0;
+  std::int64_t repeat = 1;
+  std::vector<EditableRef> refs;
+};
+
+struct EditableProgram {
+  std::string name;
+  std::vector<std::string> array_names;
+  std::vector<std::vector<std::int64_t>> extents;
+  std::vector<std::int64_t> element_sizes;
+  std::vector<EditableNest> nests;
+};
+
+EditableProgram decompose(const ir::Program& program) {
+  EditableProgram out;
+  out.name = program.name();
+  for (const auto& array : program.arrays()) {
+    out.array_names.push_back(array.name());
+    out.extents.push_back(array.space().extents());
+    out.element_sizes.push_back(array.element_size());
+  }
+  for (const auto& nest : program.nests()) {
+    EditableNest e;
+    e.name = nest.name();
+    e.bounds = nest.iterations().bounds();
+    e.parallel = nest.parallel_dim();
+    e.repeat = nest.repeat();
+    for (const auto& ref : nest.references()) {
+      e.refs.push_back({ref.array, ref.map.access_matrix(), ref.map.offset(),
+                        ref.kind});
+    }
+    out.nests.push_back(std::move(e));
+  }
+  return out;
+}
+
+std::optional<ir::Program> recompose(const EditableProgram& e) {
+  try {
+    ir::Program program(e.name);
+    for (std::size_t a = 0; a < e.array_names.size(); ++a) {
+      program.add_array(ir::ArrayDecl(e.array_names[a],
+                                      poly::DataSpace(e.extents[a]),
+                                      e.element_sizes[a]));
+    }
+    for (const auto& nest : e.nests) {
+      ir::LoopNest loop(nest.name, poly::IterationSpace(nest.bounds),
+                        nest.parallel, nest.repeat);
+      for (const auto& ref : nest.refs) {
+        loop.add_reference({static_cast<ir::ArrayId>(ref.array),
+                            poly::AffineReference(ref.access, ref.offset),
+                            ref.kind});
+      }
+      program.add_nest(std::move(loop));
+    }
+    if (!ir::validate(program).empty()) return std::nullopt;
+    return program;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+bool array_used(const EditableProgram& e, std::size_t array) {
+  for (const auto& nest : e.nests) {
+    for (const auto& ref : nest.refs) {
+      if (ref.array == array) return true;
+    }
+  }
+  return false;
+}
+
+/// All one-step simplifications of a program, roughly largest cut first.
+std::vector<EditableProgram> program_candidates(const EditableProgram& e) {
+  std::vector<EditableProgram> out;
+
+  if (e.nests.size() > 1) {
+    for (std::size_t n = 0; n < e.nests.size(); ++n) {
+      EditableProgram c = e;
+      c.nests.erase(c.nests.begin() + static_cast<std::ptrdiff_t>(n));
+      out.push_back(std::move(c));
+    }
+  }
+  for (std::size_t n = 0; n < e.nests.size(); ++n) {
+    if (e.nests[n].refs.size() <= 1) continue;
+    for (std::size_t r = 0; r < e.nests[n].refs.size(); ++r) {
+      EditableProgram c = e;
+      c.nests[n].refs.erase(c.nests[n].refs.begin() +
+                            static_cast<std::ptrdiff_t>(r));
+      out.push_back(std::move(c));
+    }
+  }
+  if (e.array_names.size() > 1) {
+    for (std::size_t a = 0; a < e.array_names.size(); ++a) {
+      if (array_used(e, a)) continue;
+      EditableProgram c = e;
+      c.array_names.erase(c.array_names.begin() +
+                          static_cast<std::ptrdiff_t>(a));
+      c.extents.erase(c.extents.begin() + static_cast<std::ptrdiff_t>(a));
+      c.element_sizes.erase(c.element_sizes.begin() +
+                            static_cast<std::ptrdiff_t>(a));
+      for (auto& nest : c.nests) {
+        for (auto& ref : nest.refs) {
+          if (ref.array > a) --ref.array;
+        }
+      }
+      out.push_back(std::move(c));
+    }
+  }
+  for (std::size_t n = 0; n < e.nests.size(); ++n) {
+    const EditableNest& nest = e.nests[n];
+    for (std::size_t k = 0; k < nest.bounds.size(); ++k) {
+      const std::int64_t trip =
+          nest.bounds[k].upper - nest.bounds[k].lower + 1;
+      if (trip > 1) {
+        EditableProgram c = e;  // single-iteration loop
+        c.nests[n].bounds[k].upper = c.nests[n].bounds[k].lower;
+        out.push_back(std::move(c));
+        EditableProgram h = e;  // halved trip
+        h.nests[n].bounds[k].upper = h.nests[n].bounds[k].lower + trip / 2 - 1;
+        out.push_back(std::move(h));
+      }
+      if (nest.bounds[k].lower != 0) {
+        EditableProgram c = e;  // shift the loop to start at zero
+        c.nests[n].bounds[k].upper -= c.nests[n].bounds[k].lower;
+        c.nests[n].bounds[k].lower = 0;
+        out.push_back(std::move(c));
+      }
+    }
+    if (nest.repeat != 1) {
+      EditableProgram c = e;
+      c.nests[n].repeat = 1;
+      out.push_back(std::move(c));
+    }
+    if (nest.parallel != 0) {
+      EditableProgram c = e;
+      c.nests[n].parallel = 0;
+      out.push_back(std::move(c));
+    }
+    for (std::size_t r = 0; r < nest.refs.size(); ++r) {
+      const EditableRef& ref = nest.refs[r];
+      if (ref.kind == ir::AccessKind::kWrite) {
+        EditableProgram c = e;
+        c.nests[n].refs[r].kind = ir::AccessKind::kRead;
+        out.push_back(std::move(c));
+      }
+      for (std::size_t d = 0; d < ref.access.rows(); ++d) {
+        if (ref.offset[d] != 0) {
+          EditableProgram c = e;
+          c.nests[n].refs[r].offset[d] = 0;
+          out.push_back(std::move(c));
+        }
+        for (std::size_t k = 0; k < ref.access.cols(); ++k) {
+          const std::int64_t coeff = ref.access.at(d, k);
+          if (coeff == 0) continue;
+          EditableProgram c = e;  // drop the term
+          c.nests[n].refs[r].access.at(d, k) = 0;
+          out.push_back(std::move(c));
+          if (coeff != 1 && coeff != -1) {  // flatten to unit stride
+            EditableProgram u = e;
+            u.nests[n].refs[r].access.at(d, k) = coeff > 0 ? 1 : -1;
+            out.push_back(std::move(u));
+          }
+        }
+      }
+    }
+  }
+  for (std::size_t a = 0; a < e.extents.size(); ++a) {
+    for (std::size_t d = 0; d < e.extents[a].size(); ++d) {
+      if (e.extents[a][d] > 1) {
+        EditableProgram c = e;
+        c.extents[a][d] = std::max<std::int64_t>(1, e.extents[a][d] / 2);
+        out.push_back(std::move(c));
+        EditableProgram one = e;
+        one.extents[a][d] = 1;
+        out.push_back(std::move(one));
+      }
+    }
+  }
+  return out;
+}
+
+/// Topology/system simplifications; invalid topologies are filtered by a
+/// trial StorageTopology construction.
+std::vector<SampledSystem> system_candidates(const SampledSystem& s) {
+  std::vector<SampledSystem> raw;
+
+  if (s.threads > 1) {
+    SampledSystem c = s;  // collapse to a single node per layer
+    c.config.storage_nodes = 1;
+    c.config.io_nodes = 1;
+    c.config.compute_nodes = 1;
+    c.threads = 1;
+    raw.push_back(c);
+  }
+  if (s.config.compute_nodes > s.config.io_nodes) {
+    SampledSystem c = s;  // one thread per i/o node
+    c.config.compute_nodes = c.config.io_nodes;
+    c.threads = c.config.compute_nodes;
+    raw.push_back(c);
+  }
+  if (s.config.fault.enabled) {
+    SampledSystem c = s;
+    c.config.fault = storage::FaultConfig{};
+    raw.push_back(c);
+  }
+  if (s.config.prefetch_depth != 0) {
+    SampledSystem c = s;
+    c.config.prefetch_depth = 0;
+    raw.push_back(c);
+  }
+  if (s.config.model_writes) {
+    SampledSystem c = s;
+    c.config.model_writes = false;
+    raw.push_back(c);
+  }
+  if (s.policy != storage::PolicyKind::kLruInclusive) {
+    SampledSystem c = s;
+    c.policy = storage::PolicyKind::kLruInclusive;
+    raw.push_back(c);
+  }
+  if (s.mapping != parallel::MappingKind::kIdentity) {
+    SampledSystem c = s;
+    c.mapping = parallel::MappingKind::kIdentity;
+    raw.push_back(c);
+  }
+  if (!s.config.io_cache_enabled || !s.config.storage_cache_enabled) {
+    SampledSystem c = s;
+    c.config.io_cache_enabled = true;
+    c.config.storage_cache_enabled = true;
+    raw.push_back(c);
+  }
+
+  std::vector<SampledSystem> out;
+  for (const SampledSystem& c : raw) {
+    try {
+      const storage::StorageTopology probe(c.config);
+      (void)probe;
+      out.push_back(c);
+    } catch (const std::exception&) {
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ShrinkResult shrink_case(const Oracle& oracle, const FuzzCase& failing,
+                         const ShrinkOptions& options) {
+  ShrinkResult result;
+  result.minimized = failing;
+  const auto initial = run_oracle(oracle, failing);
+  if (!initial) return result;  // not failing: nothing to do
+  result.failure = *initial;
+
+  bool improved = true;
+  while (improved && result.attempts < options.max_attempts) {
+    improved = false;
+    ++result.rounds;
+
+    for (const EditableProgram& candidate :
+         program_candidates(decompose(result.minimized.program))) {
+      if (result.attempts >= options.max_attempts) break;
+      auto rebuilt = recompose(candidate);
+      if (!rebuilt) continue;
+      FuzzCase trial = result.minimized;
+      trial.program = std::move(*rebuilt);
+      ++result.attempts;
+      if (const auto failure = run_oracle(oracle, trial)) {
+        result.minimized = std::move(trial);
+        result.failure = *failure;
+        improved = true;
+        break;  // re-enumerate against the smaller program
+      }
+    }
+    if (improved) continue;
+
+    for (const SampledSystem& candidate :
+         system_candidates(result.minimized.system)) {
+      if (result.attempts >= options.max_attempts) break;
+      FuzzCase trial = result.minimized;
+      trial.system = candidate;
+      ++result.attempts;
+      if (const auto failure = run_oracle(oracle, trial)) {
+        result.minimized = std::move(trial);
+        result.failure = *failure;
+        improved = true;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+std::string render_repro(const Oracle& oracle, const FuzzCase& minimized,
+                         std::uint64_t case_seed, const std::string& failure) {
+  std::ostringstream os;
+  os << "# repro: oracle '" << oracle.name << "' (case seed " << case_seed
+     << ")\n";
+  os << "# system: " << minimized.system.describe() << '\n';
+  std::string first_line = failure.substr(0, failure.find('\n'));
+  if (first_line.size() > 160) first_line = first_line.substr(0, 157) + "...";
+  os << "# failure: " << first_line << '\n';
+  os << emit_flo(minimized.program);
+  return os.str();
+}
+
+}  // namespace flo::testing

@@ -1,0 +1,39 @@
+// Greedy failing-case minimizer. Given a FuzzCase that fails one oracle,
+// repeatedly applies structural simplifications (drop a nest / reference /
+// array, shrink loop trips and repeats, zero offsets, flatten coefficients,
+// simplify the sampled system) and keeps any variant that still fails the
+// same oracle, until a fixpoint or the attempt budget runs out. The result
+// plus emit_flo gives a committed-ready `.flo` repro.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "testing/generator.hpp"
+#include "testing/oracles.hpp"
+
+namespace flo::testing {
+
+struct ShrinkOptions {
+  /// Upper bound on oracle re-executions; shrinking stops when spent.
+  std::size_t max_attempts = 400;
+};
+
+struct ShrinkResult {
+  FuzzCase minimized;
+  std::string failure;       ///< the oracle's message on the minimized case
+  std::size_t attempts = 0;  ///< oracle re-executions spent
+  std::size_t rounds = 0;    ///< greedy passes until fixpoint
+};
+
+/// Minimizes `failing` against `oracle` (which must fail on it; if it does
+/// not, the case is returned unchanged with an empty failure string).
+ShrinkResult shrink_case(const Oracle& oracle, const FuzzCase& failing,
+                         const ShrinkOptions& options = {});
+
+/// Renders a minimized case as a self-contained repro: a comment header
+/// (oracle, seed bookkeeping, system spec) followed by the `.flo` text.
+std::string render_repro(const Oracle& oracle, const FuzzCase& minimized,
+                         std::uint64_t case_seed, const std::string& failure);
+
+}  // namespace flo::testing

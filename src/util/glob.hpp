@@ -1,0 +1,13 @@
+// Shell-style glob matching over `*` and `?` (no character classes),
+// anchored at both ends: "fig7*" matches "fig7a" but not "xfig7a". Shared
+// by the bench scenario registry (`--filter`) and the fuzz harness
+// (`--oracle`) so every user-facing glob behaves identically.
+#pragma once
+
+#include <string>
+
+namespace flo::util {
+
+bool glob_match(const std::string& pattern, const std::string& text);
+
+}  // namespace flo::util

@@ -1,0 +1,101 @@
+// Shrunk fuzzer repros, landed as named regressions. Each case was found
+// by flo_fuzz's parse-total mutation oracle against the pre-hardening
+// parser: the inputs parsed "successfully" into programs that wrapped,
+// overflowed, or leaked non-ParseError exceptions downstream. The parser
+// must reject every one of them with a ParseError diagnostic.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "ir/parser.hpp"
+
+namespace flo::ir {
+namespace {
+
+// Expects `text` to be rejected with a ParseError (never another
+// exception type, never acceptance).
+void expect_parse_error(const std::string& text) {
+  try {
+    (void)parse_program(text);
+    FAIL() << "parser accepted:\n" << text;
+  } catch (const ParseError&) {
+    // expected
+  } catch (const std::exception& err) {
+    FAIL() << "parser leaked " << err.what() << " for:\n" << text;
+  }
+}
+
+// repro: oracle 'parse-total' (case seed 8042142155559163816)
+// LoopNest's ctor threw std::invalid_argument through parse_program;
+// phase_repeat is a uint32, so a negative repeat would wrap to ~2^32.
+TEST(ParserRegress, NegativeRepeatIsParseError) {
+  expect_parse_error(
+      "program fuzz\n"
+      "array B 10\n"
+      "nest n0 parallel=1 repeat=-9223372036854775808 {\n"
+      "  for i1 = 2..4\n"
+      "  write B[2*i1]\n"
+      "}\n");
+}
+
+TEST(ParserRegress, ZeroRepeatIsParseError) {
+  expect_parse_error(
+      "program fuzz\n"
+      "array A 8\n"
+      "nest n parallel=1 repeat=0 {\n"
+      "  for i1 = 0..7\n"
+      "  read A[i1]\n"
+      "}\n");
+}
+
+// A loop whose trip count (upper - lower + 1) overflows int64 reached
+// LoopBound::trip_count(), which computes it unchecked: signed-overflow
+// UB under UBSan, a negative trip in release builds.
+TEST(ParserRegress, TripCountOverflowIsParseError) {
+  expect_parse_error(
+      "program fuzz\n"
+      "array A 8\n"
+      "nest n parallel=1 {\n"
+      "  for i1 = -9223372036854775808..9223372036854775806\n"
+      "  read A[0]\n"
+      "}\n");
+}
+
+// Extents whose byte-size product overflows escaped as
+// std::overflow_error from checked_mul instead of a diagnostic.
+TEST(ParserRegress, ArrayByteSizeOverflowIsParseError) {
+  expect_parse_error(
+      "program fuzz\n"
+      "array A 3037000500 3037000500\n"
+      "nest n parallel=1 {\n"
+      "  for i1 = 0..7\n"
+      "  read A[i1, 0]\n"
+      "}\n");
+}
+
+// Repeated huge coefficients on one iterator overflowed the checked
+// accumulation inside parse_index_expr, leaking std::overflow_error.
+TEST(ParserRegress, CoefficientOverflowIsParseError) {
+  expect_parse_error(
+      "program fuzz\n"
+      "array A 8\n"
+      "nest n parallel=1 {\n"
+      "  for i1 = 0..7\n"
+      "  read A[9223372036854775807*i1+9223372036854775807*i1]\n"
+      "}\n");
+}
+
+// Huge-but-individually-valid bounds made validate()'s corner evaluation
+// overflow (checked_mul inside AffineReference::stays_within).
+TEST(ParserRegress, CornerEvaluationOverflowIsParseError) {
+  expect_parse_error(
+      "program fuzz\n"
+      "array A 8\n"
+      "nest n parallel=1 {\n"
+      "  for i1 = 0..4611686018427387903\n"
+      "  read A[4*i1]\n"
+      "}\n");
+}
+
+}  // namespace
+}  // namespace flo::ir

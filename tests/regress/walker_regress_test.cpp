@@ -1,0 +1,57 @@
+// Shrunk fuzzer repro for the streaming walker's run merging: a stride-0
+// innermost dimension folds its whole remaining trip count into one
+// event, and with an inner trip above 2^32 the old uint32 accumulation
+// silently wrapped (caught by flo_fuzz's count-conservation oracle when
+// the uint64 fix is reverted; case seed 5292580334274787743 shrank to
+// this program). The closed-form element count makes the check O(events),
+// not O(elements), so the 7-billion-iteration nest stays cheap to test.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "ir/parser.hpp"
+#include "layout/canonical.hpp"
+#include "parallel/schedule.hpp"
+#include "storage/topology.hpp"
+#include "trace/source.hpp"
+
+namespace flo {
+namespace {
+
+TEST(WalkerRegress, StrideZeroRunAbove32BitsConservesElementCount) {
+  const ir::Program program = ir::parse_program(
+      "program fuzz_huge\n"
+      "array A 1\n"
+      "nest huge parallel=1 {\n"
+      "  for i1 = 0..0\n"
+      "  for i2 = 0..7228053090\n"
+      "  read A[0]\n"
+      "}\n");
+  constexpr std::uint64_t kExpected = 7228053091ull;  // > 2^32
+
+  storage::TopologyConfig config;
+  config.compute_nodes = 1;
+  config.io_nodes = 1;
+  config.storage_nodes = 1;
+  const storage::StorageTopology topology(config);
+  const parallel::ParallelSchedule schedule(program, 1);
+  const layout::LayoutMap layouts = layout::default_layouts(program);
+
+  for (const bool extents : {false, true}) {
+    trace::TraceOptions options;
+    options.emit_extents = extents;
+    const trace::StreamingTraceSource source(program, schedule, layouts,
+                                             topology, options);
+    const auto cursor = source.open(0, 0);
+    storage::AccessEvent ev;
+    std::uint64_t total = 0;
+    while (cursor->next(ev)) {
+      total += ev.element_count * ev.run_blocks;
+    }
+    EXPECT_EQ(total, kExpected)
+        << "element count wrapped (extents=" << extents << ")";
+  }
+}
+
+}  // namespace
+}  // namespace flo

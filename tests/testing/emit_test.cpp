@@ -1,0 +1,78 @@
+#include "testing/emit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/parser.hpp"
+#include "testing/generator.hpp"
+
+namespace flo::testing {
+namespace {
+
+TEST(Emit, RoundTripsRandomProgramsThroughTheParser) {
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    util::Rng rng(seed);
+    const ir::Program program = random_program(rng);
+    const std::string text = emit_flo(program);
+    ir::Program reparsed;
+    ASSERT_NO_THROW(reparsed = ir::parse_program(text))
+        << "seed " << seed << "\n" << text;
+    EXPECT_EQ(first_difference(program, reparsed), "")
+        << "seed " << seed << "\n" << text;
+  }
+}
+
+TEST(Emit, RendersSignsAndCoefficients) {
+  const ir::Program program = ir::parse_program(
+      "program signs\n"
+      "array A 40 8\n"
+      "nest n parallel=2 repeat=3 {\n"
+      "  for i1 = -2..5\n"
+      "  for i2 = 0..7\n"
+      "  read  A[2*i1-i2+11, i2]\n"
+      "  write A[-2*i1+20, -i2+7]\n"
+      "}\n");
+  const std::string text = emit_flo(program);
+  EXPECT_NE(text.find("parallel=2"), std::string::npos);
+  EXPECT_NE(text.find("repeat=3"), std::string::npos);
+  EXPECT_NE(text.find("for i1 = -2..5"), std::string::npos);
+  EXPECT_NE(text.find("2*i1-i2+11"), std::string::npos);
+  EXPECT_TRUE(programs_equal(program, ir::parse_program(text)));
+}
+
+TEST(Emit, ZeroRowRendersAsConstantZero) {
+  // A reference row with no terms and no offset must still parse (as "0").
+  const ir::Program program = ir::parse_program(
+      "program zero\n"
+      "array A 4 4\n"
+      "nest n parallel=1 {\n"
+      "  for i1 = 0..3\n"
+      "  read A[i1, 0]\n"
+      "}\n");
+  EXPECT_TRUE(programs_equal(program, ir::parse_program(emit_flo(program))));
+}
+
+TEST(Emit, FirstDifferenceReportsTheEditedField) {
+  util::Rng rng(7);
+  const ir::Program a = random_program(rng);
+  EXPECT_EQ(first_difference(a, a), "");
+  EXPECT_TRUE(programs_equal(a, a));
+
+  util::Rng rng2(8);
+  const ir::Program b = random_program(rng2);
+  // Structurally different programs must produce a non-empty diff in at
+  // least one direction (they could coincide only by colliding samples).
+  if (!programs_equal(a, b)) {
+    EXPECT_NE(first_difference(a, b), "");
+  }
+
+  const ir::Program x = ir::parse_program(
+      "program p\narray A 8\nnest n parallel=1 {\n  for i1 = 0..7\n"
+      "  read A[i1]\n}\n");
+  const ir::Program y = ir::parse_program(
+      "program p\narray A 8\nnest n parallel=1 repeat=2 {\n  for i1 = 0..7\n"
+      "  read A[i1]\n}\n");
+  EXPECT_NE(first_difference(x, y).find("nest #0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flo::testing

@@ -1,0 +1,82 @@
+#include "testing/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/validate.hpp"
+#include "storage/topology.hpp"
+#include "testing/emit.hpp"
+
+namespace flo::testing {
+namespace {
+
+TEST(Generator, SameSeedReproducesTheSameCase) {
+  util::Rng a(42), b(42);
+  const FuzzCase x = random_case(a);
+  const FuzzCase y = random_case(b);
+  EXPECT_TRUE(programs_equal(x.program, y.program));
+  EXPECT_EQ(x.system.describe(), y.system.describe());
+}
+
+TEST(Generator, ProgramsAreValidAcrossManySeeds) {
+  for (std::uint64_t seed = 0; seed < 300; ++seed) {
+    util::Rng rng(seed);
+    // random_program throws std::logic_error if ir::validate rejects its
+    // output; re-validate anyway so a silent contract change is caught.
+    const ir::Program program = random_program(rng);
+    EXPECT_TRUE(ir::validate(program).empty()) << "seed " << seed;
+    EXPECT_FALSE(program.nests().empty());
+    EXPECT_FALSE(program.arrays().empty());
+  }
+}
+
+TEST(Generator, SystemsConstructValidTopologies) {
+  for (std::uint64_t seed = 0; seed < 300; ++seed) {
+    util::Rng rng(seed);
+    const SampledSystem system = random_system(rng);
+    EXPECT_EQ(system.threads, system.config.compute_nodes) << "seed " << seed;
+    // The topology constructor enforces every structural invariant
+    // (divisibility, cache >= block, fault plan bounds).
+    EXPECT_NO_THROW(storage::StorageTopology probe(system.config))
+        << "seed " << seed << ": " << system.describe();
+  }
+}
+
+TEST(Generator, HugeTripProgramsExceed32Bits) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    util::Rng rng(seed);
+    const ir::Program program = random_huge_trip_program(rng);
+    ASSERT_EQ(program.nests().size(), 1u);
+    const auto& nest = program.nests()[0];
+    ASSERT_EQ(nest.depth(), 2u);
+    const auto& inner = nest.iterations().bound(1);
+    EXPECT_GT(inner.upper - inner.lower + 1, std::int64_t{1} << 32);
+    // The inner column must be zero for every reference (stride-0), so
+    // the walker merges the whole inner trip into single events.
+    for (const auto& ref : nest.references()) {
+      for (std::size_t d = 0; d < ref.map.access_matrix().rows(); ++d) {
+        EXPECT_EQ(ref.map.access_matrix().at(d, 1), 0);
+      }
+    }
+  }
+}
+
+TEST(Generator, RespectsStructuralLimits) {
+  GeneratorOptions options;
+  options.max_arrays = 1;
+  options.max_nests = 1;
+  options.max_depth = 2;
+  options.max_trip = 4;
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    util::Rng rng(seed);
+    const ir::Program program = random_program(rng, options);
+    EXPECT_EQ(program.arrays().size(), 1u);
+    EXPECT_EQ(program.nests().size(), 1u);
+    EXPECT_LE(program.nests()[0].depth(), 2u);
+    for (const auto& bound : program.nests()[0].iterations().bounds()) {
+      EXPECT_LE(bound.upper - bound.lower + 1, 4);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace flo::testing

@@ -1,0 +1,100 @@
+#include "testing/shrinker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/parser.hpp"
+#include "ir/validate.hpp"
+#include "testing/emit.hpp"
+
+namespace flo::testing {
+namespace {
+
+FuzzCase sample_case(std::uint64_t seed) {
+  util::Rng rng(seed);
+  GeneratorOptions options;
+  options.max_nests = 2;
+  options.max_refs = 3;
+  return random_case(rng, false, options);
+}
+
+// A synthetic invariant violation: "fails" whenever the first nest's trip
+// count exceeds 8. The shrinker must drive the program down toward that
+// boundary while every intermediate candidate keeps failing.
+Oracle trip_oracle() {
+  return {"synthetic-trip", "first nest trip > 8", false,
+          [](const FuzzCase& fc) -> std::optional<std::string> {
+            if (fc.program.nests()[0].iterations().total_iterations() > 8) {
+              return "trip too large";
+            }
+            return std::nullopt;
+          }};
+}
+
+TEST(Shrinker, PassingCaseIsReturnedUnchanged) {
+  const FuzzCase fuzz_case = sample_case(3);
+  Oracle never{"never", "never fails", false,
+               [](const FuzzCase&) { return std::optional<std::string>{}; }};
+  const ShrinkResult result = shrink_case(never, fuzz_case);
+  EXPECT_TRUE(result.failure.empty());
+  EXPECT_EQ(result.attempts, 0u);
+  EXPECT_TRUE(programs_equal(result.minimized.program, fuzz_case.program));
+}
+
+TEST(Shrinker, MinimizesWhileThePropertyStillFails) {
+  // Find a sampled case the synthetic oracle rejects.
+  const Oracle oracle = trip_oracle();
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    const FuzzCase fuzz_case = sample_case(seed);
+    if (!run_oracle(oracle, fuzz_case)) continue;
+
+    const ShrinkResult result = shrink_case(oracle, fuzz_case);
+    // Still failing, still valid, and at the greedy boundary: halving any
+    // loop of the first nest again would drop the trip to <= 8.
+    EXPECT_FALSE(result.failure.empty());
+    EXPECT_TRUE(ir::validate(result.minimized.program).empty());
+    const auto& nest = result.minimized.program.nests()[0];
+    EXPECT_GT(nest.iterations().total_iterations(), 8);
+    EXPECT_LE(nest.iterations().total_iterations(),
+              fuzz_case.program.nests()[0].iterations().total_iterations());
+    // System knobs are irrelevant to this oracle, so they shrink to the
+    // simplest sampled system: one node per layer, no faults.
+    EXPECT_EQ(result.minimized.system.threads, 1u);
+    EXPECT_FALSE(result.minimized.system.config.fault.enabled);
+    return;
+  }
+  FAIL() << "no sampled case violated the synthetic trip property";
+}
+
+TEST(Shrinker, ReproIsParseableAndCarriesTheHeader) {
+  const Oracle oracle = trip_oracle();
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    const FuzzCase fuzz_case = sample_case(seed);
+    const auto failure = run_oracle(oracle, fuzz_case);
+    if (!failure) continue;
+    const std::string repro =
+        render_repro(oracle, fuzz_case, seed, *failure);
+    EXPECT_NE(repro.find("synthetic-trip"), std::string::npos);
+    EXPECT_NE(repro.find("# system:"), std::string::npos);
+    // Comment lines must not break parseability of the repro file.
+    EXPECT_NO_THROW((void)ir::parse_program(repro));
+    return;
+  }
+  FAIL() << "no sampled case violated the synthetic trip property";
+}
+
+TEST(Shrinker, RespectsTheAttemptBudget) {
+  const Oracle oracle = trip_oracle();
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    const FuzzCase fuzz_case = sample_case(seed);
+    if (!run_oracle(oracle, fuzz_case)) continue;
+    ShrinkOptions options;
+    options.max_attempts = 5;
+    const ShrinkResult result = shrink_case(oracle, fuzz_case, options);
+    EXPECT_LE(result.attempts, 5u);
+    return;
+  }
+  FAIL() << "no sampled case violated the synthetic trip property";
+}
+
+}  // namespace
+}  // namespace flo::testing

@@ -1,8 +1,12 @@
 // flo_opt — the standalone layout-optimizer driver.
 //
-//   flo_opt <program.flo> [--threads N] [--mask both|io|storage]
+//   flo_opt <program.flo> [--check] [--threads N] [--mask both|io|storage]
 //           [--simulate] [--pseudocode] [--faults SPEC]
 //           [--metrics off|text|json|chrome]
+//
+// `--check` parses and validates only (no optimization, no output beyond
+// diagnostics) — the corpus tests and fuzzer repros use it as a fast
+// accept/reject probe.
 //
 // Reads a program in the text format of src/ir/parser.hpp, runs the
 // inter-node file layout optimizer against the (scaled) Table 1 topology,
@@ -33,7 +37,8 @@ namespace {
 
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
-            << " <program.flo> [--threads N] [--mask both|io|storage]"
+            << " <program.flo> [--check] [--threads N]"
+               " [--mask both|io|storage]"
                " [--simulate] [--pseudocode] [--faults SPEC]"
                " [--metrics off|text|json|chrome]\n";
   return 2;
@@ -50,6 +55,7 @@ int main(int argc, char** argv) {
   layout::LayerMask mask = layout::LayerMask::kBoth;
   bool simulate = false;
   bool pseudocode = false;
+  bool check_only = false;
   std::string fault_spec;
   obs::SinkMode metrics = obs::sink_mode_from_env();
   for (int i = 1; i < argc; ++i) {
@@ -75,6 +81,8 @@ int main(int argc, char** argv) {
       } else {
         return usage(argv[0]);
       }
+    } else if (arg == "--check") {
+      check_only = true;
     } else if (arg == "--simulate") {
       simulate = true;
     } else if (arg == "--pseudocode") {
@@ -99,6 +107,11 @@ int main(int argc, char** argv) {
   try {
     const ir::Program program = ir::parse_program(buffer.str());
     if (pseudocode) std::cout << ir::to_pseudocode(program) << '\n';
+    if (check_only) {
+      std::cout << path << ": ok (" << program.arrays().size() << " arrays, "
+                << program.nests().size() << " nests)\n";
+      return 0;
+    }
 
     core::ExperimentConfig config;
     config.topology.compute_nodes = threads;
