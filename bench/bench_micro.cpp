@@ -311,6 +311,135 @@ void BM_ExtentSimulationStreaming(benchmark::State& state) {
 }
 BENCHMARK(BM_ExtentSimulationStreaming)->Arg(0)->Arg(1);
 
+// --- Simulator cores head-to-head: clock extent path vs event analytic. --
+//
+// The same large cache-less sequential grid under both cores, one thread
+// so both take their respective fast paths: the clock core's extent bulk
+// loop still charges per block, the event core's closed-form phase path
+// charges per extent. Items = logical blocks serviced, so the two rows
+// compare directly as blocks/second (the trajectory gate in
+// tools/check_perf_trajectory.py holds the event row to >=2x the clock
+// row).
+
+storage::TraceProgram sim_core_grid(std::uint64_t& blocks) {
+  storage::TraceProgram trace;
+  trace.file_blocks = {1 << 17};
+  storage::PhaseTrace phase;
+  phase.repeat = 4;
+  phase.per_thread.resize(1);
+  blocks = 0;
+  for (std::uint32_t e = 0; e < 16; ++e) {
+    storage::AccessEvent ev;
+    ev.block = e * 8192;
+    ev.element_count = 4;
+    ev.run_blocks = 8192;
+    phase.per_thread[0].push_back(ev);
+    blocks += static_cast<std::uint64_t>(ev.run_blocks) * phase.repeat;
+  }
+  trace.phases.push_back(std::move(phase));
+  return trace;
+}
+
+void run_sim_core_grid(benchmark::State& state, storage::SimCoreKind core) {
+  storage::TopologyConfig c;
+  c.compute_nodes = 4;
+  c.io_nodes = 2;
+  c.storage_nodes = 2;
+  c.block_size = 2048;
+  c.io_cache_enabled = false;
+  c.storage_cache_enabled = false;
+  const storage::StorageTopology topo(c);
+  std::uint64_t blocks = 0;
+  const auto trace = sim_core_grid(blocks);
+  const std::vector<storage::NodeId> io{topo.io_node_of(0)};
+  for (auto _ : state) {
+    storage::HierarchySimulator sim(topo, storage::PolicyKind::kLruInclusive,
+                                    io);
+    sim.set_core(core);
+    sim.set_extent_batching(true);
+    benchmark::DoNotOptimize(sim.run(trace));
+  }
+  state.SetItemsProcessed(state.iterations() * blocks);
+}
+
+void BM_SimCoreClock(benchmark::State& state) {
+  run_sim_core_grid(state, storage::SimCoreKind::kClock);
+}
+BENCHMARK(BM_SimCoreClock);
+
+void BM_SimCoreEvent(benchmark::State& state) {
+  run_sim_core_grid(state, storage::SimCoreKind::kEvent);
+}
+BENCHMARK(BM_SimCoreEvent);
+
+// --- Disk-knob ablation: layout wins vs controller wins. ----------------
+//
+// Three access patterns for the same 2048 blocks of work — scattered
+// (poor layout), strided (a decent-but-imperfect layout), contiguous
+// (the compiler's linearized layout) — crossed with the FFS-style
+// controller knobs. The separation the rows show in `sim_seconds`
+// (simulated, not wall, time): a track-buffer readahead window rescues
+// the strided pattern but cannot touch the scattered one (the jumps
+// exceed any plausible window), cylinder-group allocation shaves only the
+// long-seek fraction off the scattered pattern, and the contiguous
+// layout needs no controller help at all — layout wins survive with the
+// knobs off, controller wins evaporate once the layout streams.
+
+void BM_DiskKnobAblation(benchmark::State& state) {
+  const std::int64_t pattern = state.range(0);   // 0 scatter, 1 stride, 2 linear
+  const auto window = static_cast<std::uint32_t>(state.range(1));
+  const auto group = static_cast<std::uint64_t>(state.range(2));
+  storage::TopologyConfig c;
+  c.compute_nodes = 1;
+  c.io_nodes = 1;
+  c.storage_nodes = 1;
+  c.block_size = 2048;
+  c.io_cache_enabled = false;
+  c.storage_cache_enabled = false;
+  c.disk.readahead_window = window;
+  c.disk.cylinder_group_blocks = group;
+  const storage::StorageTopology topo(c);
+  storage::TraceProgram trace;
+  trace.file_blocks = {1 << 20};
+  storage::PhaseTrace phase;
+  phase.per_thread.resize(1);
+  constexpr std::uint64_t kBlocks = 2048;
+  if (pattern == 2) {
+    for (std::uint32_t e = 0; e < 8; ++e) {
+      storage::AccessEvent ev;
+      ev.block = e * 256;
+      ev.run_blocks = 256;
+      phase.per_thread[0].push_back(ev);
+    }
+  } else {
+    const std::uint64_t stride = pattern == 0 ? 499979 : 8;
+    for (std::uint64_t i = 0; i < kBlocks; ++i) {
+      phase.per_thread[0].push_back({0, (i * stride) % (1 << 20), 1});
+    }
+  }
+  trace.phases.push_back(std::move(phase));
+  const std::vector<storage::NodeId> io{0};
+  double sim_seconds = 0;
+  for (auto _ : state) {
+    storage::HierarchySimulator sim(topo, storage::PolicyKind::kLruInclusive,
+                                    io);
+    const auto result = sim.run(trace);
+    sim_seconds = result.exec_time;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["sim_seconds"] = sim_seconds;
+  state.SetItemsProcessed(state.iterations() * kBlocks);
+}
+BENCHMARK(BM_DiskKnobAblation)
+    ->ArgNames({"pattern", "readahead", "cylgroup"})
+    ->Args({0, 0, 0})
+    ->Args({0, 64, 0})
+    ->Args({0, 0, 1 << 20})
+    ->Args({1, 0, 0})
+    ->Args({1, 64, 0})
+    ->Args({2, 0, 0})
+    ->Args({2, 64, 0});
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -59,6 +59,8 @@ void append_topology(std::string& key, const storage::TopologyConfig& t) {
   append_value(key, t.disk.rpm);
   append_value(key, t.disk.bandwidth);
   append_value(key, t.disk.capacity_blocks);
+  append_value(key, t.disk.readahead_window);
+  append_value(key, t.disk.cylinder_group_blocks);
   // Fault injection changes simulation results (and the dimension-
   // reindexing profiler), so it participates in both the compile-sharing
   // signature and the journal key.
@@ -107,9 +109,11 @@ std::string compile_key(const ExperimentJob& job) {
       append_topology(key, job.config.topology);
       break;
     case Scheme::kDimensionReindexing:
-      // The profiling pass simulates candidates under the full config.
+      // The profiling pass simulates candidates under the full config,
+      // including which simulator core scores them.
       append_value(key, job.config.policy);
       append_value(key, job.config.trace);
+      append_value(key, job.config.sim_core);
       append_topology(key, job.config.topology);
       break;
   }
@@ -153,6 +157,9 @@ std::string journal_key(const ExperimentJob& job,
   append_value(bytes, job.config.scheme);
   append_value(bytes, job.config.unweighted_step1);
   append_value(bytes, job.config.trace);
+  // The cores agree on integer stats only inside the equivalence envelope;
+  // exec times always differ, so journaled cells are per-core.
+  append_value(bytes, job.config.sim_core);
   append_topology(bytes, job.config.topology);
   append_value(bytes, job.config.compile_topology.has_value());
   if (job.config.compile_topology) {

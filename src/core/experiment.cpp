@@ -63,6 +63,7 @@ storage::SimulationResult simulate(const ir::Program& program,
     storage::HierarchySimulator simulator(
         topology, config.policy, io_nodes_of_threads(schedule, topology),
         std::move(hints));
+    simulator.set_core(config.sim_core);
     return simulator.run(trace);
   }
 
@@ -78,6 +79,7 @@ storage::SimulationResult simulate(const ir::Program& program,
   storage::HierarchySimulator simulator(
       topology, config.policy, io_nodes_of_threads(schedule, topology),
       std::move(hints));
+  simulator.set_core(config.sim_core);
   return simulator.run(source);
 }
 

@@ -19,6 +19,7 @@
 #include "ir/program.hpp"
 #include "parallel/thread_mapping.hpp"
 #include "storage/policy.hpp"
+#include "storage/sim_core.hpp"
 #include "storage/stats.hpp"
 #include "storage/topology.hpp"
 
@@ -53,6 +54,10 @@ struct ExperimentConfig {
   /// Trace generation strategy; streaming and eager produce bit-identical
   /// simulation results (golden-tested), so this is purely a memory knob.
   TraceMode trace = TraceMode::kStreaming;
+  /// Simulator core (DESIGN.md §4g). Defaults to the FLO_SIM process
+  /// default (clock unless FLO_SIM=event); set explicitly to pin a cell
+  /// to one core regardless of the environment.
+  storage::SimCoreKind sim_core = storage::sim_core_from_env();
   /// When set, the optimizer compiles against this topology while the
   /// simulation runs on `topology` — the Section 4.3 template-hierarchy
   /// scenario (compile once per template family, run on any member).

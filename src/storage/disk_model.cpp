@@ -1,5 +1,6 @@
 #include "storage/disk_model.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -18,9 +19,17 @@ DiskArray::DiskArray(std::size_t disks, const DiskModel& model,
 
 double DiskArray::seek_time(std::uint64_t from, std::uint64_t to) const {
   // Same block or the adjacent one: the data streams under the head at
-  // full bandwidth (no repositioning, no rotational wait).
+  // full bandwidth (no repositioning, no rotational wait). A configured
+  // track-buffer readahead window widens that free zone (the controller
+  // already buffered the surrounding track).
   const std::uint64_t dist = from > to ? from - to : to - from;
-  if (dist <= 1) return 0.0;
+  if (dist <= std::max<std::uint64_t>(1, model_.readahead_window)) return 0.0;
+  // Cylinder-group locality: blocks allocated into the same group are a
+  // short rotational seek apart however far their LBAs are numerically.
+  if (model_.cylinder_group_blocks != 0 &&
+      from / model_.cylinder_group_blocks == to / model_.cylinder_group_blocks) {
+    return model_.min_seek;
+  }
   if (dist == 2) return model_.min_seek;
   const double frac = static_cast<double>(dist) /
                       static_cast<double>(model_.capacity_blocks);

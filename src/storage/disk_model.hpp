@@ -53,6 +53,12 @@ class DiskArray {
   /// physically streams the blocks while the disk is already positioned).
   void advance_head(NodeId disk, std::uint64_t lba);
 
+  /// Current head position (the event core's elevator scheduler picks the
+  /// next queued request relative to it).
+  std::uint64_t head(NodeId disk) const { return head_.at(disk); }
+
+  std::size_t disk_count() const { return head_.size(); }
+
   std::uint64_t total_reads() const { return reads_; }
 
   void reset();

@@ -1,0 +1,81 @@
+#include "storage/event_queue.hpp"
+
+#include <stdexcept>
+
+namespace flo::storage {
+
+void EventQueue::push(double time, EventKind kind, std::uint32_t a,
+                      std::uint64_t b) {
+  if (time < last_popped_) {
+    throw std::logic_error("EventQueue: event posted before current time");
+  }
+  std::uint32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+    time_[slot] = time;
+    seq_[slot] = next_seq_++;
+    kind_[slot] = kind;
+    a_[slot] = a;
+    b_[slot] = b;
+  } else {
+    slot = static_cast<std::uint32_t>(time_.size());
+    time_.push_back(time);
+    seq_.push_back(next_seq_++);
+    kind_.push_back(kind);
+    a_.push_back(a);
+    b_.push_back(b);
+  }
+  heap_.push_back(slot);
+  sift_up(heap_.size() - 1);
+  if (heap_.size() > max_pending_) max_pending_ = heap_.size();
+}
+
+Event EventQueue::pop() {
+  if (heap_.empty()) throw std::logic_error("EventQueue: pop on empty queue");
+  const std::uint32_t slot = heap_.front();
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+  last_popped_ = time_[slot];
+  free_.push_back(slot);
+  return {time_[slot], kind_[slot], a_[slot], b_[slot]};
+}
+
+void EventQueue::sift_up(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!before(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    std::size_t best = i;
+    const std::size_t left = 2 * i + 1;
+    const std::size_t right = 2 * i + 2;
+    if (left < n && before(heap_[left], heap_[best])) best = left;
+    if (right < n && before(heap_[right], heap_[best])) best = right;
+    if (best == i) break;
+    std::swap(heap_[i], heap_[best]);
+    i = best;
+  }
+}
+
+void EventQueue::clear() {
+  time_.clear();
+  seq_.clear();
+  kind_.clear();
+  a_.clear();
+  b_.clear();
+  heap_.clear();
+  free_.clear();
+  next_seq_ = 0;
+  last_popped_ = 0;
+  max_pending_ = 0;
+}
+
+}  // namespace flo::storage

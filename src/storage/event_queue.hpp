@@ -1,0 +1,81 @@
+// Global discrete-event queue for the event simulator core.
+//
+// Structure-of-arrays storage: event times, kinds and payload words live in
+// parallel vectors indexed by slot, and the binary heap orders plain slot
+// ids — so sifting moves 4-byte ids, the comparison touches only the
+// time/sequence arrays, and freed slots recycle through a free list without
+// deallocating. Ordering is (time, sequence): sequence numbers are assigned
+// at push, which makes the pop order deterministic for simultaneous events
+// (first posted fires first) and lets the queue assert monotonic virtual
+// time — an event may never be posted before the last popped time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace flo::storage {
+
+/// What an event means to the engine. The queue itself is agnostic; the
+/// kinds are defined here so the SoA payload stays one byte per event.
+enum class EventKind : std::uint8_t {
+  kThreadIssue,    ///< a thread is ready to issue its next block request
+  kIoArrive,       ///< a request reaches its I/O node's service queue
+  kIoDone,         ///< I/O-cache service finished (hit completion)
+  kStorageArrive,  ///< a request reaches its storage node's service queue
+  kStorageDone,    ///< storage-cache service finished (hit completion)
+  kDiskDone,       ///< disk service finished for the dispatched request
+};
+
+/// One scheduled occurrence, as returned by pop(). `a` and `b` are
+/// kind-specific payload words (thread id, request id, node id, ...).
+struct Event {
+  double time = 0;
+  EventKind kind = EventKind::kThreadIssue;
+  std::uint32_t a = 0;
+  std::uint64_t b = 0;
+};
+
+class EventQueue {
+ public:
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Earliest pending time (heap top); undefined when empty.
+  double next_time() const { return time_[heap_.front()]; }
+
+  /// Schedules an event. `time` must be >= the last popped time (virtual
+  /// time is monotonic); violations throw std::logic_error — an engine bug,
+  /// never a data-dependent condition.
+  void push(double time, EventKind kind, std::uint32_t a = 0,
+            std::uint64_t b = 0);
+
+  /// Removes and returns the earliest event (ties broken by push order).
+  Event pop();
+
+  /// Peak number of simultaneously pending events over the queue lifetime.
+  std::size_t max_pending() const { return max_pending_; }
+
+  void clear();
+
+ private:
+  bool before(std::uint32_t x, std::uint32_t y) const {
+    return time_[x] != time_[y] ? time_[x] < time_[y] : seq_[x] < seq_[y];
+  }
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+
+  // SoA event storage, indexed by slot id.
+  std::vector<double> time_;
+  std::vector<std::uint64_t> seq_;
+  std::vector<EventKind> kind_;
+  std::vector<std::uint32_t> a_;
+  std::vector<std::uint64_t> b_;
+
+  std::vector<std::uint32_t> heap_;  ///< slot ids, min-heap by (time, seq)
+  std::vector<std::uint32_t> free_;  ///< recycled slot ids
+  std::uint64_t next_seq_ = 0;
+  double last_popped_ = 0;
+  std::size_t max_pending_ = 0;
+};
+
+}  // namespace flo::storage

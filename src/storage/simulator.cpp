@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "obs/span.hpp"
+#include "storage/event_core.hpp"
 
 namespace flo::storage {
 
@@ -528,10 +529,8 @@ double HierarchySimulator::service(std::uint32_t thread, double now,
   return t + storage_level(key, now, result);
 }
 
-SimulationResult HierarchySimulator::run(const TraceSource& source) {
-  SimulationResult result;
-  const std::size_t threads = io_node_of_thread_.size();
-  if (source.thread_count() > threads) {
+void HierarchySimulator::prepare_run(const TraceSource& source) {
+  if (source.thread_count() > io_node_of_thread_.size()) {
     throw std::invalid_argument("HierarchySimulator: more traces than threads");
   }
   striping_ = Striping(topology_.config().storage_nodes, source.file_blocks());
@@ -548,7 +547,20 @@ SimulationResult HierarchySimulator::run(const TraceSource& source) {
   for (auto& c : storage_caches_) c.clear();
   for (auto& c : storage_mq_) c.clear();
   faults_.reset();  // replay the identical fault stream on every run
+}
 
+SimulationResult HierarchySimulator::run(const TraceSource& source) {
+  prepare_run(source);
+  if (core_ == SimCoreKind::kEvent) {
+    EventEngine engine(*this);
+    return engine.run(source);
+  }
+  return run_clock(source);
+}
+
+SimulationResult HierarchySimulator::run_clock(const TraceSource& source) {
+  SimulationResult result;
+  const std::size_t threads = io_node_of_thread_.size();
   std::vector<double> clock(threads, 0.0);
   std::vector<double> busy(threads, 0.0);
   const std::size_t streams = source.thread_count();
@@ -569,18 +581,18 @@ SimulationResult HierarchySimulator::run(const TraceSource& source) {
       const double phase_start = clock.empty() ? 0.0 : clock[0];
       // Min-clock-first scheduling with thread id tiebreak: deterministic
       // and approximates concurrent execution against the shared caches.
-      // Each thread holds exactly one buffered event (`pending`); resident
+      // Each thread holds exactly one buffered event (its CursorPump);
+      // resident
       // trace state is O(threads) regardless of trace length. Multi-block
       // extents (AccessEvent::run_blocks) are split here: every block is
       // one scheduling step, so interleaving against other threads is
       // identical to a per-block event stream.
       ScheduleQueue queue;
-      std::vector<std::unique_ptr<ThreadCursor>> cursors;
-      cursors.reserve(streams);
-      std::vector<AccessEvent> pending(streams);
+      std::vector<CursorPump> pumps;
+      pumps.reserve(streams);
       for (std::uint32_t t = 0; t < streams; ++t) {
-        cursors.push_back(source.open(p, t));
-        if (cursors[t]->next(pending[t])) queue.push({clock[t], t});
+        pumps.emplace_back(source.open(p, t));
+        if (pumps[t].prime()) queue.push({clock[t], t});
       }
       while (!queue.empty()) {
         const auto [when, t] = queue.top();
@@ -593,7 +605,7 @@ SimulationResult HierarchySimulator::run(const TraceSource& source) {
         // extent fast path run a long resident run in one tight loop.
         bool finished = false;
         for (;;) {
-          AccessEvent& ev = pending[t];
+          AccessEvent& ev = pumps[t].head();
           if (service_extent_bulk(t, ev, now, busy[t], queue, result) == 0) {
             AccessEvent head = ev;
             head.run_blocks = 1;
@@ -605,7 +617,7 @@ SimulationResult HierarchySimulator::run(const TraceSource& source) {
             // instead of underflowing the remaining-run counter.
             if (ev.run_blocks != 0) --ev.run_blocks;
           }
-          if (ev.run_blocks == 0 && !cursors[t]->next(ev)) {
+          if (pumps[t].exhausted() && !pumps[t].refill()) {
             finished = true;
             break;
           }

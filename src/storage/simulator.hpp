@@ -25,6 +25,7 @@
 #include "storage/mq_cache.hpp"
 #include "storage/network_model.hpp"
 #include "storage/policy.hpp"
+#include "storage/sim_core.hpp"
 #include "storage/stats.hpp"
 #include "storage/striping.hpp"
 #include "storage/topology.hpp"
@@ -32,6 +33,13 @@
 
 namespace flo::storage {
 
+/// Facade over the two simulation cores. The clock core (this class's own
+/// scheduling loop) is the golden reference: min-clock-first stepping with
+/// the extent fast paths, bit-stable since PR 1. The event core
+/// (storage/event_core.hpp) stages requests through a global discrete-event
+/// queue and adds queueing at shared components. Both cores mutate the same
+/// cache/disk/fault state through the same primitives; FLO_SIM (or
+/// set_core) selects which one run() drives.
 class HierarchySimulator {
  public:
   /// `io_node_of_thread[t]` is the I/O node serving thread t (derived from
@@ -57,7 +65,24 @@ class HierarchySimulator {
   void set_extent_batching(bool enabled) { extent_batching_ = enabled; }
   bool extent_batching() const { return extent_batching_; }
 
+  /// Simulation core selection (default: the FLO_SIM environment knob,
+  /// clock unless set to "event"). The clock core is the golden reference;
+  /// the event core models queueing at shared components and is held to it
+  /// by the event-vs-clock fuzz oracle inside the equivalence envelope
+  /// (DESIGN.md §4g).
+  void set_core(SimCoreKind core) { core_ = core; }
+  SimCoreKind core() const { return core_; }
+
  private:
+  friend class EventEngine;  ///< the event core drives the same state
+
+  /// Resets all mutable per-run state (caches, disks, striping, fault
+  /// stream, write-back bookkeeping) so either core starts cold.
+  void prepare_run(const TraceSource& source);
+
+  /// The clock core: min-clock-first scheduling with inline continuation
+  /// and the extent fast paths.
+  SimulationResult run_clock(const TraceSource& source);
   /// Min-clock-first scheduler order: (virtual clock, thread id).
   using ScheduleEntry = std::pair<double, std::uint32_t>;
   using ScheduleQueue =
@@ -144,6 +169,7 @@ class HierarchySimulator {
   /// (real readahead tracks file streams, which survive interleaving).
   std::unordered_map<std::uint64_t, std::uint64_t> stream_pos_;
   bool extent_batching_ = extents_enabled();
+  SimCoreKind core_ = sim_core_from_env();
 };
 
 }  // namespace flo::storage

@@ -22,6 +22,13 @@ std::string SimulationResult::summary() const {
   if (prefetches > 0) {
     os << ", " << prefetches << " prefetches";
   }
+  if (queue.any()) {
+    os << ", queueing: " << queue.io.waits + queue.storage.waits + queue.disk.waits
+       << " waits, "
+       << util::format_duration(queue.io.wait_time + queue.storage.wait_time +
+                                queue.disk.wait_time)
+       << " queued";
+  }
   if (faults.any()) {
     os << ", faults: "
        << faults.storage.transient_failures + faults.disk.transient_failures
@@ -54,6 +61,13 @@ void fault_layer_line(std::ostringstream& os, const char* label,
      << util::format_duration(layer.degraded_time) << " degraded\n";
 }
 
+void queue_layer_line(std::ostringstream& os, const char* label,
+                      const QueueLayerStats& layer) {
+  os << "  " << label << ": " << layer.waits << " waits, "
+     << util::format_duration(layer.wait_time) << " queued, peak depth "
+     << layer.max_depth << '\n';
+}
+
 }  // namespace
 
 std::string SimulationResult::detailed() const {
@@ -66,6 +80,14 @@ std::string SimulationResult::detailed() const {
      << " writes\n";
   os << "  traffic      : " << demotions << " demotions, " << writebacks
      << " writebacks, " << prefetches << " prefetches";
+  if (queue.any()) {
+    os << '\n';
+    queue_layer_line(os, "queue io     ", queue.io);
+    queue_layer_line(os, "queue storage", queue.storage);
+    os << "  queue disk   : " << queue.disk.waits << " waits, "
+       << util::format_duration(queue.disk.wait_time) << " queued, peak depth "
+       << queue.disk.max_depth;
+  }
   if (faults.any()) {
     os << '\n';
     fault_layer_line(os, "faults io    ", faults.io);
@@ -85,7 +107,11 @@ namespace {
 // vector field is length-prefixed. A version tag leads the line so future
 // field additions can invalidate old journals instead of misparsing them.
 
-constexpr const char* kWireTag = "sim-v1";
+// v2 appended the event-core queue stats; v1 lines (pre-event journals)
+// still parse, with queue stats zero — exactly what the clock core that
+// wrote them produced.
+constexpr const char* kWireTagV1 = "sim-v1";
+constexpr const char* kWireTagV2 = "sim-v2";
 
 void put_double(std::ostringstream& os, double value) {
   char buffer[48];
@@ -102,6 +128,12 @@ void put_fault_layer(std::ostringstream& os, const FaultLayerStats& layer) {
   os << ' ' << layer.bypasses << ' ' << layer.transient_failures << ' '
      << layer.slow_services;
   put_double(os, layer.degraded_time);
+}
+
+void put_queue_layer(std::ostringstream& os, const QueueLayerStats& layer) {
+  os << ' ' << layer.waits;
+  put_double(os, layer.wait_time);
+  os << ' ' << layer.max_depth;
 }
 
 /// Token cursor over a wire line; parse failures latch `ok = false`.
@@ -146,13 +178,18 @@ struct Reader {
     out.slow_services = u64();
     out.degraded_time = f64();
   }
+  void queue_layer(QueueLayerStats& out) {
+    out.waits = u64();
+    out.wait_time = f64();
+    out.max_depth = u64();
+  }
 };
 
 }  // namespace
 
 std::string to_wire(const SimulationResult& result) {
   std::ostringstream os;
-  os << kWireTag;
+  os << kWireTagV2;
   put_layer(os, result.io);
   put_layer(os, result.storage);
   put_double(os, result.exec_time);
@@ -165,12 +202,17 @@ std::string to_wire(const SimulationResult& result) {
   put_fault_layer(os, result.faults.storage);
   put_fault_layer(os, result.faults.disk);
   os << ' ' << result.faults.exhausted_retries;
+  put_queue_layer(os, result.queue.io);
+  put_queue_layer(os, result.queue.storage);
+  put_queue_layer(os, result.queue.disk);
   return os.str();
 }
 
 std::optional<SimulationResult> from_wire(const std::string& line) {
   Reader reader(line);
-  if (reader.token() != kWireTag) return std::nullopt;
+  const std::string tag = reader.token();
+  const bool v2 = tag == kWireTagV2;
+  if (!v2 && tag != kWireTagV1) return std::nullopt;
   SimulationResult result;
   reader.layer(result.io);
   reader.layer(result.storage);
@@ -190,6 +232,11 @@ std::optional<SimulationResult> from_wire(const std::string& line) {
   reader.fault_layer(result.faults.storage);
   reader.fault_layer(result.faults.disk);
   result.faults.exhausted_retries = reader.u64();
+  if (v2) {
+    reader.queue_layer(result.queue.io);
+    reader.queue_layer(result.queue.storage);
+    reader.queue_layer(result.queue.disk);
+  }
   std::string trailing;
   if (reader.is >> trailing) return std::nullopt;  // extra fields: reject
   if (!reader.ok) return std::nullopt;
@@ -219,6 +266,18 @@ void publish_fault_layer(const char* prefix, const FaultLayerStats& layer) {
   reg.histogram(p + ".degraded_seconds").observe(layer.degraded_time);
 }
 
+void publish_queue_layer(const char* prefix, const QueueLayerStats& layer) {
+  if (!layer.any()) return;  // clock-core snapshots stay free of queue keys
+  auto& reg = obs::registry();
+  const std::string p(prefix);
+  // Counters sum and histogram count/min/max are order-independent, so
+  // grid runs publish deterministic queue metrics for any worker count
+  // (the same discipline sim.exec_seconds follows).
+  reg.counter(p + ".waits").add(layer.waits);
+  reg.histogram(p + ".wait_seconds").observe(layer.wait_time);
+  reg.histogram(p + ".depth").observe(static_cast<double>(layer.max_depth));
+}
+
 }  // namespace
 
 void publish_to_registry(const SimulationResult& result) {
@@ -238,6 +297,9 @@ void publish_to_registry(const SimulationResult& result) {
   publish_fault_layer("sim.faults.io", result.faults.io);
   publish_fault_layer("sim.faults.storage", result.faults.storage);
   publish_fault_layer("sim.faults.disk", result.faults.disk);
+  publish_queue_layer("sim.queue.io", result.queue.io);
+  publish_queue_layer("sim.queue.storage", result.queue.storage);
+  publish_queue_layer("sim.queue.disk", result.queue.disk);
   if (result.faults.exhausted_retries != 0) {
     reg.counter("sim.faults.exhausted_retries")
         .add(result.faults.exhausted_retries);

@@ -55,6 +55,30 @@ struct FaultStats {
   friend bool operator==(const FaultStats&, const FaultStats&) = default;
 };
 
+/// Contention accounting for one service queue of the event core (the
+/// clock core has no queues and leaves these all-zero, keeping equality
+/// with pre-event baselines intact). Depth counts waiters only — a request
+/// in service is not "queued" — so an uncontended run reports zeros under
+/// either core.
+struct QueueLayerStats {
+  std::uint64_t waits = 0;      ///< requests that had to queue
+  double wait_time = 0;         ///< total virtual seconds spent queued
+  std::uint64_t max_depth = 0;  ///< peak number of simultaneous waiters
+
+  bool any() const { return waits != 0 || wait_time != 0 || max_depth != 0; }
+  friend bool operator==(const QueueLayerStats&,
+                         const QueueLayerStats&) = default;
+};
+
+struct QueueStats {
+  QueueLayerStats io;       ///< shared I/O-node cache service queues
+  QueueLayerStats storage;  ///< storage-node cache service queues
+  QueueLayerStats disk;     ///< per-disk request queues (elevator order)
+
+  bool any() const { return io.any() || storage.any() || disk.any(); }
+  friend bool operator==(const QueueStats&, const QueueStats&) = default;
+};
+
 /// Outcome of simulating one application trace through the hierarchy.
 struct SimulationResult {
   LayerStats io;       ///< across all I/O-node caches
@@ -73,6 +97,10 @@ struct SimulationResult {
 
   /// Fault-injection accounting; all-zero (and unprinted) without faults.
   FaultStats faults;
+
+  /// Event-core contention accounting; all-zero (and unprinted) under the
+  /// clock core or when nothing ever queued.
+  QueueStats queue;
 
   std::string summary() const;
 

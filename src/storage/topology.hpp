@@ -37,6 +37,26 @@ struct DiskModel {
   std::uint32_t rpm = 10000;       ///< Table 1
   double bandwidth = 100.0e6;      ///< sustained B/s
   std::uint64_t capacity_blocks = 1ull << 22;  ///< LBA space per disk
+
+  // FFS-style controller knobs (SNIPPETS.md fast-file-system notes; both
+  // default off so baseline results stay byte-identical). They exist to
+  // separate *layout* wins from *controller* wins in ablations
+  // (bench_micro BM_DiskKnobAblation): a layout win survives with the
+  // knobs on, a prefetch win disappears when the layout already streams.
+
+  /// Track-buffer readahead: a read landing within this many blocks of
+  /// the current head position streams from the buffer at pure transfer
+  /// cost — no seek, no rotation (0 disables; <=1 is the implicit
+  /// sequential window the base model already grants).
+  std::uint32_t readahead_window = 0;
+
+  /// Cylinder-group allocation locality: seeks between LBAs in the same
+  /// group of this many blocks cost min_seek regardless of distance,
+  /// modeling FFS's policy of keeping related blocks in one cylinder
+  /// group so "seeks are short and rotational" (0 disables).
+  std::uint64_t cylinder_group_blocks = 0;
+
+  friend bool operator==(const DiskModel&, const DiskModel&) = default;
 };
 
 /// System configuration (Table 1). One disk per storage node.

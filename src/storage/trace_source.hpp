@@ -97,6 +97,37 @@ class TraceSource {
                                              std::uint32_t thread) const = 0;
 };
 
+/// Per-thread cursor handoff shared by the simulator cores: one buffered
+/// extent (`head`, consumed in place block by block) plus the cursor that
+/// refills it. Both the clock scheduler and the event engine pump their
+/// thread streams through this, so the cursor protocol — single-pass,
+/// refill only once the current extent is fully consumed — lives in one
+/// place instead of two scheduling loops.
+class CursorPump {
+ public:
+  CursorPump() = default;
+  explicit CursorPump(std::unique_ptr<ThreadCursor> cursor)
+      : cursor_(std::move(cursor)) {}
+
+  /// Buffers the first extent; false when the stream is empty.
+  bool prime() { return cursor_ != nullptr && cursor_->next(head_); }
+
+  /// The extent currently being consumed. Cores advance `head().block`
+  /// and decrement `head().run_blocks` as they service blocks.
+  AccessEvent& head() { return head_; }
+  const AccessEvent& head() const { return head_; }
+
+  /// True once every block of the buffered extent has been consumed.
+  bool exhausted() const { return head_.run_blocks == 0; }
+
+  /// Refills `head` with the next extent; false at end of stream.
+  bool refill() { return cursor_->next(head_); }
+
+ private:
+  std::unique_ptr<ThreadCursor> cursor_;
+  AccessEvent head_;
+};
+
 /// Adapter presenting a materialized TraceProgram as a TraceSource (does
 /// not own the trace; the trace must outlive the source).
 class MaterializedTraceSource final : public TraceSource {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <cstdint>
 #include <iterator>
 #include <memory>
@@ -338,6 +339,9 @@ storage::SimulationResult simulate_once(const FuzzCase& fc,
   storage::HierarchySimulator simulator(
       topology, fc.system.policy,
       io_nodes_of_threads(compiled.schedule, topology), std::move(hints));
+  // This helper exists for the clock core's extent-path contract; keep it
+  // pinned there so the oracle means the same thing under FLO_SIM=event.
+  simulator.set_core(storage::SimCoreKind::kClock);
   simulator.set_extent_batching(extents);
   return simulator.run(source);
 }
@@ -359,6 +363,98 @@ std::optional<std::string> check_extent_equivalence(const FuzzCase& fc) {
                          "reference under scheme ") +
              core::scheme_name(scheme) + ":\n  batched:   " +
              batched.summary() + "\n  reference: " + reference.summary();
+    }
+  }
+  return std::nullopt;
+}
+
+/// "" when the two times agree up to FP re-association (the staged event
+/// sums and the analytic tail associate differently from the clock core's
+/// single running total).
+std::string time_diff(double event, double clock, const std::string& what) {
+  const double tol =
+      1e-9 * std::max({std::abs(event), std::abs(clock), 1.0});
+  if (std::abs(event - clock) <= tol) return {};
+  std::ostringstream os;
+  os << what << " diverges beyond envelope tolerance: event core "
+     << event << " vs clock core " << clock;
+  return os.str();
+}
+
+std::optional<std::string> check_event_vs_clock(const FuzzCase& fc) {
+  // The event≡clock equivalence envelope (DESIGN.md §4g): one thread,
+  // prefetch off, faults off — no queue can ever form, so the event core
+  // must reproduce the clock core's integer stats bit-exactly. Policy,
+  // cache configuration, striping, writes and the program fuzz freely.
+  static constexpr core::Scheme kSchemes[] = {core::Scheme::kDefault,
+                                              core::Scheme::kInterNode};
+  for (core::Scheme scheme : kSchemes) {
+    core::ExperimentConfig config = config_for(fc, scheme);
+    // One thread per compute node is the engine invariant, and the node
+    // counts must divide each other, so a single thread means the 1/1/1
+    // topology chain. Policy, cache sizes/switches, block size, writes and
+    // the program itself still fuzz freely; multi-spindle striping inside
+    // the envelope is covered by EventClockEnvelopeTest.
+    config.threads = 1;
+    config.topology.compute_nodes = 1;
+    config.topology.io_nodes = 1;
+    config.topology.storage_nodes = 1;
+    config.topology.prefetch_depth = 0;
+    config.topology.fault = storage::FaultConfig{};
+    const storage::StorageTopology topology(config.topology);
+    const core::CompiledExperiment compiled =
+        core::compile_experiment(fc.program, config);
+    trace::TraceOptions options;
+    options.emit_extents = true;
+    const trace::StreamingTraceSource source(
+        fc.program, compiled.schedule, compiled.layouts, topology, options);
+    std::vector<storage::RangeHint> hints;
+    if (fc.system.policy == storage::PolicyKind::kKarma) {
+      const std::uint64_t segment =
+          std::max<std::uint64_t>(1, topology.io_cache_blocks() / 8);
+      hints = trace::profile_range_hints(source, segment);
+    }
+    const auto run_core = [&](storage::SimCoreKind core) {
+      storage::HierarchySimulator simulator(
+          topology, fc.system.policy,
+          io_nodes_of_threads(compiled.schedule, topology), hints);
+      simulator.set_core(core);
+      return simulator.run(source);
+    };
+    const storage::SimulationResult clock =
+        run_core(storage::SimCoreKind::kClock);
+    const storage::SimulationResult event =
+        run_core(storage::SimCoreKind::kEvent);
+
+    const auto where = std::string("scheme ") + core::scheme_name(scheme);
+    const bool integers_equal =
+        event.io == clock.io && event.storage == clock.storage &&
+        event.disk_reads == clock.disk_reads &&
+        event.demotions == clock.demotions &&
+        event.prefetches == clock.prefetches &&
+        event.disk_writes == clock.disk_writes &&
+        event.writebacks == clock.writebacks &&
+        event.accesses == clock.accesses &&
+        event.elements == clock.elements && event.faults == clock.faults;
+    if (!integers_equal) {
+      return "event core diverges from clock core inside the envelope "
+             "(" + where + "):\n  event: " + event.summary() +
+             "\n  clock: " + clock.summary();
+    }
+    if (event.queue.any()) {
+      return "event core reports queueing inside the no-contention "
+             "envelope (" + where + ")";
+    }
+    std::string diff = time_diff(event.exec_time, clock.exec_time,
+                                 where + " exec_time");
+    if (!diff.empty()) return diff;
+    if (event.thread_time.size() != clock.thread_time.size()) {
+      return where + ": thread_time arity differs";
+    }
+    for (std::size_t t = 0; t < event.thread_time.size(); ++t) {
+      diff = time_diff(event.thread_time[t], clock.thread_time[t],
+                       where + " thread_time[" + std::to_string(t) + "]");
+      if (!diff.empty()) return diff;
     }
   }
   return std::nullopt;
@@ -628,6 +724,10 @@ const std::vector<Oracle>& all_oracles() {
       {"extent-equivalence",
        "simulator extent fast path matches the per-block reference", true,
        check_extent_equivalence},
+      {"event-vs-clock",
+       "event core matches the clock core bit-exactly inside the "
+       "no-contention envelope (one thread, prefetch off, faults off)",
+       true, check_event_vs_clock},
       {"layout-bijection",
        "optimized layouts are injective slot maps with per-thread chunk "
        "contiguity",

@@ -11,6 +11,8 @@
 //                       element count; extents on/off agree event-by-event
 //   stream-vs-eager     streaming cursors == eager generator, per event
 //   extent-equivalence  simulator extent fast path == per-block reference
+//   event-vs-clock      event core == clock core inside the no-contention
+//                       envelope (one thread, prefetch off, faults off)
 //   layout-bijection    optimized layouts are injective element->slot maps
 //                       with per-thread chunk contiguity (Algorithm 1)
 //   engine-workers      ExperimentEngine results independent of workers

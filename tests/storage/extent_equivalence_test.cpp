@@ -91,11 +91,19 @@ void expect_equivalent(const TopologyConfig& config, PolicyKind policy,
   const StorageTopology topo(config);
   const TraceProgram per_block = expand(trace);
 
+  // This suite is the clock core's extent-path contract: results must be
+  // bit-identical, doubles included. The event core's staging (and its
+  // analytic fast path's one-multiplication tail) legitimately re-associate
+  // the FP sums, so every simulator here is pinned to the clock core; the
+  // event-vs-clock envelope is checked separately (event_core_test.cpp and
+  // the event-vs-clock fuzz oracle).
   HierarchySimulator reference(topo, policy, identity_io_mapping(topo), hints);
+  reference.set_core(SimCoreKind::kClock);
   reference.set_extent_batching(false);
   const SimulationResult expected = reference.run(per_block);
 
   HierarchySimulator batched(topo, policy, identity_io_mapping(topo), hints);
+  batched.set_core(SimCoreKind::kClock);
   batched.set_extent_batching(true);
   EXPECT_EQ(batched.run(trace), expected)
       << "extent batching diverged (policy " << static_cast<int>(policy)
@@ -104,6 +112,7 @@ void expect_equivalent(const TopologyConfig& config, PolicyKind policy,
   // Extent events with batching off exercise the scheduler's per-block
   // splitting alone.
   HierarchySimulator split(topo, policy, identity_io_mapping(topo), hints);
+  split.set_core(SimCoreKind::kClock);
   split.set_extent_batching(false);
   EXPECT_EQ(split.run(trace), expected)
       << "extent splitting diverged (policy " << static_cast<int>(policy)

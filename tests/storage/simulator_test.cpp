@@ -122,6 +122,10 @@ TEST(SimulatorTest, SharedIoCacheAcrossThreads) {
   const StorageTopology topo(tiny_config());
   HierarchySimulator sim(topo, PolicyKind::kLruInclusive,
                          identity_io_mapping(topo));
+  // Pinned to the clock core: it services each request atomically, so the
+  // second thread's access sees the first one's fill. The event core keeps
+  // both misses concurrently in flight (see event_core_test.cpp).
+  sim.set_core(SimCoreKind::kClock);
   // Threads 0 and 1 share I/O node 0: thread 1 hits thread 0's block.
   TraceProgram trace;
   trace.file_blocks = {64};
@@ -140,6 +144,8 @@ TEST(SimulatorTest, SeparateIoCachesDoNotShare) {
   const StorageTopology topo(tiny_config());
   HierarchySimulator sim(topo, PolicyKind::kLruInclusive,
                          identity_io_mapping(topo));
+  // Pinned to the clock core's atomic request servicing (see above).
+  sim.set_core(SimCoreKind::kClock);
   // Threads 0 and 2 are on different I/O nodes; the second access misses
   // at I/O but hits the shared storage cache.
   TraceProgram trace;

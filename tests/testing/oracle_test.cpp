@@ -11,11 +11,12 @@ namespace {
 
 TEST(Oracles, RegistryHoldsTheDocumentedSet) {
   const auto& oracles = all_oracles();
-  ASSERT_EQ(oracles.size(), 9u);
+  ASSERT_EQ(oracles.size(), 10u);
   const char* expected[] = {
-      "parse-roundtrip",  "parse-total",       "count-conservation",
-      "stream-vs-eager",  "extent-equivalence", "layout-bijection",
-      "engine-workers",   "wire-roundtrip",     "conversion-roundtrip"};
+      "parse-roundtrip",  "parse-total",        "count-conservation",
+      "stream-vs-eager",  "extent-equivalence", "event-vs-clock",
+      "layout-bijection", "engine-workers",     "wire-roundtrip",
+      "conversion-roundtrip"};
   for (std::size_t i = 0; i < oracles.size(); ++i) {
     EXPECT_EQ(oracles[i].name, expected[i]);
     EXPECT_FALSE(oracles[i].description.empty());
@@ -31,6 +32,7 @@ TEST(Oracles, GlobSelection) {
   EXPECT_EQ(select_oracles("*").size(), all_oracles().size());
   EXPECT_EQ(select_oracles("parse-*").size(), 2u);
   EXPECT_EQ(select_oracles("wire-roundtrip").size(), 1u);
+  EXPECT_EQ(select_oracles("event-vs-clock").size(), 1u);
   EXPECT_EQ(select_oracles("*-roundtrip").size(), 3u);
   EXPECT_TRUE(select_oracles("no-such-oracle").empty());
 }

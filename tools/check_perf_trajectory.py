@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Tolerance-gated perf-trajectory check for bench_micro results.
+
+Compares a fresh google-benchmark JSON file (--benchmark_format=json)
+against a committed trajectory snapshot (results/trajectory/). Absolute
+throughput depends on the runner, so the gate works on *within-run ratios*
+— event core vs clock core blocks/sec, extent batching on vs off — which
+are machine-independent: both sides of each ratio ran on the same machine
+seconds apart.
+
+Two kinds of gate:
+  1. hard floors — invariants of the implementation (the event core's
+     closed-form phase path must deliver >= 2x the clock extent path on
+     the cache-less sequential grid);
+  2. regression tolerance — each tracked ratio must stay within
+     --tolerance (default 0.5, i.e. no worse than half) of the ratio
+     recorded in the committed baseline snapshot.
+
+Exit status 0 when every gate holds, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+# (name, numerator benchmark, denominator benchmark, hard floor or None)
+TRACKED_RATIOS = [
+    ("sim_core_event_over_clock", "BM_SimCoreEvent", "BM_SimCoreClock", 2.0),
+    ("extent_streaming_on_over_off", "BM_ExtentSimulationStreaming/1",
+     "BM_ExtentSimulationStreaming/0", 1.0),
+    ("extent_warm_on_over_off", "BM_ExtentSimulation/1",
+     "BM_ExtentSimulation/0", None),
+    ("lru_run_over_per_block", "BM_LruTouchRun/64",
+     "BM_LruTouchPerBlock/64", None),
+    ("disk_run_over_per_block", "BM_DiskServiceRun/64",
+     "BM_DiskServicePerBlock/64", None),
+]
+
+
+def items_per_second(path):
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for row in doc.get("benchmarks", []):
+        ips = row.get("items_per_second")
+        if ips:
+            out[row["name"]] = float(ips)
+    return out
+
+
+def ratios_of(per):
+    out = {}
+    for name, num, den, _floor in TRACKED_RATIOS:
+        if num in per and den in per and per[den] > 0:
+            out[name] = per[num] / per[den]
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="fresh bench_micro JSON output")
+    parser.add_argument("--baseline",
+                        help="committed trajectory snapshot to gate against")
+    parser.add_argument("--tolerance", type=float, default=0.5,
+                        help="allowed fractional regression of each ratio "
+                             "vs the baseline (default 0.5)")
+    args = parser.parse_args()
+
+    current = ratios_of(items_per_second(args.current))
+    if not current:
+        print("error: no tracked ratios found in", args.current)
+        return 1
+    baseline = {}
+    if args.baseline:
+        baseline = ratios_of(items_per_second(args.baseline))
+
+    failures = []
+    print(f"{'ratio':34} {'current':>10} {'baseline':>10}  gate")
+    for name, _num, _den, floor in TRACKED_RATIOS:
+        if name not in current:
+            continue
+        cur = current[name]
+        base = baseline.get(name)
+        gates = []
+        if floor is not None:
+            gates.append(f">= {floor:g}")
+            if cur < floor:
+                failures.append(f"{name}: {cur:.2f} below hard floor {floor:g}")
+        if base is not None:
+            allowed = base * (1.0 - args.tolerance)
+            gates.append(f">= {allowed:.2f} (baseline*{1 - args.tolerance:g})")
+            if cur < allowed:
+                failures.append(
+                    f"{name}: {cur:.2f} regressed beyond tolerance "
+                    f"(baseline {base:.2f}, floor {allowed:.2f})")
+        print(f"{name:34} {cur:10.2f} "
+              f"{base if base is not None else float('nan'):10.2f}  "
+              f"{'; '.join(gates) if gates else 'tracked only'}")
+
+    if failures:
+        print("\nPERF TRAJECTORY GATE FAILED:")
+        for f in failures:
+            print(" -", f)
+        return 1
+    print("\nperf trajectory OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
