@@ -18,6 +18,7 @@
 //   FLO_JOB_RETRIES  extra attempts for cells failing with TransientError
 #pragma once
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -28,23 +29,71 @@
 #include "core/experiment.hpp"
 #include "core/report.hpp"
 #include "storage/fault_model.hpp"
+#include "storage/sim_core.hpp"
 #include "util/format.hpp"
 #include "util/table.hpp"
 #include "workloads/suite.hpp"
 
 namespace flo::bench {
 
+/// Prints a bench/bench_common.hpp-anchored diagnostic for a bad
+/// environment knob and exits 2 (the configuration-error code, distinct
+/// from a failed run). A typo'd knob silently falling back to a default
+/// would quietly benchmark the wrong thing.
+[[noreturn]] inline void die_env(const char* var, const char* what,
+                                 const char* value) {
+  std::fprintf(stderr,
+               "bench_common.hpp: %s: %s '%s' (fix or unset the variable)\n",
+               var, what, value);
+  std::exit(2);
+}
+
+/// Strict positive-integer env parse: the whole value must be a base-10
+/// integer > 0. Malformed or out-of-range values are fatal, not defaulted.
+inline std::size_t env_positive_u64(const char* var, const char* value) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0' || value[0] == '-') {
+    die_env(var, "malformed integer", value);
+  }
+  if (errno == ERANGE) die_env(var, "integer out of range", value);
+  if (v == 0) die_env(var, "must be positive, got", value);
+  return static_cast<std::size_t>(v);
+}
+
+/// Strict positive-number env parse (seconds, fractions allowed).
+inline double env_positive_double(const char* var, const char* value) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(value, &end);
+  if (end == value || *end != '\0') die_env(var, "malformed number", value);
+  if (errno == ERANGE) die_env(var, "number out of range", value);
+  if (!(v > 0)) die_env(var, "must be positive, got", value);
+  return v;
+}
+
 inline std::size_t workers_from_env() {
   if (const char* env = std::getenv("FLO_WORKERS")) {
-    const long v = std::atol(env);
-    if (v > 0) return static_cast<std::size_t>(v);
+    if (*env != '\0') return env_positive_u64("FLO_WORKERS", env);
   }
   return 0;  // engine default: hardware concurrency
 }
 
+/// Validates FLO_SIM up front so a typo is a clean two-line diagnostic
+/// instead of an uncaught std::invalid_argument mid-grid.
+inline void validate_sim_core_env() {
+  if (const char* env = std::getenv("FLO_SIM")) {
+    if (*env != '\0' && !storage::parse_sim_core(env)) {
+      die_env("FLO_SIM", "unknown simulator core (want clock or event)", env);
+    }
+  }
+}
+
 /// Engine options assembled from the environment (workers, checkpoint
-/// journal, per-cell timeout/retry budgets).
+/// journal, per-cell timeout/retry budgets). Malformed knobs exit 2.
 inline core::EngineOptions engine_options_from_env() {
+  validate_sim_core_env();
   core::EngineOptions options;
   options.workers = workers_from_env();
   options.share_compilations = true;
@@ -52,12 +101,15 @@ inline core::EngineOptions engine_options_from_env() {
     options.journal_path = env;
   }
   if (const char* env = std::getenv("FLO_JOB_TIMEOUT")) {
-    const double v = std::atof(env);
-    if (v > 0) options.job_timeout = v;
+    if (*env != '\0') {
+      options.job_timeout = env_positive_double("FLO_JOB_TIMEOUT", env);
+    }
   }
   if (const char* env = std::getenv("FLO_JOB_RETRIES")) {
-    const long v = std::atol(env);
-    if (v > 0) options.max_retries = static_cast<std::uint32_t>(v);
+    if (*env != '\0') {
+      options.max_retries =
+          static_cast<std::uint32_t>(env_positive_u64("FLO_JOB_RETRIES", env));
+    }
   }
   return options;
 }

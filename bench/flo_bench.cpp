@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_common.hpp"
 #include "bench/scenario.hpp"
 #include "obs/sink.hpp"
 #include "util/json.hpp"
@@ -132,6 +133,11 @@ int main(int argc, char** argv) {
       return usage(std::cerr, 2);
     }
   }
+
+  // Fail fast (exit 2) on malformed environment knobs — before any
+  // scenario spends minutes computing under a config the operator did
+  // not ask for.
+  (void)flo::bench::engine_options_from_env();
 
   if (list) {
     list_scenarios(std::cout);

@@ -1,0 +1,149 @@
+// core::CompileCache — the engine's compile-dedup map promoted to a
+// shared, fingerprint-keyed LRU that can outlive a single grid run.
+//
+// Two tiers live under one key space:
+//   compiled — std::shared_future<CompiledExperiment>: the in-process
+//              dedup the ExperimentEngine has always done (first requester
+//              compiles, concurrent requesters block on the shared future);
+//   rendered — an already-serialized response payload (the transform-plan
+//              text a service request needs), which unlike the compiled
+//              object survives process restarts through a crash-safe
+//              journal (atomic tmp+fsync+rename on every update, the same
+//              pattern as the engine's checkpoint journal).
+//
+// Keys are CONTENT fingerprints (printed IR + the config fields that can
+// influence compile_experiment), never pointers: a long-lived cache shared
+// across requests must not confuse two programs that happen to reuse an
+// address. The template-family fast tier falls out of the key scheme — a
+// config whose compile_topology is the family's reference topology hashes
+// identically for every member, so one cached compile serves the family.
+//
+// Eviction is LRU over completed entries (in-flight compiles are never
+// evicted); hits/misses/evictions surface both as local stats() and, when
+// obs is enabled, as `<metric_prefix>_hits/_misses/_evictions` counters.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "core/experiment.hpp"
+
+namespace flo::core {
+
+using CompiledPtr = std::shared_ptr<const CompiledExperiment>;
+
+/// FNV-1a over raw bytes — the repo-wide fingerprint primitive (journal
+/// keys, compile keys, the chaos harness's response canaries).
+std::uint64_t fnv1a(std::string_view bytes);
+
+/// 16-hex-digit rendering of a 64-bit fingerprint.
+std::string hex16(std::uint64_t value);
+
+/// Appends every TopologyConfig field (individually — the struct may
+/// contain padding) to a key byte string. Shared by compile fingerprints
+/// and the engine's journal keys.
+void append_topology_key(std::string& key, const storage::TopologyConfig& t);
+
+/// Content fingerprint of a program: fnv1a of its printed IR. Stable
+/// across processes and program instances, unlike the address.
+std::uint64_t program_fingerprint(const ir::Program& program);
+
+/// Compile signature of (program content, config): two cells with equal
+/// fingerprints yield identical CompiledExperiments, so the second can
+/// reuse the first's. Only fields that influence compile_experiment
+/// participate — e.g. the cache policy matters only for the
+/// dimension-reindexing scheme (whose profiler simulates under it), so
+/// "inter-node under LRU" and "inter-node under KARMA" share one key.
+std::string compile_fingerprint(std::uint64_t program_fp,
+                                const ExperimentConfig& config);
+
+struct CompileCacheOptions {
+  /// Maximum resident entries; 0 = unbounded (the engine's per-run
+  /// default). In-flight compiles may transiently exceed the cap.
+  std::size_t capacity = 0;
+  /// obs counter prefix: `<prefix>_hits`, `<prefix>_misses`,
+  /// `<prefix>_evictions`, `<prefix>_journal_replayed`.
+  std::string metric_prefix = "engine.compile_cache";
+  /// Rendered-tier persistence path; empty = in-memory only. The file is
+  /// replayed on construction (entries come back rendered-only — the
+  /// compiled object is not serializable) and atomically rewritten on
+  /// every rendered insert/eviction.
+  std::string journal_path;
+};
+
+/// A serialized response payload cached alongside (or instead of) the
+/// compiled object. `tier` records how it was compiled ("exact" or
+/// "template") so a restarted daemon reports honestly.
+struct RenderedCompile {
+  std::string tier;
+  std::string body;
+};
+
+struct CompileCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t journal_replayed = 0;
+  std::size_t size = 0;
+};
+
+class CompileCache {
+ public:
+  explicit CompileCache(CompileCacheOptions options = {});
+
+  /// Returns the compiled object for `key`, invoking `compile` exactly
+  /// once per resident key; concurrent requesters for the same key block
+  /// on the first requester's future. A failed compile propagates to
+  /// every waiter and is then forgotten, so a later request retries
+  /// instead of hitting a poisoned entry. Counts a hit when a live
+  /// compiled entry existed (or was in flight), a miss otherwise.
+  CompiledPtr get_or_compile(const std::string& key,
+                             const std::function<CompiledExperiment()>& compile);
+
+  /// Rendered tier lookup: memory first, journal-replayed entries count
+  /// too. Hits refresh LRU recency and count as cache hits; a miss is NOT
+  /// counted here (the caller usually proceeds to get_or_compile, which
+  /// counts it).
+  std::optional<RenderedCompile> lookup_rendered(const std::string& key);
+
+  /// Installs a rendered payload under `key` (alongside any compiled
+  /// entry) and, when a journal is configured, atomically rewrites it.
+  /// Throws std::system_error if the journal write fails.
+  void store_rendered(const std::string& key, RenderedCompile rendered);
+
+  CompileCacheStats stats() const;
+  std::size_t size() const;
+
+ private:
+  struct Entry {
+    std::shared_future<CompiledPtr> compiled;  ///< valid iff has_compiled
+    bool has_compiled = false;
+    bool inflight = false;  ///< compile running; never evicted
+    RenderedCompile rendered;
+    bool has_rendered = false;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  // All private helpers assume mutex_ is held.
+  Entry& touch(const std::string& key);
+  void evict_over_capacity();
+  void rewrite_journal_locked();
+  void replay_journal();
+  void count(const char* suffix, std::uint64_t n = 1) const;
+
+  CompileCacheOptions options_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  ///< front = most recent
+  mutable CompileCacheStats stats_;
+};
+
+}  // namespace flo::core

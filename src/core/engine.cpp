@@ -16,6 +16,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "core/compile_cache.hpp"
 #include "ir/printer.hpp"
 #include "obs/span.hpp"
 #include "storage/policy.hpp"
@@ -33,107 +34,6 @@ template <typename T>
 void append_value(std::string& key, const T& value) {
   static_assert(std::is_trivially_copyable_v<T>);
   append_bytes(key, &value, sizeof(value));
-}
-
-void append_topology(std::string& key, const storage::TopologyConfig& t) {
-  // TopologyConfig is trivially copyable but may contain padding; append
-  // the fields individually so equal configs hash equally.
-  append_value(key, t.compute_nodes);
-  append_value(key, t.io_nodes);
-  append_value(key, t.storage_nodes);
-  append_value(key, t.block_size);
-  append_value(key, t.io_cache_bytes);
-  append_value(key, t.storage_cache_bytes);
-  append_value(key, t.io_cache_enabled);
-  append_value(key, t.storage_cache_enabled);
-  append_value(key, t.prefetch_depth);
-  append_value(key, t.model_writes);
-  append_value(key, t.latency.cpu_per_element);
-  append_value(key, t.latency.net_compute_io);
-  append_value(key, t.latency.io_cache_hit);
-  append_value(key, t.latency.net_io_storage);
-  append_value(key, t.latency.storage_cache_hit);
-  append_value(key, t.latency.demotion_cost);
-  append_value(key, t.disk.min_seek);
-  append_value(key, t.disk.max_seek);
-  append_value(key, t.disk.rpm);
-  append_value(key, t.disk.bandwidth);
-  append_value(key, t.disk.capacity_blocks);
-  append_value(key, t.disk.readahead_window);
-  append_value(key, t.disk.cylinder_group_blocks);
-  // Fault injection changes simulation results (and the dimension-
-  // reindexing profiler), so it participates in both the compile-sharing
-  // signature and the journal key.
-  append_value(key, t.fault.enabled);
-  append_value(key, t.fault.seed);
-  append_value(key, t.fault.storage_transient_rate);
-  append_value(key, t.fault.disk_transient_rate);
-  append_value(key, t.fault.max_retries);
-  append_value(key, t.fault.retry_backoff);
-  append_value(key, t.fault.slow_disk_rate);
-  append_value(key, t.fault.slow_disk_multiplier);
-  append_value(key, t.fault.outages.size());
-  for (const auto& outage : t.fault.outages) {
-    append_value(key, outage.layer);
-    append_value(key, outage.node);
-    append_value(key, outage.start);
-    append_value(key, outage.end);
-  }
-}
-
-/// Serialized compile signature of a job: two cells with equal keys yield
-/// identical CompiledExperiments, so the second one can reuse the first's.
-/// Only the fields that can influence compile_experiment participate: the
-/// policy, for instance, matters only for the dimension-reindexing scheme
-/// (whose profiler simulates under it), so "inter-node under LRU" and
-/// "inter-node under KARMA" share one compilation.
-std::string compile_key(const ExperimentJob& job) {
-  std::string key;
-  key.reserve(256);
-  append_value(key, job.program);  // identity, not contents
-  append_value(key, job.config.threads);
-  append_value(key, job.config.mapping);
-  append_value(key, job.config.scheme);
-  switch (job.config.scheme) {
-    case Scheme::kDefault:
-      // Canonical layouts depend on the program alone.
-      break;
-    case Scheme::kInterNode:
-    case Scheme::kInterNodeIoOnly:
-    case Scheme::kInterNodeStorageOnly:
-      append_value(key, job.config.unweighted_step1);
-      append_topology(key, job.config.compile_topology.value_or(
-                               job.config.topology));
-      break;
-    case Scheme::kComputationMapping:
-      append_topology(key, job.config.topology);
-      break;
-    case Scheme::kDimensionReindexing:
-      // The profiling pass simulates candidates under the full config,
-      // including which simulator core scores them.
-      append_value(key, job.config.policy);
-      append_value(key, job.config.trace);
-      append_value(key, job.config.sim_core);
-      append_topology(key, job.config.topology);
-      break;
-  }
-  return key;
-}
-
-std::uint64_t fnv1a(const std::string& bytes) {
-  std::uint64_t h = 1469598103934665603ull;
-  for (const unsigned char c : bytes) {
-    h ^= c;
-    h *= 1099511628211ull;
-  }
-  return h;
-}
-
-std::string hex16(std::uint64_t value) {
-  char hex[17];
-  std::snprintf(hex, sizeof(hex), "%016llx",
-                static_cast<unsigned long long>(value));
-  return std::string(hex);
 }
 
 /// Journal identity of a cell: the label, the program's CONTENT
@@ -160,61 +60,13 @@ std::string journal_key(const ExperimentJob& job,
   // The cores agree on integer stats only inside the equivalence envelope;
   // exec times always differ, so journaled cells are per-core.
   append_value(bytes, job.config.sim_core);
-  append_topology(bytes, job.config.topology);
+  append_topology_key(bytes, job.config.topology);
   append_value(bytes, job.config.compile_topology.has_value());
   if (job.config.compile_topology) {
-    append_topology(bytes, *job.config.compile_topology);
+    append_topology_key(bytes, *job.config.compile_topology);
   }
   return hex16(fnv1a(bytes));
 }
-
-using CompiledPtr = std::shared_ptr<const CompiledExperiment>;
-
-/// Once-per-key compile cache. The first worker to request a key computes
-/// it; concurrent requesters block on the shared future. Exceptions
-/// propagate to every waiter.
-class CompileCache {
- public:
-  CompiledPtr get(const ExperimentJob& job) {
-    const std::string key = compile_key(job);
-    std::shared_future<CompiledPtr> future;
-    std::promise<CompiledPtr> promise;
-    bool owner = false;
-    {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      auto it = cache_.find(key);
-      if (it == cache_.end()) {
-        owner = true;
-        future = promise.get_future().share();
-        cache_.emplace(key, future);
-      } else {
-        future = it->second;
-      }
-    }
-    if (obs::enabled()) {
-      // Misses == distinct compile signatures, hits == cells served by a
-      // shared compilation; both are schedule-independent, so the split is
-      // deterministic across worker counts.
-      obs::registry()
-          .counter(owner ? "engine.compile_cache_misses"
-                         : "engine.compile_cache_hits")
-          .add(1);
-    }
-    if (owner) {
-      try {
-        promise.set_value(std::make_shared<const CompiledExperiment>(
-            compile_experiment(*job.program, job.config)));
-      } catch (...) {
-        promise.set_exception(std::current_exception());
-      }
-    }
-    return future.get();
-  }
-
- private:
-  std::mutex mutex_;
-  std::unordered_map<std::string, std::shared_future<CompiledPtr>> cache_;
-};
 
 // --- checkpoint journal ----------------------------------------------------
 // Text file, one completed cell per line after a version-tag header:
@@ -344,9 +196,12 @@ class Journal {
 // --- guarded execution -----------------------------------------------------
 
 /// The actual work of one attempt: the test-hook runner if present,
-/// otherwise compile (possibly shared) + simulate.
+/// otherwise compile (possibly shared through the cache) + simulate.
+/// `compile_key` is the job's content fingerprint (empty when sharing is
+/// off — the cache is bypassed entirely then).
 ExperimentResult execute(const ExperimentJob& job, const EngineOptions& options,
-                         const std::shared_ptr<CompileCache>& cache) {
+                         const std::shared_ptr<CompileCache>& cache,
+                         const std::string& compile_key) {
   if (options.runner) return options.runner(job);
   if (job.program == nullptr) {
     throw std::invalid_argument("ExperimentEngine: null program in \"" +
@@ -354,7 +209,9 @@ ExperimentResult execute(const ExperimentJob& job, const EngineOptions& options,
   }
   const CompiledPtr compiled =
       options.share_compilations && cache
-          ? cache->get(job)
+          ? cache->get_or_compile(
+                compile_key,
+                [&] { return compile_experiment(*job.program, job.config); })
           : std::make_shared<const CompiledExperiment>(
                 compile_experiment(*job.program, job.config));
   ExperimentResult result;
@@ -377,7 +234,8 @@ struct AttemptOutcome {
 /// (except the unowned ir::Program — see EngineOptions::job_timeout).
 AttemptOutcome run_attempt_with_timeout(
     const ExperimentJob& job, const EngineOptions& options,
-    const std::shared_ptr<CompileCache>& cache) {
+    const std::shared_ptr<CompileCache>& cache,
+    const std::string& compile_key) {
   struct State {
     std::mutex mutex;
     std::condition_variable cv;
@@ -386,11 +244,11 @@ AttemptOutcome run_attempt_with_timeout(
     std::exception_ptr error;
   };
   auto state = std::make_shared<State>();
-  std::thread attempt([state, job, options, cache] {
+  std::thread attempt([state, job, options, cache, compile_key] {
     ExperimentResult result;
     std::exception_ptr error;
     try {
-      result = execute(job, options, cache);
+      result = execute(job, options, cache, compile_key);
     } catch (...) {
       error = std::current_exception();
     }
@@ -423,13 +281,14 @@ AttemptOutcome run_attempt_with_timeout(
 
 AttemptOutcome run_attempt(const ExperimentJob& job,
                            const EngineOptions& options,
-                           const std::shared_ptr<CompileCache>& cache) {
+                           const std::shared_ptr<CompileCache>& cache,
+                           const std::string& compile_key) {
   if (options.job_timeout > 0) {
-    return run_attempt_with_timeout(job, options, cache);
+    return run_attempt_with_timeout(job, options, cache, compile_key);
   }
   AttemptOutcome outcome;
   try {
-    outcome.result = execute(job, options, cache);
+    outcome.result = execute(job, options, cache, compile_key);
   } catch (...) {
     outcome.error = std::current_exception();
   }
@@ -471,21 +330,30 @@ std::vector<JobResult> ExperimentEngine::run_guarded(
   if (jobs.empty()) return results;
 
   // Journal keys — and the grid hash binding a journal file to this job
-  // set — are computed up front. The program-content fingerprint is cached
-  // per distinct program instance (grids share a handful of programs
-  // across many cells).
+  // set — plus the compile fingerprints are computed up front. The
+  // program-content fingerprint is cached per distinct program instance
+  // (grids share a handful of programs across many cells).
+  std::unordered_map<const ir::Program*, std::uint64_t> fingerprints;
+  const auto fingerprint_of = [&](const ir::Program* p) {
+    const auto [it, fresh] = fingerprints.try_emplace(p, 0);
+    if (fresh && p != nullptr) it->second = program_fingerprint(*p);
+    return it->second;
+  };
+  std::vector<std::string> compile_keys;
+  if (options_.share_compilations) {
+    compile_keys.resize(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      compile_keys[i] = compile_fingerprint(fingerprint_of(jobs[i].program),
+                                            jobs[i].config);
+    }
+  }
   std::vector<std::string> keys;
   std::string grid_hash;
   std::unordered_set<std::string> key_set;
   if (!options_.journal_path.empty()) {
     keys.resize(jobs.size());
-    std::unordered_map<const ir::Program*, std::uint64_t> fingerprints;
     for (std::size_t i = 0; i < jobs.size(); ++i) {
-      const auto [it, fresh] = fingerprints.try_emplace(jobs[i].program, 0);
-      if (fresh && jobs[i].program != nullptr) {
-        it->second = fnv1a(ir::to_pseudocode(*jobs[i].program));
-      }
-      keys[i] = journal_key(jobs[i], it->second);
+      keys[i] = journal_key(jobs[i], fingerprint_of(jobs[i].program));
       key_set.insert(keys[i]);
     }
     std::vector<std::string> sorted(key_set.begin(), key_set.end());
@@ -500,8 +368,13 @@ std::vector<JobResult> ExperimentEngine::run_guarded(
   }
   Journal journal(options_.journal_path, grid_hash, key_set);
   // The cache is heap-shared so attempt threads abandoned by a timeout can
-  // keep using it safely after the grid (and this frame) are gone.
-  auto cache = std::make_shared<CompileCache>();
+  // keep using it safely after the grid (and this frame) are gone. A
+  // caller-provided cache (EngineOptions::compile_cache) additionally
+  // persists across run_guarded calls — the service daemon's shared tier.
+  std::shared_ptr<CompileCache> cache = options_.compile_cache;
+  if (!cache && options_.share_compilations) {
+    cache = std::make_shared<CompileCache>();
+  }
   std::atomic<std::size_t> next{0};
   const bool tracing = obs::enabled();
   const obs::ScopedSpan run_span(
@@ -532,9 +405,12 @@ std::vector<JobResult> ExperimentEngine::run_guarded(
       const obs::ScopedSpan cell_span(
           "engine.cell", "engine",
           tracing ? obs::SpanArgs{{"label", job.label}} : obs::SpanArgs{});
+      const std::string compile_key =
+          options_.share_compilations ? compile_keys[i] : std::string();
       for (std::uint32_t attempt = 0;; ++attempt) {
         ++out.attempts;
-        AttemptOutcome outcome = run_attempt(job, options_, cache);
+        AttemptOutcome outcome =
+            run_attempt(job, options_, cache, compile_key);
         if (outcome.timed_out) {
           out.failed = true;
           std::ostringstream reason;

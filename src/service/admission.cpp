@@ -1,0 +1,49 @@
+#include "service/admission.hpp"
+
+#include <algorithm>
+
+namespace flo::service {
+
+AdmissionController::AdmissionController(AdmissionConfig config)
+    : config_(std::move(config)),
+      quotas_(config_.quota),
+      estimate_ms_(config_.service_estimate_ms) {}
+
+AdmissionResult AdmissionController::decide(const std::string& tenant,
+                                            double now,
+                                            std::size_t queue_depth) {
+  AdmissionResult result;
+  const double throttle_ms = quotas_.admit(tenant, now);
+  if (throttle_ms > 0) {
+    result.decision = Decision::kThrottled;
+    result.retry_after_ms = throttle_ms;
+    return result;
+  }
+  if (queue_depth >= config_.queue_depth) {
+    result.decision = Decision::kQueueFull;
+    result.retry_after_ms = queue_retry_after_ms(1);
+    return result;
+  }
+  return result;
+}
+
+double AdmissionController::queue_retry_after_ms(std::size_t workers) const {
+  const std::lock_guard<std::mutex> lock(estimate_mutex_);
+  const double per_worker =
+      static_cast<double>(config_.queue_depth) /
+      static_cast<double>(std::max<std::size_t>(1, workers));
+  return std::max(1.0, per_worker * estimate_ms_);
+}
+
+void AdmissionController::observe_service_ms(double ms) {
+  const std::lock_guard<std::mutex> lock(estimate_mutex_);
+  constexpr double kAlpha = 0.2;
+  estimate_ms_ = (1 - kAlpha) * estimate_ms_ + kAlpha * ms;
+}
+
+double AdmissionController::service_estimate_ms() const {
+  const std::lock_guard<std::mutex> lock(estimate_mutex_);
+  return estimate_ms_;
+}
+
+}  // namespace flo::service

@@ -1,0 +1,123 @@
+// Admission control for the flo_serve daemon: a bounded work queue plus
+// the decision logic that turns overload into explicit, typed responses
+// (throttled / shed with RETRY_AFTER) instead of unbounded queueing.
+//
+// The BoundedQueue is deliberately dumb — capacity, blocking pop, close —
+// because robustness comes from what the server does when try_push fails,
+// not from queue cleverness. AdmissionController composes the per-tenant
+// token buckets (quota.hpp) with queue-capacity checks and computes the
+// retry hints; it owns no threads and reads no clocks, so every decision
+// is a pure function of (state, now) and unit-testable.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "service/quota.hpp"
+
+namespace flo::service {
+
+/// MPMC bounded FIFO. push never blocks (overload must fail fast, not
+/// stall the acceptor); pop blocks until an item or close.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// False when full or closed — the caller sheds.
+  bool try_push(T item) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed; nullopt
+  /// only when closed AND drained (workers then exit).
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  void close() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  std::size_t depth() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+/// Why a request was not admitted (Decision::kAdmit otherwise).
+enum class Decision { kAdmit, kThrottled, kQueueFull };
+
+struct AdmissionResult {
+  Decision decision = Decision::kAdmit;
+  double retry_after_ms = 0;  ///< backpressure hint when not admitted
+};
+
+struct AdmissionConfig {
+  QuotaConfig quota;
+  std::size_t queue_depth = 64;
+  /// Estimated per-request service time used for queue-full retry hints
+  /// (the server refines it with a live EWMA of compile times).
+  double service_estimate_ms = 50;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionConfig config);
+
+  /// Decides on one request from `tenant` at `now` given the current
+  /// queue depth. Order matters: quota first (a throttled tenant must not
+  /// consume queue capacity checks), then queue bounds. Does NOT enqueue —
+  /// the caller pushes on kAdmit (and re-sheds on the race where the
+  /// queue filled in between).
+  AdmissionResult decide(const std::string& tenant, double now,
+                         std::size_t queue_depth);
+
+  /// Retry hint for a full queue: the time for `workers` to drain one
+  /// queue's worth of requests at the current service estimate.
+  double queue_retry_after_ms(std::size_t workers) const;
+
+  /// Updates the live service-time estimate (EWMA, alpha 0.2).
+  void observe_service_ms(double ms);
+  double service_estimate_ms() const;
+
+  TenantQuotas& quotas() { return quotas_; }
+  const AdmissionConfig& config() const { return config_; }
+
+ private:
+  AdmissionConfig config_;
+  TenantQuotas quotas_;
+  mutable std::mutex estimate_mutex_;
+  double estimate_ms_;
+};
+
+}  // namespace flo::service

@@ -1,0 +1,97 @@
+#include "service/client.hpp"
+
+#include <errno.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <system_error>
+#include <utility>
+
+#include "util/framing.hpp"
+
+namespace flo::service {
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Client::connect_unix(const std::string& socket_path) {
+  close();
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+    throw std::system_error(std::make_error_code(std::errc::filename_too_long),
+                            "socket path unusable: '" + socket_path + "'");
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    throw std::system_error(errno, std::generic_category(), "socket");
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::system_error(err, std::generic_category(),
+                            "connect " + socket_path);
+  }
+  fd_ = fd;
+}
+
+void Client::adopt(int fd) {
+  close();
+  fd_ = fd;
+}
+
+std::optional<Response> Client::call(const Request& request, int timeout_ms) {
+  send_raw(serialize_request(request), timeout_ms);
+  std::optional<std::string> payload =
+      recv_raw(/*max_frame=*/16u << 20, timeout_ms);
+  if (!payload) return std::nullopt;
+  return parse_response(*payload);
+}
+
+void Client::send_raw(const std::string& payload, int timeout_ms) {
+  util::write_frame(fd_, payload, timeout_ms);
+}
+
+void Client::send_bytes(const std::string& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::write(fd_, bytes.data() + sent, bytes.size() - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::system_error(errno, std::generic_category(), "write");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::optional<std::string> Client::recv_raw(std::size_t max_frame,
+                                            int timeout_ms) {
+  std::string payload;
+  if (!util::read_frame(fd_, payload, max_frame, timeout_ms, timeout_ms)) {
+    return std::nullopt;
+  }
+  return payload;
+}
+
+}  // namespace flo::service

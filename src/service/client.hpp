@@ -1,0 +1,56 @@
+// Minimal flo_serve client: connect to the daemon's Unix socket, frame a
+// request, wait for the framed response. Used by the chaos harness and
+// the service tests; deliberately exposes the raw frame layer too so a
+// hostile client (malformed headers, oversized frames, half-frames that
+// stall) is easy to write — the daemon is tested against this same class.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "service/protocol.hpp"
+
+namespace flo::service {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to the daemon's Unix socket. Throws std::system_error on
+  /// failure (callers retry around daemon startup).
+  void connect_unix(const std::string& socket_path);
+
+  /// Adopts an already-connected fd (socketpair tests).
+  void adopt(int fd);
+
+  bool connected() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void close();
+
+  /// Frames + sends a request and blocks for the framed response.
+  /// Throws util::FramingError (and subclasses) on transport problems and
+  /// ProtocolError on an unparseable response; returns nullopt on clean
+  /// EOF (the server closed the connection instead of answering — the
+  /// chaos harness treats that as a terminal outcome too, but only after
+  /// a hostile frame, never after a valid request).
+  std::optional<Response> call(const Request& request, int timeout_ms);
+
+  /// Raw frame layer for hostile-client tests.
+  void send_raw(const std::string& payload, int timeout_ms);
+  /// Writes `bytes` verbatim — no length prefix — for half-frame /
+  /// garbage-prefix chaos. Throws std::system_error on write failure.
+  void send_bytes(const std::string& bytes);
+  std::optional<std::string> recv_raw(std::size_t max_frame, int timeout_ms);
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace flo::service

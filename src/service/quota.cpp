@@ -1,0 +1,50 @@
+#include "service/quota.hpp"
+
+#include <algorithm>
+
+namespace flo::service {
+
+TenantQuotas::TenantQuotas(QuotaConfig config) : config_(config) {
+  if (config_.burst < 1) config_.burst = 1;  // a bucket must hold one request
+}
+
+double TenantQuotas::refilled(const Bucket& bucket, double now) const {
+  const double elapsed = std::max(0.0, now - bucket.last);
+  return std::min(config_.burst, bucket.tokens + elapsed * config_.rate);
+}
+
+double TenantQuotas::admit(const std::string& tenant, double now) {
+  if (config_.rate <= 0) return 0;  // quotas disabled
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, fresh] = buckets_.try_emplace(tenant);
+  Bucket& bucket = it->second;
+  if (fresh) {
+    bucket.tokens = config_.burst;
+    bucket.last = now;
+  }
+  bucket.tokens = refilled(bucket, now);
+  bucket.last = now;
+  if (bucket.tokens >= 1) {
+    bucket.tokens -= 1;
+    return 0;
+  }
+  // Time until one full token accrues, in ms (>= 1 ms so a shed client
+  // never busy-spins on a zero hint).
+  const double deficit = 1 - bucket.tokens;
+  return std::max(1.0, deficit / config_.rate * 1000.0);
+}
+
+double TenantQuotas::available(const std::string& tenant, double now) const {
+  if (config_.rate <= 0) return config_.burst;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = buckets_.find(tenant);
+  if (it == buckets_.end()) return config_.burst;
+  return refilled(it->second, now);
+}
+
+std::size_t TenantQuotas::tenants() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return buckets_.size();
+}
+
+}  // namespace flo::service

@@ -1,0 +1,54 @@
+// Per-tenant token-bucket quotas for the flo_serve admission controller.
+//
+// Each tenant owns one bucket: `burst` tokens capacity, refilled at `rate`
+// tokens/second. A request consumes one token; an empty bucket yields a
+// retry-after hint (time until one token accrues) instead of queueing —
+// explicit backpressure, never unbounded buffering on behalf of a noisy
+// tenant.
+//
+// Time is an explicit parameter (seconds on any monotonic clock), never
+// read from the wall inside: the tests drive a fake clock and the server
+// passes its own, so quota decisions are deterministic and replayable.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace flo::service {
+
+struct QuotaConfig {
+  double rate = 0;    ///< sustained requests/second per tenant; 0 = unlimited
+  double burst = 8;   ///< bucket capacity (instantaneous burst)
+};
+
+class TenantQuotas {
+ public:
+  explicit TenantQuotas(QuotaConfig config = {});
+
+  /// Admission check for one request from `tenant` at time `now`
+  /// (seconds, monotonic). Returns 0 when admitted (a token is consumed),
+  /// otherwise the suggested retry-after in milliseconds. Unknown tenants
+  /// start with a full bucket.
+  double admit(const std::string& tenant, double now);
+
+  /// Tokens currently available to `tenant` at `now` (tests/metrics).
+  double available(const std::string& tenant, double now) const;
+
+  std::size_t tenants() const;
+
+ private:
+  struct Bucket {
+    double tokens = 0;
+    double last = 0;
+  };
+
+  double refilled(const Bucket& bucket, double now) const;
+
+  QuotaConfig config_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Bucket> buckets_;
+};
+
+}  // namespace flo::service

@@ -1,0 +1,145 @@
+#include "util/framing.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <poll.h>
+#include <unistd.h>
+
+namespace flo::util {
+
+namespace {
+
+/// Poll slice so cancellation is observed promptly even under infinite
+/// timeouts.
+constexpr int kPollSliceMs = 100;
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw FramingError(std::string(what) + ": " + std::strerror(errno));
+}
+
+/// Waits until `fd` is ready for `events`. Returns false on timeout.
+/// Throws FramingCancelled when the cancel flag trips.
+bool wait_ready(int fd, short events, int timeout_ms,
+                const std::atomic<bool>* cancel) {
+  int waited = 0;
+  for (;;) {
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      throw FramingCancelled("frame I/O cancelled");
+    }
+    int slice = kPollSliceMs;
+    if (timeout_ms >= 0) {
+      const int remaining = timeout_ms - waited;
+      if (remaining <= 0) return false;
+      if (remaining < slice) slice = remaining;
+    }
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = events;
+    pfd.revents = 0;
+    const int rc = ::poll(&pfd, 1, slice);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("poll");
+    }
+    if (rc > 0) return true;  // readable/writable (or HUP — let read see it)
+    waited += slice;
+  }
+}
+
+/// Reads exactly `size` bytes. Returns the byte count actually read, which
+/// is less than `size` only on EOF. Timeout applies per poll wait.
+std::size_t read_exact(int fd, char* data, std::size_t size, int timeout_ms,
+                       const std::atomic<bool>* cancel) {
+  std::size_t done = 0;
+  while (done < size) {
+    if (!wait_ready(fd, POLLIN, timeout_ms, cancel)) {
+      throw FramingTimeout("timed out mid-frame");
+    }
+    const ssize_t n = ::read(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      throw_errno("read");
+    }
+    if (n == 0) break;  // EOF
+    done += static_cast<std::size_t>(n);
+  }
+  return done;
+}
+
+}  // namespace
+
+FrameTooLarge::FrameTooLarge(std::size_t declared, std::size_t max_frame)
+    : FramingError("frame of " + std::to_string(declared) +
+                   " bytes exceeds the " + std::to_string(max_frame) +
+                   "-byte limit"),
+      declared_(declared) {}
+
+bool read_frame(int fd, std::string& payload, std::size_t max_frame,
+                int idle_timeout_ms, int frame_timeout_ms,
+                const std::atomic<bool>* cancel) {
+  // First byte of the length prefix under the idle budget; the rest of the
+  // prefix and the payload under the (usually tighter) frame budget.
+  char prefix[4];
+  if (!wait_ready(fd, POLLIN, idle_timeout_ms, cancel)) {
+    throw FramingTimeout("timed out waiting for a frame");
+  }
+  ssize_t first;
+  for (;;) {
+    first = ::read(fd, prefix, 1);
+    if (first >= 0) break;
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (!wait_ready(fd, POLLIN, idle_timeout_ms, cancel)) {
+        throw FramingTimeout("timed out waiting for a frame");
+      }
+      continue;
+    }
+    throw_errno("read");
+  }
+  if (first == 0) return false;  // clean EOF at a frame boundary
+  if (read_exact(fd, prefix + 1, 3, frame_timeout_ms, cancel) != 3) {
+    throw FramingError("stream truncated inside a length prefix");
+  }
+  const std::size_t declared =
+      (static_cast<std::size_t>(static_cast<unsigned char>(prefix[0])) << 24) |
+      (static_cast<std::size_t>(static_cast<unsigned char>(prefix[1])) << 16) |
+      (static_cast<std::size_t>(static_cast<unsigned char>(prefix[2])) << 8) |
+      static_cast<std::size_t>(static_cast<unsigned char>(prefix[3]));
+  if (declared > max_frame) throw FrameTooLarge(declared, max_frame);
+  payload.resize(declared);
+  if (read_exact(fd, payload.data(), declared, frame_timeout_ms, cancel) !=
+      declared) {
+    throw FramingError("stream truncated inside a payload");
+  }
+  return true;
+}
+
+void write_frame(int fd, std::string_view payload, int timeout_ms) {
+  if (payload.size() > 0xffffffffull) {
+    throw FramingError("payload exceeds the 32-bit frame format");
+  }
+  const std::size_t size = payload.size();
+  std::string buffer;
+  buffer.reserve(4 + size);
+  buffer.push_back(static_cast<char>((size >> 24) & 0xff));
+  buffer.push_back(static_cast<char>((size >> 16) & 0xff));
+  buffer.push_back(static_cast<char>((size >> 8) & 0xff));
+  buffer.push_back(static_cast<char>(size & 0xff));
+  buffer.append(payload);
+  std::size_t done = 0;
+  while (done < buffer.size()) {
+    if (!wait_ready(fd, POLLOUT, timeout_ms, nullptr)) {
+      throw FramingTimeout("timed out writing a frame");
+    }
+    const ssize_t n = ::write(fd, buffer.data() + done, buffer.size() - done);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      if (errno == EPIPE || errno == ECONNRESET) {
+        throw FramingError("peer closed the connection mid-write");
+      }
+      throw_errno("write");
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace flo::util

@@ -1,0 +1,73 @@
+// Length-prefixed framing over POSIX file descriptors — the wire layer of
+// the flo_serve protocol (and anything else that needs message boundaries
+// on a byte stream).
+//
+// A frame is a 4-byte big-endian payload length followed by exactly that
+// many payload bytes. The reader enforces a maximum payload size (a
+// hostile length prefix must not allocate gigabytes) and two timeouts:
+// an *idle* timeout waiting for the first byte of a frame (usually
+// infinite on a server — an idle client is fine) and a *frame* timeout for
+// the remainder (a client that sends half a frame and stalls must not pin
+// a connection forever). All waiting is poll()-based and sliced so a
+// cancel flag (e.g. daemon shutdown) interrupts a blocked reader promptly.
+//
+// Errors are typed: FrameTooLarge and FramingTimeout derive from
+// FramingError so callers can distinguish "protocol violation" from
+// "slow peer" from "broken stream"; clean EOF at a frame boundary is not
+// an error (read_frame returns false).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace flo::util {
+
+class FramingError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// The peer stalled mid-frame (or never produced a first byte within the
+/// idle budget, when one was set).
+class FramingTimeout : public FramingError {
+ public:
+  using FramingError::FramingError;
+};
+
+/// The length prefix exceeds the configured maximum payload size.
+class FrameTooLarge : public FramingError {
+ public:
+  explicit FrameTooLarge(std::size_t declared, std::size_t max_frame);
+  std::size_t declared() const { return declared_; }
+
+ private:
+  std::size_t declared_;
+};
+
+/// Read was cancelled via the `cancel` flag (daemon shutdown).
+class FramingCancelled : public FramingError {
+ public:
+  using FramingError::FramingError;
+};
+
+/// Reads one frame into `payload`. Returns false on clean EOF before any
+/// byte of a new frame; throws FramingError (truncated stream), FrameTooLarge,
+/// FramingTimeout or FramingCancelled otherwise. `idle_timeout_ms` bounds
+/// the wait for the frame's first byte (-1 = wait forever);
+/// `frame_timeout_ms` bounds each subsequent poll once the frame has
+/// started (-1 = forever). `cancel`, when non-null, is checked at least
+/// every 100 ms regardless of the timeouts.
+bool read_frame(int fd, std::string& payload, std::size_t max_frame,
+                int idle_timeout_ms, int frame_timeout_ms,
+                const std::atomic<bool>* cancel = nullptr);
+
+/// Writes one frame (length prefix + payload). Throws FramingError on any
+/// short write or closed pipe, FramingTimeout if the fd stays unwritable
+/// for `timeout_ms` (-1 = forever). The caller is responsible for
+/// serializing concurrent writers on one fd.
+void write_frame(int fd, std::string_view payload, int timeout_ms = -1);
+
+}  // namespace flo::util

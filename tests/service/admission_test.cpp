@@ -1,0 +1,102 @@
+// Admission control: BoundedQueue semantics and the decide() ordering
+// (quota before queue bounds), plus the EWMA service estimate feeding
+// retry-after hints.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "service/admission.hpp"
+
+namespace flo::service {
+namespace {
+
+TEST(BoundedQueueTest, PushPopFifoWithinCapacity) {
+  BoundedQueue<int> queue(3);
+  EXPECT_TRUE(queue.try_push(1));
+  EXPECT_TRUE(queue.try_push(2));
+  EXPECT_TRUE(queue.try_push(3));
+  EXPECT_FALSE(queue.try_push(4)) << "full queue must shed, not grow";
+  EXPECT_EQ(queue.depth(), 3u);
+  EXPECT_EQ(queue.pop(), std::optional<int>(1));
+  EXPECT_TRUE(queue.try_push(4));
+  EXPECT_EQ(queue.pop(), std::optional<int>(2));
+  EXPECT_EQ(queue.pop(), std::optional<int>(3));
+  EXPECT_EQ(queue.pop(), std::optional<int>(4));
+}
+
+TEST(BoundedQueueTest, CloseDrainsThenReturnsNullopt) {
+  BoundedQueue<int> queue(4);
+  EXPECT_TRUE(queue.try_push(7));
+  queue.close();
+  EXPECT_FALSE(queue.try_push(8)) << "closed queue rejects new work";
+  EXPECT_EQ(queue.pop(), std::optional<int>(7)) << "in-queue work still runs";
+  EXPECT_EQ(queue.pop(), std::nullopt);
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedConsumers) {
+  BoundedQueue<int> queue(1);
+  std::vector<std::thread> consumers;
+  std::atomic<int> woke{0};
+  for (int i = 0; i < 3; ++i) {
+    consumers.emplace_back([&] {
+      EXPECT_EQ(queue.pop(), std::nullopt);
+      woke.fetch_add(1);
+    });
+  }
+  queue.close();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(woke.load(), 3);
+}
+
+TEST(AdmissionTest, QuotaIsCheckedBeforeQueueBounds) {
+  AdmissionConfig config;
+  config.quota = {/*rate=*/1.0, /*burst=*/1.0};
+  config.queue_depth = 4;
+  AdmissionController admission(config);
+  EXPECT_EQ(admission.decide("t", 0.0, /*queue_depth=*/0).decision,
+            Decision::kAdmit);
+  // Tenant drained AND queue full: the throttle verdict must win so a
+  // noisy tenant's shed responses carry its quota hint, and the tenant
+  // never consumes shared-queue judgment.
+  const AdmissionResult result = admission.decide("t", 0.0, /*queue_depth=*/4);
+  EXPECT_EQ(result.decision, Decision::kThrottled);
+  EXPECT_GT(result.retry_after_ms, 0.0);
+}
+
+TEST(AdmissionTest, FullQueueShedsWithRetryHint) {
+  AdmissionConfig config;
+  config.queue_depth = 2;
+  config.service_estimate_ms = 100;
+  AdmissionController admission(config);
+  EXPECT_EQ(admission.decide("t", 0.0, 1).decision, Decision::kAdmit);
+  const AdmissionResult result = admission.decide("t", 0.0, 2);
+  EXPECT_EQ(result.decision, Decision::kQueueFull);
+  EXPECT_GT(result.retry_after_ms, 0.0);
+}
+
+TEST(AdmissionTest, QueueRetryHintScalesWithWorkers) {
+  AdmissionConfig config;
+  config.queue_depth = 8;
+  config.service_estimate_ms = 100;
+  AdmissionController admission(config);
+  const double one_worker = admission.queue_retry_after_ms(1);
+  const double four_workers = admission.queue_retry_after_ms(4);
+  EXPECT_NEAR(one_worker, 800.0, 1e-9);
+  EXPECT_NEAR(four_workers, 200.0, 1e-9);
+}
+
+TEST(AdmissionTest, ServiceEstimateIsAnEwma) {
+  AdmissionConfig config;
+  config.service_estimate_ms = 100;
+  AdmissionController admission(config);
+  admission.observe_service_ms(200);
+  // alpha 0.2: 0.8 * 100 + 0.2 * 200 = 120.
+  EXPECT_NEAR(admission.service_estimate_ms(), 120.0, 1e-9);
+  admission.observe_service_ms(120);
+  EXPECT_NEAR(admission.service_estimate_ms(), 120.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace flo::service

@@ -1,0 +1,80 @@
+// Per-tenant token buckets: burst capacity, refill over (injected) time,
+// retry-after hints, tenant isolation.
+#include <gtest/gtest.h>
+
+#include "service/quota.hpp"
+
+namespace flo::service {
+namespace {
+
+TEST(QuotaTest, RateZeroAdmitsEverything) {
+  TenantQuotas quotas;  // default rate 0
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(quotas.admit("anyone", 0.0), 0.0);
+  EXPECT_EQ(quotas.tenants(), 0u) << "disabled quotas should not track state";
+}
+
+TEST(QuotaTest, BurstThenThrottleWithRetryHint) {
+  TenantQuotas quotas(QuotaConfig{/*rate=*/2.0, /*burst=*/3.0});
+  EXPECT_EQ(quotas.admit("t", 10.0), 0.0);
+  EXPECT_EQ(quotas.admit("t", 10.0), 0.0);
+  EXPECT_EQ(quotas.admit("t", 10.0), 0.0);
+  const double retry = quotas.admit("t", 10.0);
+  // Empty bucket at rate 2/s: one token accrues in 500 ms.
+  EXPECT_NEAR(retry, 500.0, 1.0);
+}
+
+TEST(QuotaTest, TokensRefillWithTime) {
+  TenantQuotas quotas(QuotaConfig{/*rate=*/1.0, /*burst=*/1.0});
+  EXPECT_EQ(quotas.admit("t", 0.0), 0.0);
+  EXPECT_GT(quotas.admit("t", 0.0), 0.0);  // drained
+  EXPECT_EQ(quotas.admit("t", 1.0), 0.0);  // one second refills one token
+  EXPECT_GT(quotas.admit("t", 1.0), 0.0);
+}
+
+TEST(QuotaTest, RefillCapsAtBurst) {
+  TenantQuotas quotas(QuotaConfig{/*rate=*/10.0, /*burst=*/2.0});
+  EXPECT_EQ(quotas.admit("t", 0.0), 0.0);
+  // A long idle period must not bank more than `burst` tokens.
+  EXPECT_EQ(quotas.admit("t", 1000.0), 0.0);
+  EXPECT_EQ(quotas.admit("t", 1000.0), 0.0);
+  EXPECT_GT(quotas.admit("t", 1000.0), 0.0);
+}
+
+TEST(QuotaTest, TenantsAreIsolated) {
+  TenantQuotas quotas(QuotaConfig{/*rate=*/1.0, /*burst=*/1.0});
+  EXPECT_EQ(quotas.admit("noisy", 0.0), 0.0);
+  EXPECT_GT(quotas.admit("noisy", 0.0), 0.0);
+  // The noisy neighbour's empty bucket must not tax anyone else.
+  EXPECT_EQ(quotas.admit("quiet", 0.0), 0.0);
+  EXPECT_EQ(quotas.tenants(), 2u);
+}
+
+TEST(QuotaTest, FreshTenantsStartWithAFullBucket) {
+  TenantQuotas quotas(QuotaConfig{/*rate=*/0.001, /*burst=*/4.0});
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(quotas.admit("new", 100.0), 0.0);
+  EXPECT_GT(quotas.admit("new", 100.0), 0.0);
+}
+
+TEST(QuotaTest, RetryHintNeverZeroOrNegative) {
+  TenantQuotas quotas(QuotaConfig{/*rate=*/1e6, /*burst=*/1.0});
+  EXPECT_EQ(quotas.admit("t", 0.0), 0.0);
+  const double retry = quotas.admit("t", 0.0);
+  EXPECT_GE(retry, 1.0) << "hints are floored at 1 ms to avoid busy-spin";
+}
+
+TEST(QuotaTest, BurstIsFlooredAtOne) {
+  TenantQuotas quotas(QuotaConfig{/*rate=*/1.0, /*burst=*/0.25});
+  // A bucket that cannot hold one token would throttle forever.
+  EXPECT_EQ(quotas.admit("t", 0.0), 0.0);
+}
+
+TEST(QuotaTest, TimeGoingBackwardsIsHarmless) {
+  TenantQuotas quotas(QuotaConfig{/*rate=*/1.0, /*burst=*/2.0});
+  EXPECT_EQ(quotas.admit("t", 100.0), 0.0);
+  // A clock hiccup must not mint tokens or crash.
+  EXPECT_EQ(quotas.admit("t", 99.0), 0.0);
+  EXPECT_GT(quotas.admit("t", 99.0), 0.0);
+}
+
+}  // namespace
+}  // namespace flo::service

@@ -1,0 +1,128 @@
+// Length-prefixed framing over pipes: round trips, clean EOF, truncated
+// streams, the max-frame guard, timeouts and cancellation.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "util/framing.hpp"
+
+namespace flo::util {
+namespace {
+
+struct Pipe {
+  int fds[2] = {-1, -1};
+  Pipe() { EXPECT_EQ(::pipe(fds), 0); }
+  ~Pipe() {
+    close_read();
+    close_write();
+  }
+  int r() const { return fds[0]; }
+  int w() const { return fds[1]; }
+  void close_read() {
+    if (fds[0] >= 0) ::close(fds[0]);
+    fds[0] = -1;
+  }
+  void close_write() {
+    if (fds[1] >= 0) ::close(fds[1]);
+    fds[1] = -1;
+  }
+};
+
+TEST(FramingTest, RoundTripsPayloads) {
+  Pipe p;
+  write_frame(p.w(), "hello frames");
+  write_frame(p.w(), std::string("\x00\x01\xffwith binary\n bytes", 19));
+  std::string payload;
+  ASSERT_TRUE(read_frame(p.r(), payload, 1 << 20, 1000, 1000));
+  EXPECT_EQ(payload, "hello frames");
+  ASSERT_TRUE(read_frame(p.r(), payload, 1 << 20, 1000, 1000));
+  EXPECT_EQ(payload, std::string("\x00\x01\xffwith binary\n bytes", 19));
+}
+
+TEST(FramingTest, EmptyPayloadIsAValidFrame) {
+  Pipe p;
+  write_frame(p.w(), "");
+  std::string payload = "stale";
+  ASSERT_TRUE(read_frame(p.r(), payload, 1 << 20, 1000, 1000));
+  EXPECT_TRUE(payload.empty());
+}
+
+TEST(FramingTest, CleanEofAtFrameBoundaryReturnsFalse) {
+  Pipe p;
+  write_frame(p.w(), "last");
+  p.close_write();
+  std::string payload;
+  ASSERT_TRUE(read_frame(p.r(), payload, 1 << 20, 1000, 1000));
+  EXPECT_FALSE(read_frame(p.r(), payload, 1 << 20, 1000, 1000));
+}
+
+TEST(FramingTest, TruncatedStreamMidFrameThrows) {
+  Pipe p;
+  // A 100-byte promise with 3 bytes delivered, then EOF.
+  const char prefix[4] = {0, 0, 0, 100};
+  ASSERT_EQ(::write(p.w(), prefix, 4), 4);
+  ASSERT_EQ(::write(p.w(), "abc", 3), 3);
+  p.close_write();
+  std::string payload;
+  EXPECT_THROW(read_frame(p.r(), payload, 1 << 20, 1000, 1000), FramingError);
+}
+
+TEST(FramingTest, OversizedLengthPrefixThrowsBeforeAllocating) {
+  Pipe p;
+  const unsigned char prefix[4] = {0xff, 0xff, 0xff, 0xff};
+  ASSERT_EQ(::write(p.w(), prefix, 4), 4);
+  std::string payload;
+  try {
+    read_frame(p.r(), payload, /*max_frame=*/4096, 1000, 1000);
+    FAIL() << "expected FrameTooLarge";
+  } catch (const FrameTooLarge& e) {
+    EXPECT_EQ(e.declared(), 0xffffffffu);
+  }
+}
+
+TEST(FramingTest, StalledFrameTimesOut) {
+  Pipe p;
+  const char prefix[4] = {0, 0, 0, 100};
+  ASSERT_EQ(::write(p.w(), prefix, 4), 4);  // promise, never deliver
+  std::string payload;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_THROW(read_frame(p.r(), payload, 1 << 20, 1000, /*frame=*/150),
+               FramingTimeout);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
+}
+
+TEST(FramingTest, IdleTimeoutCoversTheFirstByte) {
+  Pipe p;
+  std::string payload;
+  EXPECT_THROW(read_frame(p.r(), payload, 1 << 20, /*idle=*/100, 1000),
+               FramingTimeout);
+}
+
+TEST(FramingTest, CancelFlagInterruptsABlockedReader) {
+  Pipe p;
+  std::atomic<bool> cancel{false};
+  std::thread canceller([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    cancel.store(true);
+  });
+  std::string payload;
+  EXPECT_THROW(
+      read_frame(p.r(), payload, 1 << 20, /*idle=*/-1, -1, &cancel),
+      FramingCancelled);
+  canceller.join();
+}
+
+TEST(FramingTest, WriteToClosedReaderThrowsFramingError) {
+  Pipe p;
+  ::signal(SIGPIPE, SIG_IGN);
+  p.close_read();
+  EXPECT_THROW(write_frame(p.w(), "nobody listening"), FramingError);
+}
+
+}  // namespace
+}  // namespace flo::util
