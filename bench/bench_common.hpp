@@ -90,10 +90,21 @@ inline void validate_sim_core_env() {
   }
 }
 
+/// Same up-front validation for FLO_SOLVER (the Step I backend).
+inline void validate_solver_env() {
+  if (const char* env = std::getenv("FLO_SOLVER")) {
+    if (*env != '\0' && !core::parse_solver(env)) {
+      die_env("FLO_SOLVER",
+              "unknown layout solver (want unimodular or constraint)", env);
+    }
+  }
+}
+
 /// Engine options assembled from the environment (workers, checkpoint
 /// journal, per-cell timeout/retry budgets). Malformed knobs exit 2.
 inline core::EngineOptions engine_options_from_env() {
   validate_sim_core_env();
+  validate_solver_env();
   core::EngineOptions options;
   options.workers = workers_from_env();
   options.share_compilations = true;

@@ -381,12 +381,118 @@ int run_calibrate(ScenarioContext& ctx) {
                    util::format_fixed(m.normalized_storage_miss(), 2),
                    util::format_fixed(app.paper.norm_storage_miss, 2),
                    std::to_string(b.accesses)});
+    // Optimality accounting: how close the optimized run lands to its
+    // per-layer I/O lower bound (never printed — emit() only, so stdout
+    // stays byte-identical to the pre-bound calibrate table).
+    ctx.emit(app.name + ".bound_bytes",
+             static_cast<double>(m.optimized.bound_bytes()));
+    ctx.emit(app.name + ".achieved_ratio", m.optimized.achieved_ratio());
   }
   const double avg = core::safe_average(sum_impr, suite.size());
   ctx.out() << table;
   ctx.out() << "average improvement: " << util::format_percent(avg)
             << " (paper: 23.7%)\n";
   ctx.emit("avg_improvement", avg);
+  return 0;
+}
+
+// BM_SolverAblation — the two Step I backends (core/layout_solver.hpp)
+// head to head: optimizer wall time over the suite, the layout
+// improvement each backend's plans deliver, and how close each run lands
+// to its I/O lower bound (core/io_lower_bound.hpp). The achieved/bound
+// ratio is the scenario's headline: 1.00 would mean every byte filled
+// into a cache layer was compulsory.
+int run_solver_ablation(ScenarioContext& ctx) {
+  const auto suite = workloads::workload_suite();
+
+  struct Backend {
+    const char* label;
+    core::SolverKind kind;
+  };
+  const Backend backends[] = {
+      {"unimodular", core::SolverKind::kUnimodular},
+      {"constraint", core::SolverKind::kConstraintNetwork}};
+
+  // Compile-time comparison: direct optimize() wall time per backend over
+  // the whole suite (outside the engine, so nothing is cached away).
+  double compile_seconds[2] = {0, 0};
+  const storage::StorageTopology topo(
+      storage::TopologyConfig::paper_default());
+  const core::FileLayoutOptimizer optimizer(topo);
+  for (int b = 0; b < 2; ++b) {
+    core::OptimizerOptions options;
+    options.solver = backends[b].kind;
+    const auto start = std::chrono::steady_clock::now();
+    for (const auto& app : suite) {
+      const parallel::ParallelSchedule schedule(app.program, 64);
+      (void)optimizer.optimize(app.program, schedule, options);
+    }
+    compile_seconds[b] = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+  }
+
+  std::vector<VariantSpec> variants;
+  for (const Backend& backend : backends) {
+    core::ExperimentConfig base;
+    core::ExperimentConfig opt = base;
+    opt.scheme = core::Scheme::kInterNode;
+    opt.solver = backend.kind;
+    variants.push_back({backend.label, base, opt});
+  }
+  const auto grid = run_variant_grid(variants, suite);
+
+  util::Table table({"Application", "norm (uni)", "norm (con)",
+                     "achieved/bound (uni)", "achieved/bound (con)"});
+  double ratio_sum[2] = {0, 0};
+  double improvement[2] = {0, 0};
+  for (std::size_t a = 0; a < suite.size(); ++a) {
+    std::vector<std::string> row{suite[a].name};
+    for (int b = 0; b < 2; ++b) {
+      row.push_back(util::format_fixed(grid[b][a].normalized_exec(), 2));
+    }
+    for (int b = 0; b < 2; ++b) {
+      const auto& sim = grid[b][a].optimized;
+      // The bound is layout-independent, so any achieved < bound is a
+      // soundness bug, not a measurement artifact — fail the scenario.
+      if (sim.achieved_bytes() < sim.bound_bytes()) {
+        ctx.out() << "ERROR: " << suite[a].name << "/" << backends[b].label
+                  << " achieved " << sim.achieved_bytes()
+                  << " B below the lower bound " << sim.bound_bytes()
+                  << " B\n";
+        return 1;
+      }
+      row.push_back(util::format_fixed(sim.achieved_ratio(), 2));
+      ratio_sum[b] += sim.achieved_ratio();
+    }
+    table.add_row(std::move(row));
+    ctx.emit(suite[a].name + ".bound_bytes",
+             static_cast<double>(grid[0][a].optimized.bound_bytes()));
+    ctx.emit(suite[a].name + ".achieved_ratio.unimodular",
+             grid[0][a].optimized.achieved_ratio());
+    ctx.emit(suite[a].name + ".achieved_ratio.constraint",
+             grid[1][a].optimized.achieved_ratio());
+  }
+  ctx.out() << "BM_SolverAblation — Step I backends: unimodular greedy vs "
+               "constraint network\n\n";
+  ctx.out() << table << '\n';
+  for (int b = 0; b < 2; ++b) {
+    improvement[b] = core::average_improvement(grid[b]);
+    const double avg_ratio =
+        core::safe_average(ratio_sum[b], suite.size());
+    ctx.out() << backends[b].label << ": compile "
+              << util::format_duration(compile_seconds[b])
+              << ", average improvement "
+              << util::format_percent(improvement[b])
+              << ", average achieved/bound "
+              << util::format_fixed(avg_ratio, 2) << '\n';
+    ctx.emit(std::string("compile_seconds.") + backends[b].label,
+             compile_seconds[b]);
+    ctx.emit(std::string("avg_improvement.") + backends[b].label,
+             improvement[b]);
+    ctx.emit(std::string("avg_achieved_ratio.") + backends[b].label,
+             avg_ratio);
+  }
   return 0;
 }
 
@@ -408,6 +514,10 @@ int run_smoke(ScenarioContext& ctx) {
                    util::format_fixed(rows[a].normalized_exec(), 2),
                    util::format_percent(rows[a].improvement())});
     ctx.emit(suite[a].name + ".norm_exec", rows[a].normalized_exec());
+    ctx.emit(suite[a].name + ".bound_bytes",
+             static_cast<double>(rows[a].optimized.bound_bytes()));
+    ctx.emit(suite[a].name + ".achieved_ratio",
+             rows[a].optimized.achieved_ratio());
   }
   const double avg = core::average_improvement(rows);
   ctx.out() << "Smoke — two-application end-to-end check (default vs "
@@ -446,6 +556,12 @@ void register_extra_scenarios(std::vector<ScenarioSpec>& out) {
                  "Section 4.3 claim",
                  {"ablation"},
                  run_ablation_template});
+  out.push_back({"solver_ablation",
+                 "BM_SolverAblation: Step I backends' compile time and "
+                 "achieved/bound ratio",
+                 "optimality accounting extension (not in paper)",
+                 {"ablation", "bound"},
+                 run_solver_ablation});
   out.push_back({"fault_sweep",
                  "Degradation vs injected storage-fault rate",
                  "robustness extension (not in paper)",

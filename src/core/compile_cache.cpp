@@ -150,6 +150,9 @@ std::string compile_fingerprint(std::uint64_t program_fp,
     case Scheme::kInterNodeIoOnly:
     case Scheme::kInterNodeStorageOnly:
       append_value(key, config.unweighted_step1);
+      // The Step I backend changes the plan, so cached cells must never
+      // mix solvers (DESIGN.md §4i).
+      append_value(key, config.solver);
       append_topology_key(key,
                           config.compile_topology.value_or(config.topology));
       break;

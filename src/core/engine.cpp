@@ -56,6 +56,7 @@ std::string journal_key(const ExperimentJob& job,
   append_value(bytes, job.config.policy);
   append_value(bytes, job.config.scheme);
   append_value(bytes, job.config.unweighted_step1);
+  append_value(bytes, job.config.solver);
   append_value(bytes, job.config.trace);
   // The cores agree on integer stats only inside the equivalence envelope;
   // exec times always differ, so journaled cells are per-core.

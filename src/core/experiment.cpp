@@ -4,6 +4,7 @@
 
 #include "baselines/computation_mapping.hpp"
 #include "baselines/dimension_reindexing.hpp"
+#include "core/io_lower_bound.hpp"
 #include "layout/canonical.hpp"
 #include "obs/span.hpp"
 #include "trace/analysis.hpp"
@@ -56,6 +57,20 @@ storage::SimulationResult simulate(const ir::Program& program,
   const bool karma = config.policy == storage::PolicyKind::kKarma;
   std::vector<storage::RangeHint> hints;
 
+  // The I/O lower bound (core/io_lower_bound.hpp) depends only on the
+  // trace footprint, the capacities, and the policy — attach it to the
+  // result here so both trace paths (and every caller: benches, the
+  // service, flo_opt) report achieved vs. bound identically.
+  const auto attach_bound = [&](storage::SimulationResult result,
+                                const storage::TraceSource& source) {
+    const IoBound bound = compute_io_lower_bound(
+        source, io_nodes_of_threads(schedule, topology), topology,
+        config.policy);
+    result.io_bound_bytes = bound.io_bound_bytes;
+    result.storage_bound_bytes = bound.storage_bound_bytes;
+    return result;
+  };
+
   if (config.trace == TraceMode::kEager) {
     const storage::TraceProgram trace =
         trace::generate_trace(program, schedule, layouts, topology);
@@ -64,7 +79,8 @@ storage::SimulationResult simulate(const ir::Program& program,
         topology, config.policy, io_nodes_of_threads(schedule, topology),
         std::move(hints));
     simulator.set_core(config.sim_core);
-    return simulator.run(trace);
+    return attach_bound(simulator.run(trace),
+                        storage::MaterializedTraceSource(trace));
   }
 
   // Extent emission follows the FLO_EXTENTS knob: the expanded stream is
@@ -80,7 +96,7 @@ storage::SimulationResult simulate(const ir::Program& program,
       topology, config.policy, io_nodes_of_threads(schedule, topology),
       std::move(hints));
   simulator.set_core(config.sim_core);
-  return simulator.run(source);
+  return attach_bound(simulator.run(source), source);
 }
 
 }  // namespace
@@ -120,6 +136,7 @@ CompiledExperiment compile_experiment(const ir::Program& program,
                          ? layout::LayerMask::kStorageOnly
                          : layout::LayerMask::kBoth;
       options.partitioning.weighted = !config.unweighted_step1;
+      options.solver = config.solver;
       const FileLayoutOptimizer optimizer(compile_topology);
       OptimizationResult opt =
           optimizer.optimize(program, out.schedule, options);

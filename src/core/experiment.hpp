@@ -51,6 +51,11 @@ struct ExperimentConfig {
   Scheme scheme = Scheme::kDefault;
   /// Unweighted Step I (ablation); only affects inter-node schemes.
   bool unweighted_step1 = false;
+  /// Step I backend (core/layout_solver.hpp); only affects inter-node
+  /// schemes. Defaults to the FLO_SOLVER process default (unimodular
+  /// unless FLO_SOLVER=constraint). Joins the compile fingerprint and the
+  /// engine journal key, so cells never mix backends.
+  SolverKind solver = solver_from_env();
   /// Trace generation strategy; streaming and eager produce bit-identical
   /// simulation results (golden-tested), so this is purely a memory knob.
   TraceMode trace = TraceMode::kStreaming;

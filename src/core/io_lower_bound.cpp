@@ -1,0 +1,142 @@
+#include "core/io_lower_bound.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace flo::core {
+
+namespace {
+
+/// Flat bitset over global block ids, sized once per trace footprint.
+class BlockSet {
+ public:
+  explicit BlockSet(std::uint64_t bits) : words_((bits + 63) / 64, 0) {}
+
+  /// Sets [start, start + run); returns how many bits were newly set.
+  std::uint64_t mark_range(std::uint64_t start, std::uint64_t run) {
+    std::uint64_t fresh = 0;
+    std::uint64_t bit = start;
+    const std::uint64_t end = start + run;
+    while (bit < end) {
+      const std::uint64_t word = bit / 64;
+      const unsigned lo = static_cast<unsigned>(bit % 64);
+      const std::uint64_t span = std::min<std::uint64_t>(end - bit, 64 - lo);
+      const std::uint64_t mask =
+          (span == 64 ? ~0ull : ((1ull << span) - 1)) << lo;
+      fresh += static_cast<std::uint64_t>(
+          std::popcount(mask & ~words_[word]));
+      words_[word] |= mask;
+      bit += span;
+    }
+    return fresh;
+  }
+
+  /// ORs `src` in; returns how many of src's bits were not yet set here.
+  std::uint64_t merge_count(const BlockSet& src) {
+    std::uint64_t fresh = 0;
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      fresh += static_cast<std::uint64_t>(
+          std::popcount(src.words_[w] & ~words_[w]));
+      words_[w] |= src.words_[w];
+    }
+    return fresh;
+  }
+
+  void clear() { std::fill(words_.begin(), words_.end(), 0); }
+
+ private:
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace
+
+IoBound compute_io_lower_bound(
+    const storage::TraceSource& source,
+    const std::vector<storage::NodeId>& io_node_of_thread,
+    const storage::StorageTopology& topology, storage::PolicyKind policy) {
+  const storage::TopologyConfig& cfg = topology.config();
+  IoBound bound;
+  // Layers whose fills the model cannot bound from below claim zero (see
+  // the header comment); fault outages skip fills entirely.
+  if (cfg.fault.enabled) return bound;
+  const bool io_on =
+      cfg.io_cache_enabled && policy != storage::PolicyKind::kKarma;
+  const bool storage_on = cfg.storage_cache_enabled &&
+                          policy != storage::PolicyKind::kKarma &&
+                          policy != storage::PolicyKind::kDemoteLru;
+  if (!io_on && !storage_on) return bound;
+
+  // Global block ids: files laid out back to back.
+  const std::vector<std::uint64_t>& file_blocks = source.file_blocks();
+  std::vector<std::uint64_t> file_offset(file_blocks.size(), 0);
+  std::uint64_t total_blocks = 0;
+  for (std::size_t f = 0; f < file_blocks.size(); ++f) {
+    file_offset[f] = total_blocks;
+    total_blocks += file_blocks[f];
+  }
+  if (total_blocks == 0) return bound;
+  if (io_node_of_thread.size() < source.thread_count()) {
+    throw std::invalid_argument(
+        "compute_io_lower_bound: io_node_of_thread shorter than the "
+        "trace's thread count");
+  }
+
+  const std::size_t io_caches = cfg.io_nodes;
+  const std::uint64_t io_capacity = topology.io_cache_blocks();
+  // ever[c]: blocks ever requested at I/O cache c (compulsory fills).
+  // phase[c]: blocks requested at c within the current phase (repetition
+  // pressure). touched: global footprint (storage compulsory fills).
+  std::vector<BlockSet> ever(io_on ? io_caches : 0, BlockSet(total_blocks));
+  std::vector<BlockSet> phase(io_on ? io_caches : 0, BlockSet(total_blocks));
+  BlockSet touched(storage_on ? total_blocks : 0);
+
+  std::uint64_t io_bound_blocks = 0;
+  std::uint64_t storage_bound_blocks = 0;
+  std::vector<std::uint64_t> phase_distinct(io_caches, 0);
+
+  for (std::size_t p = 0; p < source.phase_count(); ++p) {
+    if (io_on) {
+      for (auto& s : phase) s.clear();
+      std::fill(phase_distinct.begin(), phase_distinct.end(), 0);
+    }
+    for (std::uint32_t t = 0; t < source.thread_count(); ++t) {
+      const storage::NodeId cache = io_node_of_thread[t];
+      const auto cursor = source.open(p, t);
+      storage::AccessEvent ev;
+      while (cursor->next(ev)) {
+        const std::uint64_t start = file_offset[ev.file] + ev.block;
+        // Writes count too: the simulator write-allocates, so a written
+        // block fills the caches exactly like a read one.
+        if (io_on) {
+          phase_distinct[cache] +=
+              phase[cache].mark_range(start, ev.run_blocks);
+        }
+        if (storage_on) {
+          storage_bound_blocks += touched.mark_range(start, ev.run_blocks);
+        }
+      }
+    }
+    if (io_on) {
+      const std::uint64_t repeat = source.phase_repeat(p);
+      for (std::size_t c = 0; c < io_caches; ++c) {
+        // First traversal: every block not seen at this cache before is a
+        // compulsory fill. Each replay: at most `io_capacity` blocks can
+        // still be resident when the repetition starts, so at least
+        // distinct - capacity must be refilled, every extra time around.
+        io_bound_blocks += ever[c].merge_count(phase[c]);
+        if (repeat > 1 && phase_distinct[c] > io_capacity) {
+          io_bound_blocks +=
+              (repeat - 1) * (phase_distinct[c] - io_capacity);
+        }
+      }
+    }
+  }
+  if (io_on) bound.io_bound_bytes = io_bound_blocks * cfg.block_size;
+  if (storage_on) {
+    bound.storage_bound_bytes = storage_bound_blocks * cfg.block_size;
+  }
+  return bound;
+}
+
+}  // namespace flo::core

@@ -24,10 +24,12 @@ OptimizationResult FileLayoutOptimizer::optimize(
     layout::ArrayTransformPlan plan;
     plan.array_name = program.array(a).name();
     {
-      // Step I: the Eq. 3-5 unimodular partitioning search.
+      // Step I behind the LayoutSolver seam: the Eq. 3-5 unimodular greedy
+      // by default, or the constraint-network backend via options.solver.
       const obs::ScopedSpan step1("compile.step1", "compile");
-      plan.partitioning =
-          layout::partition_array(program, a, schedule, options.partitioning);
+      plan.partitioning = solver_for(options.solver)
+                              .solve(program, a, schedule,
+                                     options.partitioning);
     }
 
     // Profitability test: an array within a small multiple of one I/O
@@ -63,11 +65,11 @@ OptimizationResult FileLayoutOptimizer::optimize(
     }
     layout::FileLayoutPtr chosen;
     if (!too_small_to_matter && !too_conflicted) {
-      // Step II: hierarchy-aware chunk-pattern construction (Algorithm 1).
+      // Step II: hierarchy-aware chunk-pattern construction (Algorithm 1),
+      // consuming the Step I result the solver already produced.
       const obs::ScopedSpan step2("compile.step2", "compile");
-      chosen = layout::build_internode_layout(program, a, schedule, topology_,
-                                              options.mask,
-                                              options.partitioning);
+      chosen = layout::build_internode_layout(
+          program, a, plan.partitioning, schedule, topology_, options.mask);
     }
     if (chosen) {
       plan.optimized = true;

@@ -8,6 +8,7 @@
 // layout changes.
 #pragma once
 
+#include "core/layout_solver.hpp"
 #include "ir/program.hpp"
 #include "layout/file_layout.hpp"
 #include "layout/internode.hpp"
@@ -20,6 +21,8 @@ namespace flo::core {
 struct OptimizerOptions {
   layout::LayerMask mask = layout::LayerMask::kBoth;  ///< Fig. 7(f) sweeps
   layout::PartitioningOptions partitioning;           ///< Eq. 5 ablation
+  /// Step I backend (core/layout_solver.hpp); defaults to FLO_SOLVER.
+  SolverKind solver = solver_from_env();
 };
 
 struct OptimizationResult {

@@ -1,0 +1,29 @@
+// Step I, constraint-network formulation (DESIGN.md §4i).
+//
+// Where the unimodular greedy (partitioning.cpp) grows a consistent
+// constraint set heaviest-first and stops at the first unsatisfiable
+// group, this backend follows Chen & Kandemir's constraint-network view
+// of layout optimization: the per-array layout variable ranges over an
+// explicit finite domain of candidate hyperplanes, each access-pattern
+// group contributes one constraint, and iterative propagation tightens
+// the domain in cost order — a constraint that would empty the domain is
+// left soft instead of aborting the search. The final assignment is
+// cost-ranked: among the surviving candidates (plus the unimodular
+// reference point, which anchors the domain so this backend can never
+// score below the greedy), pick the hyperplane with the largest
+// recomputed satisfied weight, tie-broken deterministically.
+#pragma once
+
+#include "layout/partitioning.hpp"
+
+namespace flo::layout {
+
+/// Runs the constraint-network Step I for one array. Field semantics match
+/// partition_array exactly (same finalization); `satisfied_weight` is the
+/// recomputed weight of the chosen hyperplane, which is >= the greedy's.
+ArrayPartitioning solve_constraint_network(
+    const ir::Program& program, ir::ArrayId array,
+    const parallel::ParallelSchedule& schedule,
+    const PartitioningOptions& options = {});
+
+}  // namespace flo::layout

@@ -179,14 +179,23 @@ FileLayoutPtr build_internode_layout(const ir::Program& program,
                                      const storage::StorageTopology& topology,
                                      LayerMask mask,
                                      const PartitioningOptions& options) {
-  const ArrayPartitioning part =
-      partition_array(program, array, schedule, options);
-  if (!part.partitioned) return nullptr;
+  return build_internode_layout(
+      program, array, partition_array(program, array, schedule, options),
+      schedule, topology, mask);
+}
+
+FileLayoutPtr build_internode_layout(const ir::Program& program,
+                                     ir::ArrayId array,
+                                     const ArrayPartitioning& partitioning,
+                                     const parallel::ParallelSchedule& schedule,
+                                     const storage::StorageTopology& topology,
+                                     LayerMask mask) {
+  if (!partitioning.partitioned) return nullptr;
   const std::uint64_t block_elems = std::max<std::uint64_t>(
       1, topology.config().block_size /
              static_cast<std::uint64_t>(program.array(array).element_size()));
   return std::make_unique<InterNodeLayout>(
-      program, array, part, schedule, pattern_layers(topology, mask),
+      program, array, partitioning, schedule, pattern_layers(topology, mask),
       leaf_cache_of_threads(schedule, topology, mask), block_elems);
 }
 

@@ -77,6 +77,16 @@ FileLayoutPtr build_internode_layout(const ir::Program& program,
                                      LayerMask mask = LayerMask::kBoth,
                                      const PartitioningOptions& options = {});
 
+/// Step II only, against a precomputed Step I result — the path the
+/// optimizer takes now that Step I runs behind a LayoutSolver backend
+/// (core/layout_solver.hpp). Returns nullptr when !partitioning.partitioned.
+FileLayoutPtr build_internode_layout(const ir::Program& program,
+                                     ir::ArrayId array,
+                                     const ArrayPartitioning& partitioning,
+                                     const parallel::ParallelSchedule& schedule,
+                                     const storage::StorageTopology& topology,
+                                     LayerMask mask = LayerMask::kBoth);
+
 /// Each thread's cache index at the bottom layer of the Step II pattern:
 /// its I/O node for kBoth/kIoOnly, its storage node for kStorageOnly,
 /// derived from the schedule's thread -> compute-node mapping.

@@ -9,14 +9,26 @@
 
 namespace flo::layout {
 
-namespace {
-
-/// d . (Q e_u): how the hyperplane value changes per step of the parallel
-/// loop through access matrix Q. Nonzero means d actually separates threads.
 std::int64_t parallel_stride(std::span<const std::int64_t> d,
                              const linalg::IntMatrix& q, std::size_t u) {
   return linalg::dot(d, q.column(u));
 }
+
+bool satisfies_group(std::span<const std::int64_t> d,
+                     const AccessMatrixGroup& group) {
+  return linalg::in_left_null_space(d, group.constraint);
+}
+
+std::int64_t satisfied_weight_of(std::span<const std::int64_t> d,
+                                 const std::vector<AccessMatrixGroup>& groups) {
+  std::int64_t weight = 0;
+  for (const auto& g : groups) {
+    if (satisfies_group(d, g)) weight = linalg::checked_add(weight, g.weight);
+  }
+  return weight;
+}
+
+namespace {
 
 /// Selects a usable hyperplane vector from the common left null space of
 /// `constraints`: prefer a basis vector with nonzero stride through the
@@ -128,8 +140,17 @@ ArrayPartitioning partition_array(const ir::Program& program,
   }
   if (!best) return result;  // no reference admits a partitioning hyperplane
 
-  linalg::IntVector d = std::move(*best);
-  const AccessMatrixGroup& primary = *accepted_groups.front();
+  finalize_partitioning(result, std::move(*best), *accepted_groups.front(),
+                        program, array);
+
+  (void)schedule;  // ownership mapping consumes the schedule in internode.cpp
+  return result;
+}
+
+void finalize_partitioning(ArrayPartitioning& result, linalg::IntVector d,
+                           const AccessMatrixGroup& primary,
+                           const ir::Program& program, ir::ArrayId array) {
+  const auto& decl = program.array(array);
   std::int64_t alpha = parallel_stride(d, primary.q, primary.parallel_dim);
   if (alpha < 0) {
     for (auto& e : d) e = -e;
@@ -158,9 +179,6 @@ ArrayPartitioning partition_array(const ir::Program& program,
   }
   result.s_min = s_min;
   result.s_max = s_max;
-
-  (void)schedule;  // ownership mapping consumes the schedule in internode.cpp
-  return result;
 }
 
 }  // namespace flo::layout

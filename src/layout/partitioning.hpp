@@ -68,6 +68,30 @@ struct ArrayPartitioning {
 std::vector<AccessMatrixGroup> collect_access_groups(
     const ir::Program& program, ir::ArrayId array);
 
+/// d . (Q e_u): how the hyperplane value changes per step of the parallel
+/// loop through access matrix Q. Nonzero means d actually separates threads.
+std::int64_t parallel_stride(std::span<const std::int64_t> d,
+                             const linalg::IntMatrix& q, std::size_t u);
+
+/// Whether hyperplane d satisfies the group's Eq. 3 system (d annihilates
+/// its Q * E_u constraint block).
+bool satisfies_group(std::span<const std::int64_t> d,
+                     const AccessMatrixGroup& group);
+
+/// Sum of weights of the groups d satisfies — the cost both solver
+/// backends (and the solver-agreement oracle) rank hyperplanes by.
+std::int64_t satisfied_weight_of(std::span<const std::int64_t> d,
+                                 const std::vector<AccessMatrixGroup>& groups);
+
+/// Completes `result` from a chosen hyperplane and its primary group:
+/// sign normalization (alpha > 0 through the primary reference), the
+/// unimodular completion, beta, and the s-range over the data box. Shared
+/// by the unimodular greedy and the constraint-network backend so both
+/// produce identical finalized fields for the same (d, primary) choice.
+void finalize_partitioning(ArrayPartitioning& result, linalg::IntVector d,
+                           const AccessMatrixGroup& primary,
+                           const ir::Program& program, ir::ArrayId array);
+
 /// Options for Step I (the unweighted variant feeds the ablation bench).
 struct PartitioningOptions {
   /// If false, groups are considered in program order instead of by weight

@@ -89,6 +89,7 @@ struct Response {
   std::string tenant;
   std::string tier;         ///< "exact"/"template" (ok only)
   std::string cache;        ///< "hit"/"miss" (ok only)
+  std::string solver;       ///< Step I backend that compiled the plan
   bool degraded = false;    ///< served below the requested tier
   std::string fingerprint;  ///< compile key actually served
   std::string body_hash;    ///< hex16(fnv1a(request program)) — leak canary

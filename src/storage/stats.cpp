@@ -96,6 +96,13 @@ std::string SimulationResult::detailed() const {
     os << "  faults       : " << faults.exhausted_retries
        << " exhausted retry budgets";
   }
+  if (bound_bytes() != 0) {
+    os << '\n'
+       << "  bound        : " << util::format_bytes(achieved_bytes())
+       << " filled vs " << util::format_bytes(bound_bytes())
+       << " minimum (ratio " << util::format_fixed(achieved_ratio(), 2)
+       << ')';
+  }
   return os.str();
 }
 
@@ -109,9 +116,12 @@ namespace {
 
 // v2 appended the event-core queue stats; v1 lines (pre-event journals)
 // still parse, with queue stats zero — exactly what the clock core that
-// wrote them produced.
+// wrote them produced. v3 appended the two I/O lower-bound fields; v1/v2
+// lines parse with bounds zero ("no claim"), matching what the runners
+// that wrote them computed.
 constexpr const char* kWireTagV1 = "sim-v1";
 constexpr const char* kWireTagV2 = "sim-v2";
+constexpr const char* kWireTagV3 = "sim-v3";
 
 void put_double(std::ostringstream& os, double value) {
   char buffer[48];
@@ -189,7 +199,7 @@ struct Reader {
 
 std::string to_wire(const SimulationResult& result) {
   std::ostringstream os;
-  os << kWireTagV2;
+  os << kWireTagV3;
   put_layer(os, result.io);
   put_layer(os, result.storage);
   put_double(os, result.exec_time);
@@ -205,13 +215,15 @@ std::string to_wire(const SimulationResult& result) {
   put_queue_layer(os, result.queue.io);
   put_queue_layer(os, result.queue.storage);
   put_queue_layer(os, result.queue.disk);
+  os << ' ' << result.io_bound_bytes << ' ' << result.storage_bound_bytes;
   return os.str();
 }
 
 std::optional<SimulationResult> from_wire(const std::string& line) {
   Reader reader(line);
   const std::string tag = reader.token();
-  const bool v2 = tag == kWireTagV2;
+  const bool v3 = tag == kWireTagV3;
+  const bool v2 = v3 || tag == kWireTagV2;
   if (!v2 && tag != kWireTagV1) return std::nullopt;
   SimulationResult result;
   reader.layer(result.io);
@@ -236,6 +248,10 @@ std::optional<SimulationResult> from_wire(const std::string& line) {
     reader.queue_layer(result.queue.io);
     reader.queue_layer(result.queue.storage);
     reader.queue_layer(result.queue.disk);
+  }
+  if (v3) {
+    result.io_bound_bytes = reader.u64();
+    result.storage_bound_bytes = reader.u64();
   }
   std::string trailing;
   if (reader.is >> trailing) return std::nullopt;  // extra fields: reject
@@ -300,6 +316,12 @@ void publish_to_registry(const SimulationResult& result) {
   publish_queue_layer("sim.queue.io", result.queue.io);
   publish_queue_layer("sim.queue.storage", result.queue.storage);
   publish_queue_layer("sim.queue.disk", result.queue.disk);
+  // Bound counters only when the model makes a claim, so bound-free
+  // snapshots (KARMA, faults, caches off) stay free of bound keys.
+  if (result.bound_bytes() != 0) {
+    reg.counter("sim.io_bound_bytes").add(result.io_bound_bytes);
+    reg.counter("sim.storage_bound_bytes").add(result.storage_bound_bytes);
+  }
   if (result.faults.exhausted_retries != 0) {
     reg.counter("sim.faults.exhausted_retries")
         .add(result.faults.exhausted_retries);

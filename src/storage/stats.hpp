@@ -102,6 +102,29 @@ struct SimulationResult {
   /// clock core or when nothing ever queued.
   QueueStats queue;
 
+  /// Per-layer I/O lower bounds (core/io_lower_bound.hpp), attached by
+  /// the experiment runner after the simulation: the minimum bytes any
+  /// layout/policy must move into each cache layer. Zero means "no
+  /// claim" (bound model gated off for this configuration).
+  std::uint64_t io_bound_bytes = 0;
+  std::uint64_t storage_bound_bytes = 0;
+
+  /// Total bound across both cache layers.
+  std::uint64_t bound_bytes() const {
+    return io_bound_bytes + storage_bound_bytes;
+  }
+  /// Bytes actually moved into the cache layers by this simulation.
+  std::uint64_t achieved_bytes() const {
+    return io.bytes_filled + storage.bytes_filled;
+  }
+  /// achieved / bound (>= 1 whenever the bound makes a claim; 0 when it
+  /// doesn't, so "no claim" is distinguishable from "optimal").
+  double achieved_ratio() const {
+    return bound_bytes() == 0 ? 0.0
+                              : static_cast<double>(achieved_bytes()) /
+                                    static_cast<double>(bound_bytes());
+  }
+
   std::string summary() const;
 
   /// Multi-line per-layer breakdown (lookups/hits/fills/evictions/bytes

@@ -13,8 +13,11 @@
 #include "core/experiment.hpp"
 #include "ir/parser.hpp"
 #include "layout/canonical.hpp"
+#include "layout/constraint_network.hpp"
 #include "layout/conversion.hpp"
 #include "layout/internode.hpp"
+#include "linalg/unimodular.hpp"
+#include "util/log.hpp"
 #include "storage/simulator.hpp"
 #include "storage/stats.hpp"
 #include "testing/emit.hpp"
@@ -460,7 +463,11 @@ std::optional<std::string> check_event_vs_clock(const FuzzCase& fc) {
   return std::nullopt;
 }
 
-std::optional<std::string> check_layout_bijection(const FuzzCase& fc) {
+/// The layout-bijection walk, parameterized by optimizer options so both
+/// the default-path oracle and the solver-agreement oracle (which runs it
+/// once per Step I backend) share one implementation.
+std::optional<std::string> check_bijection_with(
+    const FuzzCase& fc, const core::OptimizerOptions& options) {
   const core::ExperimentConfig config =
       config_for(fc, core::Scheme::kInterNode);
   const storage::StorageTopology topology(config.topology);
@@ -468,7 +475,7 @@ std::optional<std::string> check_layout_bijection(const FuzzCase& fc) {
                                             fc.system.mapping);
   const core::FileLayoutOptimizer optimizer(topology);
   const core::OptimizationResult result =
-      optimizer.optimize(fc.program, schedule);
+      optimizer.optimize(fc.program, schedule, options);
 
   for (std::size_t a = 0; a < fc.program.arrays().size(); ++a) {
     const ir::ArrayDecl& array = fc.program.arrays()[a];
@@ -561,6 +568,106 @@ std::optional<std::string> check_layout_bijection(const FuzzCase& fc) {
         i += run;
       }
     }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> check_layout_bijection(const FuzzCase& fc) {
+  // Default options: the Step I backend follows FLO_SOLVER, so running
+  // the fuzzer under FLO_SOLVER=constraint drives the full optimizer
+  // through the constraint-network path (the CI solver-matrix job).
+  return check_bijection_with(fc, core::OptimizerOptions{});
+}
+
+std::optional<std::string> check_solver_agreement(const FuzzCase& fc) {
+  const parallel::ParallelSchedule schedule(fc.program, fc.system.threads,
+                                            fc.system.mapping);
+
+  for (std::size_t a = 0; a < fc.program.arrays().size(); ++a) {
+    const ir::ArrayDecl& array = fc.program.arrays()[a];
+    const auto groups = layout::collect_access_groups(fc.program, a);
+    const layout::ArrayPartitioning uni =
+        layout::partition_array(fc.program, a, schedule);
+    const layout::ArrayPartitioning con =
+        layout::solve_constraint_network(fc.program, a, schedule);
+
+    // Per-backend Step I validity.
+    const auto check_one = [&](const layout::ArrayPartitioning& r,
+                               const char* backend)
+        -> std::optional<std::string> {
+      const std::string where =
+          "array " + array.name() + " [" + backend + "]";
+      if (!r.partitioned) return std::nullopt;
+      if (r.alpha <= 0) {
+        return where + ": alpha " + std::to_string(r.alpha) +
+               " not positive";
+      }
+      if (!linalg::is_unimodular(r.transform)) {
+        return where + ": transform is not unimodular:\n" +
+               r.transform.to_string();
+      }
+      if (r.hyperplane != r.transform.row(r.partition_dim)) {
+        return where + ": hyperplane is not row " +
+               std::to_string(r.partition_dim) + " of the transform";
+      }
+      if (r.s_min > r.s_max) {
+        return where + ": s range [" + std::to_string(r.s_min) + ", " +
+               std::to_string(r.s_max) + "] is empty";
+      }
+      const std::int64_t recomputed =
+          layout::satisfied_weight_of(r.hyperplane, groups);
+      if (r.satisfied_weight > recomputed) {
+        return where + ": claims weight " +
+               std::to_string(r.satisfied_weight) +
+               " but the hyperplane only satisfies " +
+               std::to_string(recomputed);
+      }
+      if (recomputed > r.total_weight) {
+        return where + ": satisfied weight " + std::to_string(recomputed) +
+               " exceeds total " + std::to_string(r.total_weight);
+      }
+      return std::nullopt;
+    };
+    if (auto fail = check_one(uni, "unimodular")) return fail;
+    if (auto fail = check_one(con, "constraint")) return fail;
+
+    // Dominance: the constraint network's domain contains the greedy's
+    // hyperplane, so it must partition whenever the greedy does and its
+    // chosen hyperplane must satisfy at least as much weight.
+    if (uni.partitioned && !con.partitioned) {
+      return "array " + array.name() +
+             ": unimodular partitions but constraint network does not";
+    }
+    if (uni.partitioned && con.partitioned) {
+      const std::int64_t uni_weight =
+          layout::satisfied_weight_of(uni.hyperplane, groups);
+      const std::int64_t con_weight =
+          layout::satisfied_weight_of(con.hyperplane, groups);
+      if (con_weight < uni_weight) {
+        return "array " + array.name() + ": constraint network weight " +
+               std::to_string(con_weight) + " < unimodular weight " +
+               std::to_string(uni_weight) +
+               " (the greedy anchor was lost)";
+      }
+      if (con_weight > uni_weight) {
+        // A genuine improvement over the greedy — benign, worth logging.
+        FLO_LOG_DEBUG << "solver-agreement: " << fc.program.name() << "/"
+                      << array.name() << " constraint " << con_weight
+                      << " > unimodular " << uni_weight << " (of "
+                      << uni.total_weight << ")";
+      }
+    }
+  }
+
+  // Both backends must also produce valid end-to-end layouts.
+  core::OptimizerOptions options;
+  options.solver = core::SolverKind::kUnimodular;
+  if (auto fail = check_bijection_with(fc, options)) {
+    return "[unimodular] " + *fail;
+  }
+  options.solver = core::SolverKind::kConstraintNetwork;
+  if (auto fail = check_bijection_with(fc, options)) {
+    return "[constraint] " + *fail;
   }
   return std::nullopt;
 }
@@ -732,6 +839,10 @@ const std::vector<Oracle>& all_oracles() {
        "optimized layouts are injective slot maps with per-thread chunk "
        "contiguity",
        true, check_layout_bijection},
+      {"solver-agreement",
+       "both Step I backends emit valid partitionings; the constraint "
+       "network never satisfies less weight than the unimodular greedy",
+       true, check_solver_agreement},
       {"engine-workers",
        "experiment grids are worker-count and compile-cache independent",
        true, check_engine_workers},

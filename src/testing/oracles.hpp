@@ -15,6 +15,9 @@
 //                       envelope (one thread, prefetch off, faults off)
 //   layout-bijection    optimized layouts are injective element->slot maps
 //                       with per-thread chunk contiguity (Algorithm 1)
+//   solver-agreement    both Step I backends (core/layout_solver.hpp) emit
+//                       valid partitionings; the constraint network never
+//                       satisfies less weight than the unimodular greedy
 //   engine-workers      ExperimentEngine results independent of workers
 //   wire-roundtrip      stats to_wire/from_wire round-trips bit-exactly
 //   conversion-roundtrip canonical -> optimized -> canonical is identity

@@ -21,7 +21,8 @@ TEST(ScenarioRegistryTest, EveryHistoricalBinaryHasAScenario) {
       "fig7e",         "fig7f",            "fig7g",
       "fig7h",         "compile_stats",    "ablation_step1",
       "ablation_scale", "ablation_prefetch", "ablation_template",
-      "fault_sweep",   "calibrate",        "smoke"};
+      "solver_ablation", "fault_sweep",    "calibrate",
+      "smoke"};
   std::set<std::string> actual;
   for (const auto& spec : scenarios()) {
     EXPECT_TRUE(actual.insert(spec.name).second)

@@ -329,16 +329,37 @@ TEST(WireCodecTest, V1LinesParseWithZeroQueueStats) {
   result.exec_time = 1.25;
   result.thread_time = {1.25};
   result.disk_reads = 2;
-  std::string v2 = to_wire(result);
-  ASSERT_EQ(v2.rfind("sim-v2", 0), 0u);
-  // Strip the 9 trailing queue tokens (3 layers x waits/wait_time/depth)
-  // and rewrite the tag to reconstruct the exact v1 encoding.
-  std::string v1 = "sim-v1" + v2.substr(6);
-  for (int i = 0; i < 9; ++i) v1.erase(v1.find_last_of(' '));
+  std::string v3 = to_wire(result);
+  ASSERT_EQ(v3.rfind("sim-v3", 0), 0u);
+  // Strip the 2 trailing bound tokens and the 9 queue tokens (3 layers x
+  // waits/wait_time/depth), rewrite the tag: the exact v1 encoding.
+  std::string v1 = "sim-v1" + v3.substr(6);
+  for (int i = 0; i < 11; ++i) v1.erase(v1.find_last_of(' '));
   const auto decoded = from_wire(v1);
   ASSERT_TRUE(decoded.has_value());
   EXPECT_EQ(*decoded, result);
   EXPECT_FALSE(decoded->queue.any());
+}
+
+TEST(WireCodecTest, V2LinesParseWithZeroBounds) {
+  // Pre-bound journals (sim-v2) keep parsing; the bound fields come back
+  // zero — "no claim", exactly what the runners that wrote them computed.
+  SimulationResult result;
+  result.io.lookups = 5;
+  result.io.hits = 3;
+  result.io_bound_bytes = 4096;
+  result.storage_bound_bytes = 2048;
+  std::string v3 = to_wire(result);
+  ASSERT_EQ(v3.rfind("sim-v3", 0), 0u);
+  std::string v2 = "sim-v2" + v3.substr(6);
+  for (int i = 0; i < 2; ++i) v2.erase(v2.find_last_of(' '));
+  const auto decoded = from_wire(v2);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->io_bound_bytes, 0u);
+  EXPECT_EQ(decoded->storage_bound_bytes, 0u);
+  result.io_bound_bytes = 0;
+  result.storage_bound_bytes = 0;
+  EXPECT_EQ(*decoded, result);
 }
 
 TEST(QueueMetricsTest, PublishedOnlyWhenContended) {

@@ -21,6 +21,8 @@ Exit status 0 when every gate holds, 1 otherwise.
 
 import argparse
 import json
+import os
+import re
 import sys
 
 # (name, numerator benchmark, denominator benchmark, hard floor or None)
@@ -56,15 +58,44 @@ def ratios_of(per):
     return out
 
 
+def latest_snapshot(directory):
+    """Picks the highest-numbered BENCH_simulator.pr<N>.json in `directory`.
+
+    Gating against the latest committed snapshot (instead of a pinned PR
+    number) means each PR that lands a new snapshot automatically tightens
+    the trajectory for the next one, with no CI edit.
+    """
+    best = None
+    best_n = -1
+    for entry in os.listdir(directory):
+        m = re.fullmatch(r"BENCH_simulator\.pr(\d+)\.json", entry)
+        if m and int(m.group(1)) > best_n:
+            best_n = int(m.group(1))
+            best = os.path.join(directory, entry)
+    if best is None:
+        raise SystemExit(
+            f"error: no BENCH_simulator.pr<N>.json snapshots in {directory}")
+    return best
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("current", help="fresh bench_micro JSON output")
     parser.add_argument("--baseline",
                         help="committed trajectory snapshot to gate against")
+    parser.add_argument("--baseline-dir",
+                        help="directory of trajectory snapshots; the "
+                             "highest-numbered BENCH_simulator.pr<N>.json "
+                             "becomes the baseline")
     parser.add_argument("--tolerance", type=float, default=0.5,
                         help="allowed fractional regression of each ratio "
                              "vs the baseline (default 0.5)")
     args = parser.parse_args()
+    if args.baseline and args.baseline_dir:
+        parser.error("--baseline and --baseline-dir are mutually exclusive")
+    if args.baseline_dir:
+        args.baseline = latest_snapshot(args.baseline_dir)
+        print(f"baseline: {args.baseline}")
 
     current = ratios_of(items_per_second(args.current))
     if not current:
