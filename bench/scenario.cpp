@@ -9,12 +9,14 @@ namespace flo::bench {
 
 void register_paper_scenarios(std::vector<ScenarioSpec>& out);
 void register_extra_scenarios(std::vector<ScenarioSpec>& out);
+void register_tenant_scenarios(std::vector<ScenarioSpec>& out);
 
 const std::vector<ScenarioSpec>& scenarios() {
   static const std::vector<ScenarioSpec> all = [] {
     std::vector<ScenarioSpec> out;
     register_paper_scenarios(out);
     register_extra_scenarios(out);
+    register_tenant_scenarios(out);
     return out;
   }();
   return all;

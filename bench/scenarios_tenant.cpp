@@ -1,0 +1,180 @@
+// Multi-tenant interference, array-analytics chunk, and write-path
+// scenarios (DESIGN.md §4j): the ROADMAP's "scenario diversity" item.
+// Tagged tenant/chunk/write so `flo_bench --filter` sweeps each family.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "bench/scenario.hpp"
+#include "core/tenant.hpp"
+#include "workloads/analytics.hpp"
+
+namespace flo::bench {
+
+namespace {
+
+// Multi-tenant mix: three paper workloads share the I/O and storage caches
+// through the trace interleaver. Per-tenant slowdown (shared busy / solo
+// busy) and the Jain fairness index are contrasted under the default
+// layouts vs the paper's inter-node optimization — the layout question
+// re-asked in the presence of cache interference.
+int run_tenant_mix(ScenarioContext& ctx) {
+  const std::vector<workloads::Workload> mix = {
+      workloads::make_contour(), workloads::make_astro(),
+      workloads::make_twer()};
+
+  const auto run_mix = [&](core::Scheme scheme,
+                           trace::InterleavePolicy policy) {
+    std::vector<core::TenantJob> jobs;
+    jobs.reserve(mix.size());
+    for (const auto& app : mix) {
+      core::TenantJob job;
+      job.label = app.name;
+      job.program = &app.program;
+      job.config.scheme = scheme;
+      jobs.push_back(job);
+    }
+    core::MultiTenantOptions options;
+    options.policy = policy;
+    return core::run_multi_tenant(jobs, options);
+  };
+
+  const core::MultiTenantResult base =
+      run_mix(core::Scheme::kDefault, trace::InterleavePolicy::kRoundRobin);
+  const core::MultiTenantResult opt =
+      run_mix(core::Scheme::kInterNode, trace::InterleavePolicy::kRoundRobin);
+  const core::MultiTenantResult opt_rand = run_mix(
+      core::Scheme::kInterNode, trace::InterleavePolicy::kSeededRandom);
+
+  util::Table table({"Tenant", "solo busy (default)", "slowdown (default)",
+                     "slowdown (inter-node)", "slowdown (inter, shuffled)"});
+  for (std::size_t k = 0; k < mix.size(); ++k) {
+    table.add_row({mix[k].name,
+                   util::format_duration(base.tenants[k].solo_busy),
+                   util::format_fixed(base.tenants[k].slowdown, 3),
+                   util::format_fixed(opt.tenants[k].slowdown, 3),
+                   util::format_fixed(opt_rand.tenants[k].slowdown, 3)});
+    ctx.emit("slowdown." + mix[k].name + ".default",
+             base.tenants[k].slowdown);
+    ctx.emit("slowdown." + mix[k].name + ".inter", opt.tenants[k].slowdown);
+  }
+  ctx.out() << "Multi-tenant mix — " << mix.size()
+            << " programs sharing the caches (round-robin interleave)\n\n";
+  ctx.out() << table << '\n';
+  ctx.out() << "mean slowdown: default "
+            << util::format_fixed(base.mean_slowdown, 3) << ", inter-node "
+            << util::format_fixed(opt.mean_slowdown, 3)
+            << " (shuffled " << util::format_fixed(opt_rand.mean_slowdown, 3)
+            << ")\n";
+  ctx.out() << "Jain fairness: default "
+            << util::format_fixed(base.fairness, 3) << ", inter-node "
+            << util::format_fixed(opt.fairness, 3) << " (shuffled "
+            << util::format_fixed(opt_rand.fairness, 3) << ")\n";
+  ctx.emit("mean_slowdown.default", base.mean_slowdown);
+  ctx.emit("mean_slowdown.inter", opt.mean_slowdown);
+  ctx.emit("fairness.default", base.fairness);
+  ctx.emit("fairness.inter", opt.fairness);
+  ctx.emit("fairness.inter_shuffled", opt_rand.fairness);
+  return 0;
+}
+
+// Array-analytics chunk family (Zhang & Yang): overlapping-window chunked
+// sweeps, default vs inter-node layouts — a pattern class the paper never
+// evaluated Step I/II on.
+int run_chunk_analytics(ScenarioContext& ctx) {
+  core::ExperimentConfig base;
+  core::ExperimentConfig opt = base;
+  opt.scheme = core::Scheme::kInterNode;
+
+  const std::vector<workloads::Workload> suite = workloads::chunk_suite();
+  const auto rows = run_suite_pair(base, opt, suite);
+
+  util::Table table({"Workload", "normalized exec", "improvement",
+                     "io miss (default)", "io miss (inter)"});
+  for (std::size_t a = 0; a < suite.size(); ++a) {
+    table.add_row({suite[a].name,
+                   util::format_fixed(rows[a].normalized_exec(), 2),
+                   util::format_percent(rows[a].improvement()),
+                   util::format_percent(rows[a].baseline.io.miss_rate()),
+                   util::format_percent(rows[a].optimized.io.miss_rate())});
+    ctx.emit(suite[a].name + ".norm_exec", rows[a].normalized_exec());
+    ctx.emit(suite[a].name + ".improvement", rows[a].improvement());
+  }
+  const double avg = core::average_improvement(rows);
+  ctx.out() << "Chunked array analytics — overlapping windows, default vs "
+               "inter-node\n\n";
+  ctx.out() << table << '\n';
+  ctx.out() << "average improvement: " << util::format_percent(avg) << '\n';
+  ctx.emit("avg_improvement", avg);
+  return 0;
+}
+
+// Write path end to end: read-modify-write and append-heavy workloads
+// under model_writes, default vs inter-node. Hard gate: the write family
+// must actually drive dirty evictions down to disk — zero disk writes
+// across the board means the write path regressed.
+int run_write_path(ScenarioContext& ctx) {
+  core::ExperimentConfig base;
+  base.topology.model_writes = true;
+  core::ExperimentConfig opt = base;
+  opt.scheme = core::Scheme::kInterNode;
+
+  const std::vector<workloads::Workload> suite = workloads::write_suite();
+  const auto rows = run_suite_pair(base, opt, suite);
+
+  util::Table table({"Workload", "normalized exec", "writebacks (default)",
+                     "disk writes (default)", "disk writes (inter)"});
+  std::uint64_t total_disk_writes = 0;
+  for (std::size_t a = 0; a < suite.size(); ++a) {
+    const auto& b = rows[a].baseline;
+    const auto& o = rows[a].optimized;
+    total_disk_writes += b.disk_writes + o.disk_writes;
+    table.add_row({suite[a].name,
+                   util::format_fixed(rows[a].normalized_exec(), 2),
+                   std::to_string(b.writebacks),
+                   std::to_string(b.disk_writes),
+                   std::to_string(o.disk_writes)});
+    ctx.emit(suite[a].name + ".norm_exec", rows[a].normalized_exec());
+    ctx.emit(suite[a].name + ".disk_writes.default",
+             static_cast<double>(b.disk_writes));
+    ctx.emit(suite[a].name + ".disk_writes.inter",
+             static_cast<double>(o.disk_writes));
+    ctx.emit(suite[a].name + ".writebacks.default",
+             static_cast<double>(b.writebacks));
+  }
+  const double avg = core::average_improvement(rows);
+  ctx.out() << "Write path — read-modify-write and append-heavy workloads "
+               "under model_writes\n\n";
+  ctx.out() << table << '\n';
+  ctx.out() << "average improvement: " << util::format_percent(avg) << '\n';
+  ctx.emit("avg_improvement", avg);
+  if (total_disk_writes == 0) {
+    ctx.out() << "FAIL: write family produced no disk writes — the "
+                 "model_writes path is not being exercised\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+void register_tenant_scenarios(std::vector<ScenarioSpec>& out) {
+  out.push_back({"tenant_mix",
+                 "Multi-tenant shared-cache interference and fairness",
+                 "multi-tenant extension (not in paper)",
+                 {"tenant"},
+                 run_tenant_mix});
+  out.push_back({"chunk_analytics",
+                 "Overlapping-window chunked array analytics",
+                 "Zhang & Yang chunked access class (not in paper)",
+                 {"chunk"},
+                 run_chunk_analytics});
+  out.push_back({"write_path",
+                 "Read-modify-write and append-heavy write workloads",
+                 "write-path extension (not in paper)",
+                 {"write"},
+                 run_write_path});
+}
+
+}  // namespace flo::bench

@@ -1,0 +1,122 @@
+#include "core/tenant.hpp"
+
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "core/report.hpp"
+#include "storage/simulator.hpp"
+#include "trace/source.hpp"
+
+namespace flo::core {
+
+double jain_fairness(const std::vector<double>& values) {
+  if (values.empty()) return 1.0;
+  double sum = 0;
+  double sum_sq = 0;
+  for (double v : values) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  if (sum_sq == 0) return 1.0;  // all-zero: nothing to share unevenly
+  return (sum * sum) / (static_cast<double>(values.size()) * sum_sq);
+}
+
+double tenant_slowdown(double shared_busy, double solo_busy) {
+  return normalized_ratio(shared_busy, solo_busy);
+}
+
+MultiTenantResult run_multi_tenant(const std::vector<TenantJob>& jobs,
+                                   const MultiTenantOptions& options) {
+  if (jobs.empty()) {
+    throw std::invalid_argument("run_multi_tenant: no tenants");
+  }
+  for (const TenantJob& job : jobs) {
+    if (job.program == nullptr) {
+      throw std::invalid_argument("run_multi_tenant: null program");
+    }
+  }
+  // The system half is shared by construction: every tenant runs on the
+  // first job's topology under its cache policy and sim core.
+  const ExperimentConfig& base = jobs[0].config;
+  if (base.policy == storage::PolicyKind::kKarma) {
+    throw std::invalid_argument(
+        "run_multi_tenant: KARMA hints are per-program profiles with no "
+        "multi-program composition");
+  }
+  const storage::StorageTopology topology(base.topology);
+
+  // Compile each tenant and measure its solo baseline on the shared system.
+  std::vector<ExperimentConfig> configs;
+  std::vector<CompiledExperiment> compiled;
+  configs.reserve(jobs.size());
+  compiled.reserve(jobs.size());
+  MultiTenantResult out;
+  out.tenants.reserve(jobs.size());
+  for (const TenantJob& job : jobs) {
+    ExperimentConfig cfg = job.config;
+    cfg.topology = base.topology;
+    cfg.threads = base.topology.compute_nodes;
+    cfg.policy = base.policy;
+    cfg.sim_core = base.sim_core;
+    configs.push_back(cfg);
+    compiled.push_back(compile_experiment(*job.program, cfg));
+    TenantOutcome outcome;
+    outcome.label = job.label.empty() ? job.program->name() : job.label;
+    outcome.solo = simulate_experiment(*job.program, compiled.back(), cfg);
+    out.tenants.push_back(std::move(outcome));
+  }
+
+  // One streaming source per tenant, interleaved into shared caches.
+  trace::TraceOptions trace_options;
+  trace_options.emit_extents = storage::extents_enabled();
+  std::vector<std::unique_ptr<trace::StreamingTraceSource>> sources;
+  std::vector<const storage::TraceSource*> tenant_sources;
+  sources.reserve(jobs.size());
+  tenant_sources.reserve(jobs.size());
+  for (std::size_t k = 0; k < jobs.size(); ++k) {
+    sources.push_back(std::make_unique<trace::StreamingTraceSource>(
+        *jobs[k].program, compiled[k].schedule, compiled[k].layouts, topology,
+        trace_options));
+    tenant_sources.push_back(sources.back().get());
+  }
+  const trace::InterleavedTraceSource interleaved(tenant_sources,
+                                                  options.policy,
+                                                  options.seed);
+
+  // Each slot keeps the I/O node its origin thread would have had solo, so
+  // contention comes from cache sharing, not from remapped placement.
+  std::vector<storage::NodeId> io_of_slot(interleaved.thread_count());
+  for (std::uint32_t s = 0; s < interleaved.thread_count(); ++s) {
+    const std::uint32_t k = interleaved.tenant_of_slot(s);
+    const std::uint32_t j = interleaved.origin_thread_of_slot(s);
+    io_of_slot[s] =
+        topology.io_node_of(compiled[k].schedule.mapping().node_of(j));
+  }
+  storage::HierarchySimulator simulator(topology, base.policy,
+                                        std::move(io_of_slot));
+  simulator.set_core(base.sim_core);
+  simulator.set_tenants(interleaved.tenant_map(),
+                        static_cast<std::uint32_t>(jobs.size()));
+  out.shared = simulator.run(interleaved);
+  storage::publish_to_registry(out.shared);
+
+  // Solo-vs-shared contrast, guarded by the zero-baseline conventions.
+  std::vector<double> slowdowns;
+  slowdowns.reserve(jobs.size());
+  double slowdown_sum = 0;
+  for (std::size_t k = 0; k < jobs.size(); ++k) {
+    TenantOutcome& outcome = out.tenants[k];
+    for (double t : outcome.solo.thread_time) outcome.solo_busy += t;
+    outcome.shared_busy = out.shared.tenants[k].busy_time;
+    outcome.shared = out.shared.tenants[k];
+    outcome.slowdown = tenant_slowdown(outcome.shared_busy, outcome.solo_busy);
+    slowdowns.push_back(outcome.slowdown);
+    slowdown_sum += outcome.slowdown;
+  }
+  out.mean_slowdown = safe_average(slowdown_sum, slowdowns.size());
+  out.fairness = jain_fairness(slowdowns);
+  return out;
+}
+
+}  // namespace flo::core

@@ -1,0 +1,79 @@
+// Multi-tenant experiment front-end (DESIGN.md §4j): compiles N independent
+// programs, interleaves their traces through trace::InterleavedTraceSource,
+// and runs them against *shared* I/O and storage caches with per-tenant
+// attribution. The contrast against each tenant's solo run yields the
+// slowdown and fairness metrics the ROADMAP's multi-tenant scenario asks
+// for — the million-user question in miniature.
+//
+// Metric conventions (the satellite-bugfix guarantees): every ratio here
+// goes through core::normalized_ratio and every aggregate through
+// core::safe_average (core/report.hpp), so a tenant with zero accesses, a
+// zero-time solo run, or an empty tenant list yields defined values (1.0 /
+// 0.0), never NaN. jain_fairness follows the same discipline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "trace/interleaver.hpp"
+
+namespace flo::core {
+
+/// One tenant of a shared-cache run: a program plus its per-tenant compile
+/// knobs (scheme, mapping, solver). The *system* half of the config —
+/// topology, cache policy, sim core — is shared by construction and taken
+/// from the first job; per-job values for those fields are ignored.
+struct TenantJob {
+  std::string label;
+  const ir::Program* program = nullptr;
+  ExperimentConfig config;
+};
+
+struct MultiTenantOptions {
+  trace::InterleavePolicy policy = trace::InterleavePolicy::kRoundRobin;
+  std::uint64_t seed = 2012;  ///< consulted by kSeededRandom only
+};
+
+/// One tenant's solo-vs-shared contrast.
+struct TenantOutcome {
+  std::string label;
+  storage::SimulationResult solo;  ///< the plain single-program run
+  storage::TenantStats shared;     ///< this tenant's slice of the shared run
+  double solo_busy = 0;            ///< summed solo per-thread busy seconds
+  double shared_busy = 0;          ///< summed shared busy seconds (slice)
+  /// shared_busy / solo_busy via normalized_ratio: >= 1 means interference
+  /// cost; a zero-time solo run reads as 1.0 ("no change"), never NaN.
+  double slowdown = 1.0;
+};
+
+struct MultiTenantResult {
+  storage::SimulationResult shared;  ///< the combined interleaved run
+  std::vector<TenantOutcome> tenants;
+  double mean_slowdown = 1.0;  ///< safe_average over tenant slowdowns
+  double fairness = 1.0;       ///< Jain index over tenant slowdowns
+};
+
+/// Jain's fairness index (sum x)^2 / (n * sum x^2) over per-tenant values:
+/// 1.0 = perfectly even, 1/n = one tenant absorbs everything. Guarded by
+/// the zero-baseline conventions: an empty vector or all-zero values
+/// (degenerate runs that cost nothing) read as 1.0, never NaN.
+double jain_fairness(const std::vector<double>& values);
+
+/// Per-tenant slowdown with the documented zero-baseline convention:
+/// normalized_ratio(shared_busy, solo_busy), so a zero-time solo run is
+/// "unchanged" (1.0) instead of NaN/inf.
+double tenant_slowdown(double shared_busy, double solo_busy);
+
+/// Compiles every job, runs each solo, then runs all of them interleaved
+/// against shared caches (HierarchySimulator::set_tenants attribution),
+/// and derives the slowdown/fairness contrast. The shared system half
+/// (topology, policy, sim core) comes from jobs[0].config. Throws
+/// std::invalid_argument on an empty job list, a null program, or the
+/// KARMA policy (whose per-program profiled hints have no well-defined
+/// multi-program composition).
+MultiTenantResult run_multi_tenant(const std::vector<TenantJob>& jobs,
+                                   const MultiTenantOptions& options = {});
+
+}  // namespace flo::core

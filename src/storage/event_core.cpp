@@ -36,6 +36,7 @@ bool EventEngine::analytic_eligible() const {
 }
 
 void EventEngine::run_phase_analytic(std::uint32_t thread) {
+  sim_.tenant_switch(thread, result_);
   CursorPump& pump = pumps_[thread];
   const auto& cfg = sim_.topology_.config();
   const std::uint32_t cycle =
@@ -213,6 +214,8 @@ void EventEngine::io_done(std::uint32_t thread, double now) {
     if (io_depth_gauge_) {
       io_depth_gauge_->set(static_cast<std::int64_t>(io_wait_[io].size()));
     }
+    // The drained waiter's lookups/hits belong to its own tenant.
+    sim_.tenant_switch(w, result_);
     serve_io(w, now);
   }
   complete(thread, now);
@@ -321,6 +324,8 @@ void EventEngine::storage_done(std::uint32_t thread, double now) {
       storage_depth_gauge_->set(
           static_cast<std::int64_t>(storage_wait_[node].size()));
     }
+    // The drained waiter's lookups/hits belong to its own tenant.
+    sim_.tenant_switch(w, result_);
     serve_storage(w, now);
   }
   if (r.route == Route::kIo) {
@@ -439,6 +444,9 @@ void EventEngine::disk_done(std::uint32_t thread, double now) {
 }
 
 void EventEngine::fill_io_and_complete(std::uint32_t thread, double now) {
+  // A drain loop in the caller may have switched attribution to a waiter;
+  // the fill below belongs to the completing request's tenant.
+  sim_.tenant_switch(thread, result_);
   Request& r = req_[thread];
   const auto& cfg = sim_.topology_.config();
   double t = now;
@@ -471,6 +479,7 @@ SimulationResult EventEngine::run(const TraceSource& source) {
   const std::size_t streams = source.thread_count();
   const auto& cfg = sim_.topology_.config();
   result_ = SimulationResult{};
+  if (sim_.tenants_enabled()) result_.tenants.resize(sim_.tenant_count_);
   clock_.assign(threads, 0.0);
   busy_.assign(threads, 0.0);
   req_.assign(threads, Request{});
@@ -512,6 +521,7 @@ SimulationResult EventEngine::run(const TraceSource& source) {
         }
         while (!queue_.empty()) {
           const Event e = queue_.pop();
+          sim_.tenant_switch(e.a, result_);
           switch (e.kind) {
             case EventKind::kThreadIssue: issue_block(e.a, e.time); break;
             case EventKind::kIoArrive: arrive_io(e.a, e.time); break;
@@ -541,6 +551,8 @@ SimulationResult EventEngine::run(const TraceSource& source) {
       clock_.empty() ? 0.0
                      : *std::max_element(clock_.begin(), clock_.end());
   result_.thread_time = busy_;
+  sim_.tenant_finish(result_);
+  sim_.settle_trailing_writebacks(result_);
   return result_;
 }
 

@@ -529,10 +529,80 @@ double HierarchySimulator::service(std::uint32_t thread, double now,
   return t + storage_level(key, now, result);
 }
 
+void HierarchySimulator::set_tenants(std::vector<std::uint32_t> tenant_of_thread,
+                                     std::uint32_t tenant_count) {
+  for (std::uint32_t tenant : tenant_of_thread) {
+    if (tenant >= tenant_count) {
+      throw std::invalid_argument("HierarchySimulator: tenant id out of range");
+    }
+  }
+  tenant_of_thread_ = std::move(tenant_of_thread);
+  tenant_count_ = tenant_of_thread_.empty() ? 0 : tenant_count;
+}
+
+void HierarchySimulator::tenant_settle(SimulationResult& result) {
+  if (!tenant_scope_.open) return;
+  TenantStats& slice = result.tenants[tenant_scope_.tenant];
+  slice.accesses += result.accesses - tenant_scope_.accesses;
+  slice.elements += result.elements - tenant_scope_.elements;
+  slice.io_lookups += result.io.lookups - tenant_scope_.io_lookups;
+  slice.io_hits += result.io.hits - tenant_scope_.io_hits;
+  slice.storage_lookups += result.storage.lookups -
+                           tenant_scope_.storage_lookups;
+  slice.storage_hits += result.storage.hits - tenant_scope_.storage_hits;
+  slice.disk_reads += result.disk_reads - tenant_scope_.disk_reads;
+  slice.bytes_filled += result.io.bytes_filled + result.storage.bytes_filled -
+                        tenant_scope_.bytes_filled;
+  tenant_scope_.open = false;
+}
+
+void HierarchySimulator::tenant_switch(std::uint32_t thread,
+                                       SimulationResult& result) {
+  if (!tenants_enabled()) return;
+  const std::uint32_t tenant = tenant_of_thread_[thread];
+  if (tenant_scope_.open && tenant_scope_.tenant == tenant) return;
+  tenant_settle(result);
+  tenant_scope_.open = true;
+  tenant_scope_.tenant = tenant;
+  tenant_scope_.accesses = result.accesses;
+  tenant_scope_.elements = result.elements;
+  tenant_scope_.io_lookups = result.io.lookups;
+  tenant_scope_.io_hits = result.io.hits;
+  tenant_scope_.storage_lookups = result.storage.lookups;
+  tenant_scope_.storage_hits = result.storage.hits;
+  tenant_scope_.disk_reads = result.disk_reads;
+  tenant_scope_.bytes_filled =
+      result.io.bytes_filled + result.storage.bytes_filled;
+}
+
+void HierarchySimulator::tenant_finish(SimulationResult& result) {
+  if (!tenants_enabled()) return;
+  tenant_settle(result);
+  const std::size_t threads =
+      std::min(tenant_of_thread_.size(), result.thread_time.size());
+  for (std::size_t t = 0; t < threads; ++t) {
+    result.tenants[tenant_of_thread_[t]].busy_time += result.thread_time[t];
+  }
+}
+
+void HierarchySimulator::settle_trailing_writebacks(SimulationResult& result) {
+  if (pending_writeback_count_ == 0 && pending_writeback_cost_ <= 0) return;
+  result.exec_time += pending_writeback_cost_;
+  result.disk_writes += pending_writeback_count_;
+  pending_writeback_cost_ = 0;
+  pending_writeback_count_ = 0;
+}
+
 void HierarchySimulator::prepare_run(const TraceSource& source) {
   if (source.thread_count() > io_node_of_thread_.size()) {
     throw std::invalid_argument("HierarchySimulator: more traces than threads");
   }
+  if (tenants_enabled() &&
+      tenant_of_thread_.size() < source.thread_count()) {
+    throw std::invalid_argument(
+        "HierarchySimulator: tenant map shorter than trace streams");
+  }
+  tenant_scope_ = TenantScope{};
   striping_ = Striping(topology_.config().storage_nodes, source.file_blocks());
   disks_ = DiskArray(topology_.config().storage_nodes,
                      topology_.config().disk, topology_.config().block_size);
@@ -560,6 +630,7 @@ SimulationResult HierarchySimulator::run(const TraceSource& source) {
 
 SimulationResult HierarchySimulator::run_clock(const TraceSource& source) {
   SimulationResult result;
+  if (tenants_enabled()) result.tenants.resize(tenant_count_);
   const std::size_t threads = io_node_of_thread_.size();
   std::vector<double> clock(threads, 0.0);
   std::vector<double> busy(threads, 0.0);
@@ -598,6 +669,7 @@ SimulationResult HierarchySimulator::run_clock(const TraceSource& source) {
         const auto [when, t] = queue.top();
         queue.pop();
         double now = when;
+        tenant_switch(t, result);
         // Inline continuation: keep stepping thread t while it would be
         // popped next anyway ((clock, id) strictly below the queue's
         // minimum). This reproduces push-then-pop ordering exactly while
@@ -641,6 +713,8 @@ SimulationResult HierarchySimulator::run_clock(const TraceSource& source) {
                                    : *std::max_element(clock.begin(),
                                                        clock.end());
   result.thread_time = std::move(busy);
+  tenant_finish(result);
+  settle_trailing_writebacks(result);
   return result;
 }
 

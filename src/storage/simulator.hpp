@@ -73,6 +73,17 @@ class HierarchySimulator {
   void set_core(SimCoreKind core) { core_ = core; }
   SimCoreKind core() const { return core_; }
 
+  /// Multi-tenant attribution (DESIGN.md §4j): `tenant_of_thread[t]` names
+  /// the tenant that owns simulator thread t (interleaver slot t when the
+  /// source is an InterleavedTraceSource). When set, run() sizes
+  /// SimulationResult::tenants to `tenant_count` and attributes each
+  /// counter delta to the tenant whose thread is being serviced; aggregate
+  /// fields are untouched, so an N=1 tenant map leaves everything but the
+  /// `tenants` vector bit-identical to an unattributed run (pinned by the
+  /// tenant-isolation fuzz oracle). Pass an empty map to turn it off.
+  void set_tenants(std::vector<std::uint32_t> tenant_of_thread,
+                   std::uint32_t tenant_count);
+
  private:
   friend class EventEngine;  ///< the event core drives the same state
 
@@ -154,6 +165,41 @@ class HierarchySimulator {
   void mark_io_dirty(NodeId io, BlockKey key);
   double on_io_eviction(NodeId io, BlockKey victim, SimulationResult& result);
 
+  /// End-of-run drain of the deferred write-back ledger: charges any
+  /// still-pending storage-eviction write-backs to total time and counts
+  /// them in disk_writes. Without this a trace ending in a write silently
+  /// dropped its trailing write-back (the "next request" it was deferred
+  /// to never arrived). Runs after the final barrier, so per-thread busy
+  /// times are not touched — the drain is background device work.
+  void settle_trailing_writebacks(SimulationResult& result);
+
+  /// --- per-tenant attribution ledger (set_tenants) ----------------------
+  /// Counter deltas are attributed scope-to-scope: tenant_switch(t) settles
+  /// everything incremented since the previous switch into the previous
+  /// scope's tenant and snapshots the attributed aggregates. Both cores
+  /// call it whenever the serviced thread changes; cost is one integer
+  /// compare per call when tenancy is off.
+  bool tenants_enabled() const { return !tenant_of_thread_.empty(); }
+  void tenant_switch(std::uint32_t thread, SimulationResult& result);
+  /// Settles the open scope's counter deltas into its tenant's slice.
+  void tenant_settle(SimulationResult& result);
+  /// Settles the open scope (if any) and fills per-tenant busy_time from
+  /// result.thread_time; called once per run after the final barrier.
+  void tenant_finish(SimulationResult& result);
+
+  struct TenantScope {
+    bool open = false;
+    std::uint32_t tenant = 0;
+    std::uint64_t accesses = 0;
+    std::uint64_t elements = 0;
+    std::uint64_t io_lookups = 0;
+    std::uint64_t io_hits = 0;
+    std::uint64_t storage_lookups = 0;
+    std::uint64_t storage_hits = 0;
+    std::uint64_t disk_reads = 0;
+    std::uint64_t bytes_filled = 0;
+  };
+
   std::vector<LruCache> io_caches_;       ///< one per I/O node
   std::vector<LruCache> storage_caches_;  ///< one per storage node
   std::vector<MqCache> storage_mq_;       ///< used by kMqInclusive
@@ -170,6 +216,10 @@ class HierarchySimulator {
   std::unordered_map<std::uint64_t, std::uint64_t> stream_pos_;
   bool extent_batching_ = extents_enabled();
   SimCoreKind core_ = sim_core_from_env();
+  /// Multi-tenant attribution state (empty tenant_of_thread_ = off).
+  std::vector<std::uint32_t> tenant_of_thread_;
+  std::uint32_t tenant_count_ = 0;
+  TenantScope tenant_scope_;
 };
 
 }  // namespace flo::storage

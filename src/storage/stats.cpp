@@ -29,6 +29,9 @@ std::string SimulationResult::summary() const {
                                 queue.disk.wait_time)
        << " queued";
   }
+  if (!tenants.empty()) {
+    os << ", " << tenants.size() << " tenants";
+  }
   if (faults.any()) {
     os << ", faults: "
        << faults.storage.transient_failures + faults.disk.transient_failures
@@ -103,6 +106,17 @@ std::string SimulationResult::detailed() const {
        << " minimum (ratio " << util::format_fixed(achieved_ratio(), 2)
        << ')';
   }
+  for (std::size_t k = 0; k < tenants.size(); ++k) {
+    const TenantStats& t = tenants[k];
+    const double io_rate = t.io_lookups == 0
+                               ? 0.0
+                               : static_cast<double>(t.io_hits) / t.io_lookups;
+    os << '\n'
+       << "  tenant " << k << "      : " << t.accesses << " requests, io hit "
+       << util::format_percent(io_rate) << ", " << t.disk_reads
+       << " disk reads, " << util::format_bytes(t.bytes_filled) << " filled, "
+       << util::format_duration(t.busy_time) << " busy";
+  }
   return os.str();
 }
 
@@ -118,10 +132,13 @@ namespace {
 // still parse, with queue stats zero — exactly what the clock core that
 // wrote them produced. v3 appended the two I/O lower-bound fields; v1/v2
 // lines parse with bounds zero ("no claim"), matching what the runners
-// that wrote them computed.
+// that wrote them computed. v4 appended the length-prefixed per-tenant
+// attribution slices; v1–v3 lines parse with tenants empty — exactly what
+// the single-tenant runners that wrote them produced.
 constexpr const char* kWireTagV1 = "sim-v1";
 constexpr const char* kWireTagV2 = "sim-v2";
 constexpr const char* kWireTagV3 = "sim-v3";
+constexpr const char* kWireTagV4 = "sim-v4";
 
 void put_double(std::ostringstream& os, double value) {
   char buffer[48];
@@ -144,6 +161,14 @@ void put_queue_layer(std::ostringstream& os, const QueueLayerStats& layer) {
   os << ' ' << layer.waits;
   put_double(os, layer.wait_time);
   os << ' ' << layer.max_depth;
+}
+
+void put_tenant(std::ostringstream& os, const TenantStats& tenant) {
+  os << ' ' << tenant.accesses << ' ' << tenant.elements << ' '
+     << tenant.io_lookups << ' ' << tenant.io_hits << ' '
+     << tenant.storage_lookups << ' ' << tenant.storage_hits << ' '
+     << tenant.disk_reads << ' ' << tenant.bytes_filled;
+  put_double(os, tenant.busy_time);
 }
 
 /// Token cursor over a wire line; parse failures latch `ok = false`.
@@ -193,13 +218,24 @@ struct Reader {
     out.wait_time = f64();
     out.max_depth = u64();
   }
+  void tenant(TenantStats& out) {
+    out.accesses = u64();
+    out.elements = u64();
+    out.io_lookups = u64();
+    out.io_hits = u64();
+    out.storage_lookups = u64();
+    out.storage_hits = u64();
+    out.disk_reads = u64();
+    out.bytes_filled = u64();
+    out.busy_time = f64();
+  }
 };
 
 }  // namespace
 
 std::string to_wire(const SimulationResult& result) {
   std::ostringstream os;
-  os << kWireTagV3;
+  os << kWireTagV4;
   put_layer(os, result.io);
   put_layer(os, result.storage);
   put_double(os, result.exec_time);
@@ -216,13 +252,16 @@ std::string to_wire(const SimulationResult& result) {
   put_queue_layer(os, result.queue.storage);
   put_queue_layer(os, result.queue.disk);
   os << ' ' << result.io_bound_bytes << ' ' << result.storage_bound_bytes;
+  os << ' ' << result.tenants.size();
+  for (const TenantStats& tenant : result.tenants) put_tenant(os, tenant);
   return os.str();
 }
 
 std::optional<SimulationResult> from_wire(const std::string& line) {
   Reader reader(line);
   const std::string tag = reader.token();
-  const bool v3 = tag == kWireTagV3;
+  const bool v4 = tag == kWireTagV4;
+  const bool v3 = v4 || tag == kWireTagV3;
   const bool v2 = v3 || tag == kWireTagV2;
   if (!v2 && tag != kWireTagV1) return std::nullopt;
   SimulationResult result;
@@ -252,6 +291,12 @@ std::optional<SimulationResult> from_wire(const std::string& line) {
   if (v3) {
     result.io_bound_bytes = reader.u64();
     result.storage_bound_bytes = reader.u64();
+  }
+  if (v4) {
+    const std::uint64_t tenant_count = reader.u64();
+    if (!reader.ok || tenant_count > (1u << 16)) return std::nullopt;
+    result.tenants.resize(static_cast<std::size_t>(tenant_count));
+    for (auto& tenant : result.tenants) reader.tenant(tenant);
   }
   std::string trailing;
   if (reader.is >> trailing) return std::nullopt;  // extra fields: reject
@@ -325,6 +370,19 @@ void publish_to_registry(const SimulationResult& result) {
   if (result.faults.exhausted_retries != 0) {
     reg.counter("sim.faults.exhausted_retries")
         .add(result.faults.exhausted_retries);
+  }
+  // Tenant counters only for multi-tenant runs, so single-tenant snapshots
+  // stay free of tenant keys (same discipline as faults/queues/bounds).
+  if (!result.tenants.empty()) {
+    reg.counter("sim.tenant.runs").add(1);
+    for (std::size_t k = 0; k < result.tenants.size(); ++k) {
+      const TenantStats& t = result.tenants[k];
+      const std::string p = "sim.tenant." + std::to_string(k);
+      reg.counter(p + ".accesses").add(t.accesses);
+      reg.counter(p + ".disk_reads").add(t.disk_reads);
+      reg.counter(p + ".bytes_filled").add(t.bytes_filled);
+      reg.histogram(p + ".busy_seconds").observe(t.busy_time);
+    }
   }
 }
 

@@ -79,6 +79,34 @@ struct QueueStats {
   friend bool operator==(const QueueStats&, const QueueStats&) = default;
 };
 
+/// Per-tenant attribution for one multi-tenant (interleaved) run. Each
+/// counter is the slice of the corresponding aggregate that was incremented
+/// while one of this tenant's threads was being serviced, so summing any
+/// field over all tenants reproduces the aggregate exactly (the interleaver
+/// test suite pins this conservation law). Write-backs are deliberately not
+/// attributed: a dirty eviction is background device traffic triggered by
+/// whichever request happened to displace the block, not by its writer.
+struct TenantStats {
+  std::uint64_t accesses = 0;  ///< block requests issued by this tenant
+  std::uint64_t elements = 0;  ///< element accesses represented
+  std::uint64_t io_lookups = 0;
+  std::uint64_t io_hits = 0;
+  std::uint64_t storage_lookups = 0;
+  std::uint64_t storage_hits = 0;
+  std::uint64_t disk_reads = 0;
+  /// Bytes filled into either cache layer on behalf of this tenant's
+  /// requests (readahead staged by a tenant's stream counts toward it).
+  std::uint64_t bytes_filled = 0;
+  double busy_time = 0;  ///< summed busy seconds of this tenant's threads
+
+  bool any() const {
+    return accesses != 0 || elements != 0 || io_lookups != 0 ||
+           storage_lookups != 0 || disk_reads != 0 || bytes_filled != 0 ||
+           busy_time != 0;
+  }
+  friend bool operator==(const TenantStats&, const TenantStats&) = default;
+};
+
 /// Outcome of simulating one application trace through the hierarchy.
 struct SimulationResult {
   LayerStats io;       ///< across all I/O-node caches
@@ -101,6 +129,11 @@ struct SimulationResult {
   /// Event-core contention accounting; all-zero (and unprinted) under the
   /// clock core or when nothing ever queued.
   QueueStats queue;
+
+  /// Per-tenant attribution slices for multi-tenant interleaved runs
+  /// (trace/interleaver.hpp + HierarchySimulator::set_tenants). Empty for
+  /// single-tenant runs, keeping equality with pre-tenant baselines intact.
+  std::vector<TenantStats> tenants;
 
   /// Per-layer I/O lower bounds (core/io_lower_bound.hpp), attached by
   /// the experiment runner after the simulation: the minimum bytes any

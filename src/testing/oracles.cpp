@@ -18,11 +18,13 @@
 #include "layout/internode.hpp"
 #include "linalg/unimodular.hpp"
 #include "util/log.hpp"
+#include "storage/sim_core.hpp"
 #include "storage/simulator.hpp"
 #include "storage/stats.hpp"
 #include "testing/emit.hpp"
 #include "trace/analysis.hpp"
 #include "trace/generator.hpp"
+#include "trace/interleaver.hpp"
 #include "trace/source.hpp"
 #include "util/glob.hpp"
 
@@ -672,6 +674,122 @@ std::optional<std::string> check_solver_agreement(const FuzzCase& fc) {
   return std::nullopt;
 }
 
+std::optional<std::string> check_tenant_isolation(const FuzzCase& fc) {
+  // The interleaver's N=1 contract (DESIGN.md §4j): wrapping a single
+  // program in InterleavedTraceSource — under either policy — must leave
+  // the simulation bit-identical to the plain run in BOTH cores, with the
+  // one tenant's slice conserving the aggregate counters exactly. This is
+  // what makes every multi-tenant number trustworthy: tenancy adds
+  // attribution, never simulation drift.
+  static constexpr core::Scheme kSchemes[] = {core::Scheme::kDefault,
+                                              core::Scheme::kInterNode};
+  static constexpr storage::SimCoreKind kCores[] = {
+      storage::SimCoreKind::kClock, storage::SimCoreKind::kEvent};
+  static constexpr trace::InterleavePolicy kPolicies[] = {
+      trace::InterleavePolicy::kRoundRobin,
+      trace::InterleavePolicy::kSeededRandom};
+  for (core::Scheme scheme : kSchemes) {
+    const core::ExperimentConfig config = config_for(fc, scheme);
+    const storage::StorageTopology topology(config.topology);
+    const core::CompiledExperiment compiled =
+        core::compile_experiment(fc.program, config);
+    trace::TraceOptions options;
+    options.emit_extents = storage::extents_enabled();
+    const trace::StreamingTraceSource source(
+        fc.program, compiled.schedule, compiled.layouts, topology, options);
+    std::vector<storage::RangeHint> hints;
+    if (fc.system.policy == storage::PolicyKind::kKarma) {
+      const std::uint64_t segment =
+          std::max<std::uint64_t>(1, topology.io_cache_blocks() / 8);
+      hints = trace::profile_range_hints(source, segment);
+    }
+    const auto run_once = [&](storage::SimCoreKind core,
+                              const storage::TraceSource& trace_source,
+                              bool tenants) {
+      storage::HierarchySimulator simulator(
+          topology, fc.system.policy,
+          io_nodes_of_threads(compiled.schedule, topology), hints);
+      simulator.set_core(core);
+      if (tenants) {
+        simulator.set_tenants(
+            std::vector<std::uint32_t>(trace_source.thread_count(), 0), 1);
+      }
+      return simulator.run(trace_source);
+    };
+    for (storage::SimCoreKind core : kCores) {
+      const storage::SimulationResult plain = run_once(core, source, false);
+      for (trace::InterleavePolicy policy : kPolicies) {
+        // Any seed works: at N=1 the seeded-random slot shuffle must be a
+        // no-op, which is exactly what this oracle pins.
+        const trace::InterleavedTraceSource interleaved({&source}, policy,
+                                                        2012);
+        storage::SimulationResult shared =
+            run_once(core, interleaved, true);
+
+        const std::string where =
+            std::string("scheme ") + core::scheme_name(scheme) + ", " +
+            storage::sim_core_name(core) + " core, " +
+            (policy == trace::InterleavePolicy::kRoundRobin ? "round-robin"
+                                                            : "seeded-random");
+        if (shared.tenants.size() != 1) {
+          return where + ": expected one tenant slice, got " +
+                 std::to_string(shared.tenants.size());
+        }
+        // Conservation: the single tenant's slice must account for every
+        // attributed aggregate exactly.
+        const storage::TenantStats& slice = shared.tenants[0];
+        const auto conserve = [&](std::uint64_t got, std::uint64_t want,
+                                  const char* what)
+            -> std::optional<std::string> {
+          if (got == want) return std::nullopt;
+          return where + ": tenant slice " + what + " " +
+                 std::to_string(got) + " != aggregate " +
+                 std::to_string(want);
+        };
+        if (auto f = conserve(slice.accesses, shared.accesses, "accesses"))
+          return f;
+        if (auto f = conserve(slice.elements, shared.elements, "elements"))
+          return f;
+        if (auto f = conserve(slice.io_lookups, shared.io.lookups,
+                              "io_lookups"))
+          return f;
+        if (auto f = conserve(slice.io_hits, shared.io.hits, "io_hits"))
+          return f;
+        if (auto f = conserve(slice.storage_lookups, shared.storage.lookups,
+                              "storage_lookups"))
+          return f;
+        if (auto f = conserve(slice.storage_hits, shared.storage.hits,
+                              "storage_hits"))
+          return f;
+        if (auto f = conserve(slice.disk_reads, shared.disk_reads,
+                              "disk_reads"))
+          return f;
+        if (auto f = conserve(slice.bytes_filled,
+                              shared.io.bytes_filled +
+                                  shared.storage.bytes_filled,
+                              "bytes_filled"))
+          return f;
+        double busy = 0;
+        for (double t : shared.thread_time) busy += t;
+        if (slice.busy_time != busy) {
+          return where + ": tenant busy_time does not equal summed "
+                 "thread_time";
+        }
+
+        // Bit-identity: with the tenant slices stripped the interleaved
+        // run must equal the plain run exactly, doubles included.
+        shared.tenants.clear();
+        if (!(shared == plain)) {
+          return where + ": N=1 interleaved run diverges from the plain "
+                 "run:\n  interleaved: " + shared.summary() +
+                 "\n  plain:       " + plain.summary();
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
 std::optional<std::string> check_engine_workers(const FuzzCase& fc) {
   std::vector<core::ExperimentJob> jobs;
   jobs.push_back({"default", &fc.program,
@@ -833,8 +951,13 @@ const std::vector<Oracle>& all_oracles() {
        check_extent_equivalence},
       {"event-vs-clock",
        "event core matches the clock core bit-exactly inside the "
-       "no-contention envelope (one thread, prefetch off, faults off)",
+       "no-contention envelope (one thread, prefetch off, faults off; "
+       "model_writes traces and the end-of-run write-back flush included)",
        true, check_event_vs_clock},
+      {"tenant-isolation",
+       "an N=1 interleaved run is bit-identical to the plain run in both "
+       "cores, with the tenant slice conserving the aggregates",
+       true, check_tenant_isolation},
       {"layout-bijection",
        "optimized layouts are injective slot maps with per-thread chunk "
        "contiguity",

@@ -12,7 +12,12 @@
 //   stream-vs-eager     streaming cursors == eager generator, per event
 //   extent-equivalence  simulator extent fast path == per-block reference
 //   event-vs-clock      event core == clock core inside the no-contention
-//                       envelope (one thread, prefetch off, faults off)
+//                       envelope (one thread, prefetch off, faults off);
+//                       model_writes traces — including the end-of-run
+//                       write-back flush — fuzz inside the envelope
+//   tenant-isolation    N=1 trace::InterleavedTraceSource run == plain run
+//                       bit-for-bit in both cores, with the single tenant
+//                       slice conserving every attributed aggregate
 //   layout-bijection    optimized layouts are injective element->slot maps
 //                       with per-thread chunk contiguity (Algorithm 1)
 //   solver-agreement    both Step I backends (core/layout_solver.hpp) emit

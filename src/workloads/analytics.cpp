@@ -1,0 +1,119 @@
+#include "workloads/analytics.hpp"
+
+#include "ir/builder.hpp"
+
+namespace flo::workloads {
+
+namespace {
+
+/// Rows of the window array: the last window starts at (windows-1)*step.
+std::int64_t window_rows(std::int64_t windows, std::int64_t win,
+                         std::int64_t step) {
+  return (windows - 1) * step + win;
+}
+
+}  // namespace
+
+Workload make_chunk_window(std::int64_t windows, std::int64_t win,
+                           std::int64_t step, std::int64_t cols,
+                           std::int64_t repeat) {
+  // (window, row-in-window, col) -> A[window*step + row][col]: consecutive
+  // windows share win-step rows, so the sweep re-reads its overlap — and
+  // neighbouring threads share the boundary rows of their window ranges.
+  ir::ProgramBuilder pb("chunk_window");
+  pb.array("A", {window_rows(windows, win, step), cols});
+  pb.nest("windows", {{0, windows - 1}, {0, win - 1}, {0, cols - 1}}, 0,
+          repeat)
+      .read("A", {{step, 1, 0}, {0, 0, 1}})
+      .done();
+  return {"chunk_window",
+          "array-analytics chunked sweep: overlapping read windows",
+          0,
+          false,
+          {},
+          pb.build()};
+}
+
+Workload make_chunk_rollup(std::int64_t windows, std::int64_t win,
+                           std::int64_t step, std::int64_t cols,
+                           std::int64_t repeat) {
+  // The same overlapping read plus one aggregated output row per window:
+  // chunked reads roll up into a chunked (non-overlapping) write.
+  ir::ProgramBuilder pb("chunk_rollup");
+  pb.array("A", {window_rows(windows, win, step), cols});
+  pb.array("roll", {windows, cols});
+  pb.nest("rollup", {{0, windows - 1}, {0, win - 1}, {0, cols - 1}}, 0,
+          repeat)
+      .read("A", {{step, 1, 0}, {0, 0, 1}})
+      .write("roll", {{1, 0, 0}, {0, 0, 1}})
+      .done();
+  return {"chunk_rollup",
+          "array-analytics roll-up: overlapping reads, chunked writes",
+          0,
+          false,
+          {},
+          pb.build()};
+}
+
+Workload make_rmw_update(std::int64_t n, std::int64_t repeat) {
+  // Every state block is read and written back in place: the entire
+  // resident footprint turns dirty, driving eviction write-backs.
+  ir::ProgramBuilder pb("rmw_update");
+  pb.array("state", {n, n});
+  pb.array("input", {n, n});
+  pb.nest("update", {{0, n - 1}, {0, n - 1}}, 0, repeat)
+      .read("input", {{1, 0}, {0, 1}})
+      .read("state", {{1, 0}, {0, 1}})
+      .write("state", {{1, 0}, {0, 1}})
+      .done();
+  return {"rmw_update",
+          "read-modify-write sweep: every state block comes back dirty",
+          0,
+          false,
+          {},
+          pb.build()};
+}
+
+Workload make_append_log(std::int64_t rows, std::int64_t cols,
+                         std::int64_t repeat) {
+  // Write-dominant sequential append into a private row slab, with a
+  // one-element-per-row read of a small state column on the side.
+  ir::ProgramBuilder pb("append_log");
+  pb.array("log", {rows, cols});
+  pb.array("state", {rows, 1});
+  pb.nest("append", {{0, rows - 1}, {0, cols - 1}}, 0, repeat)
+      .read("state", {{1, 0}, {0, 0}})
+      .write("log", {{1, 0}, {0, 1}})
+      .done();
+  return {"append_log",
+          "append-heavy log: write-dominant sequential stream",
+          0,
+          false,
+          {},
+          pb.build()};
+}
+
+std::vector<Workload> chunk_suite() {
+  // Footprint with the scaled Table 1 topology (256-element blocks):
+  // 516 rows x 2 blocks — past the aggregate storage caches, with a 50%
+  // window overlap for the sweep to re-read.
+  std::vector<Workload> out;
+  out.push_back(make_chunk_window(/*windows=*/128, /*win=*/8, /*step=*/4,
+                                  /*cols=*/512, /*repeat=*/2));
+  out.push_back(make_chunk_rollup(/*windows=*/128, /*win=*/8, /*step=*/4,
+                                  /*cols=*/512, /*repeat=*/2));
+  return out;
+}
+
+std::vector<Workload> write_suite() {
+  // The dirty footprints must overflow *both* cache tiers (1024 io blocks,
+  // 512 storage blocks aggregate on the scaled Table 1 topology), or dirty
+  // blocks never reach the disks and the write path stays cold: state is
+  // 4096 blocks, the log 4096 blocks.
+  std::vector<Workload> out;
+  out.push_back(make_rmw_update(/*n=*/1024, /*repeat=*/2));
+  out.push_back(make_append_log(/*rows=*/2048, /*cols=*/512, /*repeat=*/2));
+  return out;
+}
+
+}  // namespace flo::workloads

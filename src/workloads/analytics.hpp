@@ -1,0 +1,54 @@
+// Array-analytics and write-path workload families (DESIGN.md §4j) —
+// deliberately *not* part of workload_suite(): the 16-app paper suite and
+// every bench derived from it stay byte-identical.
+//
+// The chunk family models Zhang & Yang's "Optimizing I/O for Big Array
+// Analytics" access class: regular chunked sweeps whose windows overlap
+// (window w covers rows [w*step, w*step + win) with win > step), so
+// consecutive windows — and neighbouring threads at chunk boundaries —
+// re-read the overlap rows. This is a pattern class Step I/II was never
+// evaluated on in the paper.
+//
+// The write family exercises TopologyConfig::model_writes end to end:
+// read-modify-write sweeps (every block comes back dirty) and append-heavy
+// streams (write-dominant sequential logs), the traffic shapes that drive
+// the dirty-eviction/write-back path and its end-of-run flush.
+#pragma once
+
+#include <vector>
+
+#include "workloads/suite.hpp"
+
+namespace flo::workloads {
+
+/// Overlapping-window chunked read sweep: `windows` windows of `win` rows
+/// advancing by `step` (< win) over a `cols`-element-wide array, repeated
+/// `repeat` times with the window loop parallelized.
+Workload make_chunk_window(std::int64_t windows, std::int64_t win,
+                           std::int64_t step, std::int64_t cols,
+                           std::int64_t repeat);
+
+/// Chunked read/write roll-up: the same overlapping-window read plus one
+/// aggregated output row written per window (chunked read, chunked write).
+Workload make_chunk_rollup(std::int64_t windows, std::int64_t win,
+                           std::int64_t step, std::int64_t cols,
+                           std::int64_t repeat);
+
+/// Read-modify-write sweep: reads an input array and its own state array,
+/// writes every state block back (all resident state blocks turn dirty).
+Workload make_rmw_update(std::int64_t n, std::int64_t repeat);
+
+/// Append-heavy log: write-dominant sequential stream into a private row
+/// slab, with a small hot read-side state array.
+Workload make_append_log(std::int64_t rows, std::int64_t cols,
+                         std::int64_t repeat);
+
+/// Default-parameter instances of the chunk family (tags: chunk).
+std::vector<Workload> chunk_suite();
+
+/// Default-parameter instances of the write family (tags: write). Run
+/// these with TopologyConfig::model_writes = true, or the write path they
+/// exist to exercise stays cold.
+std::vector<Workload> write_suite();
+
+}  // namespace flo::workloads

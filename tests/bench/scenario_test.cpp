@@ -22,7 +22,8 @@ TEST(ScenarioRegistryTest, EveryHistoricalBinaryHasAScenario) {
       "fig7h",         "compile_stats",    "ablation_step1",
       "ablation_scale", "ablation_prefetch", "ablation_template",
       "solver_ablation", "fault_sweep",    "calibrate",
-      "smoke"};
+      "smoke",         "tenant_mix",       "chunk_analytics",
+      "write_path"};
   std::set<std::string> actual;
   for (const auto& spec : scenarios()) {
     EXPECT_TRUE(actual.insert(spec.name).second)

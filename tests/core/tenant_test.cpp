@@ -1,0 +1,94 @@
+#include "core/tenant.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "ir/builder.hpp"
+
+namespace flo::core {
+namespace {
+
+TEST(JainFairnessTest, ZeroBaselineConventions) {
+  // Documented conventions: empty and all-zero inputs read as perfectly
+  // fair (1.0), never NaN.
+  EXPECT_DOUBLE_EQ(jain_fairness({}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_fairness({0.0, 0.0}), 1.0);
+}
+
+TEST(JainFairnessTest, EvenAndUnevenShares) {
+  EXPECT_DOUBLE_EQ(jain_fairness({2.0, 2.0, 2.0}), 1.0);
+  // (1+3)^2 / (2 * (1+9)) = 16/20 = 0.8
+  EXPECT_DOUBLE_EQ(jain_fairness({1.0, 3.0}), 0.8);
+  // One tenant absorbs everything: the index bottoms out at 1/n.
+  EXPECT_DOUBLE_EQ(jain_fairness({4.0, 0.0}), 0.5);
+}
+
+TEST(TenantSlowdownTest, ZeroSoloBaselineReadsAsUnchanged) {
+  EXPECT_DOUBLE_EQ(tenant_slowdown(3.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(tenant_slowdown(3.0, 2.0), 1.5);
+}
+
+ir::Program make_sweep(const char* name, std::int64_t rows,
+                       std::int64_t cols) {
+  ir::ProgramBuilder pb(name);
+  pb.array("A", {rows, cols});
+  pb.nest("sweep", {{0, rows - 1}, {0, cols - 1}}, 0)
+      .read("A", {{1, 0}, {0, 1}})
+      .done();
+  return pb.build();
+}
+
+TEST(RunMultiTenantTest, RejectsDegenerateJobLists) {
+  EXPECT_THROW(run_multi_tenant({}), std::invalid_argument);
+  TenantJob job;  // program left null
+  EXPECT_THROW(run_multi_tenant({job}), std::invalid_argument);
+}
+
+TEST(RunMultiTenantTest, RejectsKarmaComposition) {
+  const ir::Program program = make_sweep("solo", 256, 256);
+  TenantJob job;
+  job.program = &program;
+  job.config.policy = storage::PolicyKind::kKarma;
+  EXPECT_THROW(run_multi_tenant({job, job}), std::invalid_argument);
+}
+
+TEST(RunMultiTenantTest, TwoTenantSmoke) {
+  const ir::Program first = make_sweep("first", 256, 512);
+  const ir::Program second = make_sweep("second", 128, 512);
+  TenantJob a;
+  a.label = "first";
+  a.program = &first;
+  TenantJob b;
+  b.label = "second";
+  b.program = &second;
+  const MultiTenantResult result = run_multi_tenant({a, b});
+
+  ASSERT_EQ(result.tenants.size(), 2u);
+  ASSERT_EQ(result.shared.tenants.size(), 2u);
+  EXPECT_EQ(result.tenants[0].label, "first");
+  EXPECT_EQ(result.tenants[1].label, "second");
+
+  // The shared run carries every tenant access: the interleaved trace is
+  // the union of the solo traces.
+  const std::uint64_t solo_accesses = result.tenants[0].solo.accesses +
+                                      result.tenants[1].solo.accesses;
+  EXPECT_EQ(result.shared.accesses, solo_accesses);
+  const std::uint64_t slice_accesses = result.shared.tenants[0].accesses +
+                                       result.shared.tenants[1].accesses;
+  EXPECT_EQ(result.shared.accesses, slice_accesses);
+
+  for (const TenantOutcome& outcome : result.tenants) {
+    EXPECT_GT(outcome.solo_busy, 0.0);
+    EXPECT_GT(outcome.shared_busy, 0.0);
+    // Sharing caches can only interfere or leave a tenant alone; allow a
+    // whisker of FP slack below 1.
+    EXPECT_GE(outcome.slowdown, 0.99);
+  }
+  EXPECT_GE(result.mean_slowdown, 0.99);
+  EXPECT_GT(result.fairness, 0.0);
+  EXPECT_LE(result.fairness, 1.0);
+}
+
+}  // namespace
+}  // namespace flo::core

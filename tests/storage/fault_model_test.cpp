@@ -282,5 +282,49 @@ TEST(WireCodecTest, RejectsMalformedLines) {
   EXPECT_FALSE(from_wire(good + " 7").has_value());  // trailing fields
 }
 
+TEST(WireCodecTest, TenantSlicesRoundTripInV4) {
+  SimulationResult result;
+  result.accesses = 10;
+  result.exec_time = 1.25;
+  result.tenants.resize(2);
+  result.tenants[0].accesses = 6;
+  result.tenants[0].io_lookups = 6;
+  result.tenants[0].io_hits = 4;
+  result.tenants[0].bytes_filled = 4096;
+  result.tenants[0].busy_time = 0.75;
+  result.tenants[1].accesses = 4;
+  result.tenants[1].disk_reads = 2;
+  result.tenants[1].busy_time = 0.5;
+  const std::string wire = to_wire(result);
+  EXPECT_EQ(wire.rfind("sim-v4", 0), 0u);
+  const auto decoded = from_wire(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, result);
+  ASSERT_EQ(decoded->tenants.size(), 2u);
+  EXPECT_EQ(decoded->tenants[1].disk_reads, 2u);
+}
+
+TEST(WireCodecTest, OlderVersionsParseWithTenantsEmpty) {
+  // A v1–v3 line is exactly a v4 line with an older tag and without the
+  // trailing tenant fields (the v1/v2 cases additionally drop queue/bound
+  // fields, handled by the version cascade).
+  const std::string v4 = to_wire(SimulationResult{});
+  ASSERT_EQ(v4.substr(v4.size() - 2), " 0");  // tenant count
+  const std::string v3 = "sim-v3" + v4.substr(6, v4.size() - 8);
+  const auto decoded = from_wire(v3);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->tenants.empty());
+  EXPECT_EQ(*decoded, SimulationResult{});
+  // A v3 line must not accept tenant fields.
+  EXPECT_FALSE(from_wire(v3 + " 0").has_value());
+}
+
+TEST(WireCodecTest, RejectsAbsurdTenantCounts) {
+  const std::string v4 = to_wire(SimulationResult{});
+  const std::string huge =
+      v4.substr(0, v4.size() - 1) + std::to_string(1u << 20);
+  EXPECT_FALSE(from_wire(huge).has_value());
+}
+
 }  // namespace
 }  // namespace flo::storage

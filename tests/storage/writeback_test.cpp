@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "storage/sim_core.hpp"
 #include "storage/simulator.hpp"
 
 namespace flo::storage {
@@ -68,6 +69,57 @@ TEST(WritebackTest, WriteTrafficCostsMoreThanReadTraffic) {
   const auto r = reader.run(write_scan(32, false));
   const auto w = writer.run(write_scan(32, true));
   EXPECT_GT(w.exec_time, r.exec_time);
+}
+
+// Inside the event≡clock envelope (one thread, 1/1/1 chain, prefetch off)
+// so both cores must agree bit-exactly on the flush accounting.
+TopologyConfig flush_config() {
+  TopologyConfig c;
+  c.compute_nodes = 1;
+  c.io_nodes = 1;
+  c.storage_nodes = 1;
+  c.block_size = 2048;
+  c.io_cache_bytes = 2 * c.block_size;
+  c.storage_cache_bytes = 4 * c.block_size;
+  c.prefetch_depth = 0;
+  c.model_writes = true;
+  return c;
+}
+
+SimulationResult run_flush(const TraceProgram& trace, SimCoreKind core) {
+  const StorageTopology topo(flush_config());
+  HierarchySimulator sim(topo, PolicyKind::kLruInclusive, {0});
+  sim.set_core(core);
+  return sim.run(trace);
+}
+
+TEST(WritebackTest, TrailingWritebackChargedAtEndOfRun) {
+  // A trace that ENDS with a write leaves its last dirty storage eviction
+  // deferred in pending_writeback_cost_; the end-of-run flush must charge
+  // it. The oracle trace appends one guaranteed I/O hit (re-reading the
+  // just-written block), whose service charges any pending write-backs the
+  // old way — so post-fix the two traces must agree on disk_writes.
+  const TraceProgram final_write = write_scan(12, /*writes=*/true);
+  TraceProgram with_flush_read = write_scan(12, /*writes=*/true);
+  with_flush_read.phases[0].per_thread[0].push_back({0, 11, 1, false});
+
+  const SimulationResult a = run_flush(final_write, SimCoreKind::kClock);
+  const SimulationResult b = run_flush(with_flush_read, SimCoreKind::kClock);
+  EXPECT_GT(a.disk_writes, 0u);
+  EXPECT_EQ(a.disk_writes, b.disk_writes)
+      << "trailing write-back dropped by the write-final trace";
+  // The flush also charges the deferred cost into total time: the
+  // write-final run can cost at most the flush-read run (which adds a
+  // strictly positive hit service on top).
+  EXPECT_LT(a.exec_time, b.exec_time);
+
+  // Clock ≡ event parity on the flushed run.
+  const SimulationResult e = run_flush(final_write, SimCoreKind::kEvent);
+  EXPECT_EQ(e.disk_writes, a.disk_writes);
+  EXPECT_EQ(e.writebacks, a.writebacks);
+  EXPECT_EQ(e.disk_reads, a.disk_reads);
+  EXPECT_EQ(e.accesses, a.accesses);
+  EXPECT_NEAR(e.exec_time, a.exec_time, 1e-9 * a.exec_time);
 }
 
 TEST(WritebackTest, RewritingResidentBlockStaysDirtyOnce) {

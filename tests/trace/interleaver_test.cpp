@@ -1,0 +1,230 @@
+#include "trace/interleaver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "storage/sim_core.hpp"
+#include "storage/simulator.hpp"
+
+namespace flo::trace {
+namespace {
+
+using storage::AccessEvent;
+using storage::MaterializedTraceSource;
+using storage::PhaseTrace;
+using storage::SimCoreKind;
+using storage::SimulationResult;
+using storage::TraceProgram;
+
+/// A small deterministic two-phase trace: `threads` streams sweeping
+/// `blocks` blocks of one file, phase 0 repeated `repeat` times.
+TraceProgram make_trace(std::uint32_t threads, std::uint64_t blocks,
+                        std::uint32_t repeat) {
+  TraceProgram trace;
+  trace.file_blocks = {blocks};
+  PhaseTrace sweep;
+  sweep.repeat = repeat;
+  sweep.per_thread.resize(threads);
+  for (std::uint32_t t = 0; t < threads; ++t) {
+    for (std::uint64_t b = 0; b < blocks; ++b) {
+      sweep.per_thread[t].push_back({0, (b + t) % blocks, 2, false});
+    }
+  }
+  trace.phases.push_back(sweep);
+  PhaseTrace tail;
+  tail.per_thread.resize(threads);
+  for (std::uint32_t t = 0; t < threads; ++t) {
+    tail.per_thread[t].push_back({0, t % blocks, 1, false});
+  }
+  trace.phases.push_back(std::move(tail));
+  return trace;
+}
+
+storage::TopologyConfig small_topology(std::uint32_t compute) {
+  storage::TopologyConfig c;
+  c.compute_nodes = compute;
+  c.io_nodes = compute;
+  c.storage_nodes = 1;
+  c.block_size = 2048;
+  c.io_cache_bytes = 4 * c.block_size;
+  c.storage_cache_bytes = 8 * c.block_size;
+  c.prefetch_depth = 0;
+  return c;
+}
+
+std::vector<AccessEvent> drain(const storage::TraceSource& source,
+                               std::size_t phase, std::uint32_t thread) {
+  std::vector<AccessEvent> out;
+  const auto cursor = source.open(phase, thread);
+  AccessEvent ev;
+  while (cursor->next(ev)) out.push_back(ev);
+  return out;
+}
+
+TEST(InterleaverTest, SingleTenantIsPurePassthrough) {
+  const TraceProgram trace = make_trace(3, 6, 2);
+  const MaterializedTraceSource inner(trace);
+  for (const InterleavePolicy policy :
+       {InterleavePolicy::kRoundRobin, InterleavePolicy::kSeededRandom}) {
+    const InterleavedTraceSource one({&inner}, policy, 99);
+    EXPECT_EQ(one.tenant_count(), 1u);
+    EXPECT_EQ(one.thread_count(), inner.thread_count());
+    EXPECT_EQ(one.file_base(0), 0u);
+    EXPECT_EQ(one.file_blocks(), inner.file_blocks());
+    // Repeats flatten into instances: phase 0 (repeat 2) + phase 1.
+    EXPECT_EQ(one.phase_count(), 3u);
+    for (std::uint32_t s = 0; s < one.thread_count(); ++s) {
+      EXPECT_EQ(one.tenant_of_slot(s), 0u);
+      EXPECT_EQ(one.origin_thread_of_slot(s), s);  // identity slot table
+      EXPECT_EQ(drain(one, 0, s), drain(inner, 0, s));
+      EXPECT_EQ(drain(one, 1, s), drain(inner, 0, s));  // the repeat
+      EXPECT_EQ(drain(one, 2, s), drain(inner, 1, s));
+    }
+  }
+}
+
+TEST(InterleaverTest, SingleTenantRunIsBitIdenticalInBothCores) {
+  const TraceProgram trace = make_trace(3, 6, 2);
+  const MaterializedTraceSource inner(trace);
+  const storage::StorageTopology topo(small_topology(3));
+  const std::vector<storage::NodeId> io_map = {0, 1, 2};
+  const auto run = [&](const storage::TraceSource& source, SimCoreKind core,
+                       bool tenants) {
+    storage::HierarchySimulator sim(topo, storage::PolicyKind::kLruInclusive,
+                                    io_map);
+    sim.set_core(core);
+    if (tenants) {
+      sim.set_tenants(std::vector<std::uint32_t>(source.thread_count(), 0), 1);
+    }
+    return sim.run(source);
+  };
+  for (const SimCoreKind core : {SimCoreKind::kClock, SimCoreKind::kEvent}) {
+    const SimulationResult plain = run(inner, core, false);
+    for (const InterleavePolicy policy :
+         {InterleavePolicy::kRoundRobin, InterleavePolicy::kSeededRandom}) {
+      const InterleavedTraceSource one({&inner}, policy, 7);
+      SimulationResult wrapped = run(one, core, true);
+      ASSERT_EQ(wrapped.tenants.size(), 1u);
+      EXPECT_EQ(wrapped.tenants[0].accesses, wrapped.accesses);
+      wrapped.tenants.clear();
+      EXPECT_EQ(wrapped, plain);
+    }
+  }
+}
+
+TEST(InterleaverTest, RoundRobinInterleavesRaggedThreadCounts) {
+  const TraceProgram a = make_trace(3, 4, 1);
+  const TraceProgram b = make_trace(1, 4, 1);
+  const MaterializedTraceSource sa(a);
+  const MaterializedTraceSource sb(b);
+  const InterleavedTraceSource both({&sa, &sb});
+  ASSERT_EQ(both.thread_count(), 4u);
+  // Rounds across tenants while threads remain: a/0, b/0, a/1, a/2.
+  EXPECT_EQ(both.tenant_of_slot(0), 0u);
+  EXPECT_EQ(both.origin_thread_of_slot(0), 0u);
+  EXPECT_EQ(both.tenant_of_slot(1), 1u);
+  EXPECT_EQ(both.origin_thread_of_slot(1), 0u);
+  EXPECT_EQ(both.tenant_of_slot(2), 0u);
+  EXPECT_EQ(both.origin_thread_of_slot(2), 1u);
+  EXPECT_EQ(both.tenant_of_slot(3), 0u);
+  EXPECT_EQ(both.origin_thread_of_slot(3), 2u);
+  EXPECT_EQ(both.tenant_map(), (std::vector<std::uint32_t>{0, 1, 0, 0}));
+}
+
+TEST(InterleaverTest, FileNamespacesConcatenate) {
+  const TraceProgram a = make_trace(1, 4, 1);  // one file, 4 blocks
+  TraceProgram b = make_trace(1, 3, 1);
+  b.file_blocks = {3, 5};  // two files
+  const MaterializedTraceSource sa(a);
+  const MaterializedTraceSource sb(b);
+  const InterleavedTraceSource both({&sa, &sb});
+  EXPECT_EQ(both.file_base(0), 0u);
+  EXPECT_EQ(both.file_base(1), 1u);
+  EXPECT_EQ(both.file_blocks(), (std::vector<std::uint64_t>{4, 3, 5}));
+  // Tenant 1's events come back with their file ids offset; blocks and
+  // counts untouched.
+  for (std::uint32_t s = 0; s < both.thread_count(); ++s) {
+    const std::uint32_t k = both.tenant_of_slot(s);
+    const auto& origin = k == 0 ? sa : sb;
+    auto expected = drain(origin, 0, both.origin_thread_of_slot(s));
+    for (auto& ev : expected) ev.file += both.file_base(k);
+    EXPECT_EQ(drain(both, 0, s), expected);
+  }
+}
+
+TEST(InterleaverTest, SeededShuffleIsReproducible) {
+  const TraceProgram a = make_trace(4, 4, 1);
+  const TraceProgram b = make_trace(4, 4, 1);
+  const MaterializedTraceSource sa(a);
+  const MaterializedTraceSource sb(b);
+  const InterleavedTraceSource x({&sa, &sb}, InterleavePolicy::kSeededRandom,
+                                 42);
+  const InterleavedTraceSource y({&sa, &sb}, InterleavePolicy::kSeededRandom,
+                                 42);
+  EXPECT_EQ(x.tenant_map(), y.tenant_map());
+  for (std::uint32_t s = 0; s < x.thread_count(); ++s) {
+    EXPECT_EQ(x.origin_thread_of_slot(s), y.origin_thread_of_slot(s));
+    EXPECT_EQ(drain(x, 0, s), drain(y, 0, s));
+  }
+  // The shuffled table is still a permutation of the round-robin one.
+  const InterleavedTraceSource rr({&sa, &sb});
+  std::vector<std::uint32_t> shuffled = x.tenant_map();
+  std::vector<std::uint32_t> ordered = rr.tenant_map();
+  std::sort(shuffled.begin(), shuffled.end());
+  std::sort(ordered.begin(), ordered.end());
+  EXPECT_EQ(shuffled, ordered);
+}
+
+TEST(InterleaverTest, PerTenantCountersConserveAggregates) {
+  const TraceProgram a = make_trace(2, 8, 2);
+  const TraceProgram b = make_trace(2, 5, 1);
+  const MaterializedTraceSource sa(a);
+  const MaterializedTraceSource sb(b);
+  const InterleavedTraceSource both({&sa, &sb});
+  const storage::StorageTopology topo(small_topology(4));
+  for (const SimCoreKind core : {SimCoreKind::kClock, SimCoreKind::kEvent}) {
+    storage::HierarchySimulator sim(topo, storage::PolicyKind::kLruInclusive,
+                                    {0, 1, 2, 3});
+    sim.set_core(core);
+    sim.set_tenants(both.tenant_map(), 2);
+    const SimulationResult result = sim.run(both);
+    ASSERT_EQ(result.tenants.size(), 2u);
+    const auto& t0 = result.tenants[0];
+    const auto& t1 = result.tenants[1];
+    EXPECT_TRUE(t0.any());
+    EXPECT_TRUE(t1.any());
+    EXPECT_EQ(t0.accesses + t1.accesses, result.accesses);
+    EXPECT_EQ(t0.elements + t1.elements, result.elements);
+    EXPECT_EQ(t0.io_lookups + t1.io_lookups, result.io.lookups);
+    EXPECT_EQ(t0.io_hits + t1.io_hits, result.io.hits);
+    EXPECT_EQ(t0.storage_lookups + t1.storage_lookups,
+              result.storage.lookups);
+    EXPECT_EQ(t0.storage_hits + t1.storage_hits, result.storage.hits);
+    EXPECT_EQ(t0.disk_reads + t1.disk_reads, result.disk_reads);
+    EXPECT_EQ(t0.bytes_filled + t1.bytes_filled,
+              result.io.bytes_filled + result.storage.bytes_filled);
+  }
+}
+
+TEST(InterleaverTest, RejectsEmptyAndNullTenantLists) {
+  EXPECT_THROW(InterleavedTraceSource({}), std::invalid_argument);
+  EXPECT_THROW(InterleavedTraceSource({nullptr}), std::invalid_argument);
+}
+
+TEST(InterleaverTest, SetTenantsValidatesTheMap) {
+  const storage::StorageTopology topo(small_topology(2));
+  storage::HierarchySimulator sim(topo, storage::PolicyKind::kLruInclusive,
+                                  {0, 1});
+  EXPECT_THROW(sim.set_tenants({0, 2}, 2), std::invalid_argument);
+  // A map shorter than the trace's thread count is rejected at run time.
+  const TraceProgram trace = make_trace(2, 4, 1);
+  const MaterializedTraceSource source(trace);
+  sim.set_tenants({0}, 1);
+  EXPECT_THROW(sim.run(source), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace flo::trace
