@@ -8,6 +8,8 @@
 #include "bench/bench_common.hpp"
 #include "bench/scenario.hpp"
 #include "core/tenant.hpp"
+#include "storage/qos.hpp"
+#include "storage/sim_core.hpp"
 #include "workloads/analytics.hpp"
 
 namespace flo::bench {
@@ -76,6 +78,131 @@ int run_tenant_mix(ScenarioContext& ctx) {
   ctx.emit("fairness.default", base.fairness);
   ctx.emit("fairness.inter", opt.fairness);
   ctx.emit("fairness.inter_shuffled", opt_rand.fairness);
+  return 0;
+}
+
+// Tenant QoS family (DESIGN.md §4k): the tenant_mix workloads re-run
+// under the QoS layer — cache-partition share sweeps crossed with disk
+// scheduling policies — against the unpartitioned baseline on the same
+// seed. Runs under the event core explicitly: it is the only core with
+// disk queues, so the scheduler knob is live, and the cache partitions
+// are exercised in the core where contention modeling matters most.
+//
+// Hard gate: equal shares plus priority scheduling must not be *less*
+// fair than the unpartitioned baseline, and must not raise the worst
+// tenant slowdown. Partitioning exists to protect the victim tenant; if
+// the protected run is worse on both axes the QoS layer regressed.
+int run_tenant_qos(ScenarioContext& ctx) {
+  const std::vector<workloads::Workload> mix = {
+      workloads::make_contour(), workloads::make_astro(),
+      workloads::make_twer()};
+
+  const auto run_mix = [&](const storage::QosConfig& qos) {
+    std::vector<core::TenantJob> jobs;
+    jobs.reserve(mix.size());
+    for (const auto& app : mix) {
+      core::TenantJob job;
+      job.label = app.name;
+      job.program = &app.program;
+      job.config.sim_core = storage::SimCoreKind::kEvent;
+      job.config.topology.qos = qos;
+      jobs.push_back(job);
+    }
+    return core::run_multi_tenant(jobs);  // round-robin, fixed seed
+  };
+
+  const core::MultiTenantResult base = run_mix({});
+
+  // Disk priorities favor the tenants the unpartitioned run hurt most:
+  // rank by baseline slowdown, worst tenant gets the highest priority.
+  // Deterministic for a fixed seed — the ranking is data, not policy.
+  std::vector<std::uint32_t> prio(mix.size(), 1);
+  {
+    std::vector<std::size_t> order(mix.size());
+    for (std::size_t k = 0; k < order.size(); ++k) order[k] = k;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return base.tenants[a].slowdown < base.tenants[b].slowdown;
+    });
+    for (std::size_t r = 0; r < order.size(); ++r) {
+      prio[order[r]] = static_cast<std::uint32_t>(r + 1);
+    }
+  }
+
+  const std::vector<std::uint32_t> equal(mix.size(), 1);
+  const auto make_qos = [&](std::vector<std::uint32_t> shares,
+                            storage::SchedPolicyKind sched, bool dynamic) {
+    storage::QosConfig qos;
+    qos.enabled = true;
+    qos.shares = std::move(shares);
+    qos.scheduler = sched;
+    if (sched == storage::SchedPolicyKind::kPriority) qos.priorities = prio;
+    qos.dynamic_shares = dynamic;
+    return qos;
+  };
+
+  struct Variant {
+    std::string label;
+    core::MultiTenantResult result;
+  };
+  std::vector<Variant> variants;
+  variants.push_back(
+      {"equal/look",
+       run_mix(make_qos(equal, storage::SchedPolicyKind::kLook, false))});
+  variants.push_back(
+      {"equal/fcfs",
+       run_mix(make_qos(equal, storage::SchedPolicyKind::kFcfs, false))});
+  variants.push_back(
+      {"equal/priority",
+       run_mix(make_qos(equal, storage::SchedPolicyKind::kPriority, false))});
+  variants.push_back(
+      {"4:2:1/look",
+       run_mix(make_qos({4, 2, 1}, storage::SchedPolicyKind::kLook, false))});
+  variants.push_back(
+      {"dynamic/look",
+       run_mix(make_qos(equal, storage::SchedPolicyKind::kLook, true))});
+
+  util::Table table({"Variant", "Jain fairness", "mean slowdown",
+                     "max slowdown", "p99 slowdown"});
+  const auto add_row = [&](const std::string& label,
+                           const core::MultiTenantResult& r) {
+    table.add_row({label, util::format_fixed(r.fairness, 4),
+                   util::format_fixed(r.mean_slowdown, 3),
+                   util::format_fixed(r.max_slowdown, 3),
+                   util::format_fixed(r.p99_slowdown, 3)});
+    ctx.emit("fairness." + label, r.fairness);
+    ctx.emit("max_slowdown." + label, r.max_slowdown);
+    ctx.emit("p99_slowdown." + label, r.p99_slowdown);
+  };
+  add_row("unpartitioned", base);
+  for (const Variant& v : variants) add_row(v.label, v.result);
+
+  ctx.out() << "Tenant QoS — " << mix.size()
+            << " tenants, cache-share sweep x disk scheduler (event core)\n\n";
+  ctx.out() << table << '\n';
+  for (std::size_t k = 0; k < mix.size(); ++k) {
+    ctx.out() << mix[k].name << ": priority " << prio[k]
+              << ", unpartitioned slowdown "
+              << util::format_fixed(base.tenants[k].slowdown, 3)
+              << ", equal/priority slowdown "
+              << util::format_fixed(variants[2].result.tenants[k].slowdown, 3)
+              << '\n';
+  }
+
+  const core::MultiTenantResult& gate = variants[2].result;  // equal/priority
+  ctx.emit("gate.fairness_delta", gate.fairness - base.fairness);
+  ctx.emit("gate.max_slowdown_delta",
+           base.max_slowdown - gate.max_slowdown);
+  if (gate.fairness < base.fairness ||
+      gate.max_slowdown > base.max_slowdown) {
+    ctx.out() << "FAIL: equal shares + priority scheduling did not hold the "
+                 "fairness/tail-latency line vs the unpartitioned baseline "
+                 "(fairness "
+              << util::format_fixed(gate.fairness, 4) << " vs "
+              << util::format_fixed(base.fairness, 4) << ", max slowdown "
+              << util::format_fixed(gate.max_slowdown, 3) << " vs "
+              << util::format_fixed(base.max_slowdown, 3) << ")\n";
+    return 1;
+  }
   return 0;
 }
 
@@ -165,6 +292,11 @@ void register_tenant_scenarios(std::vector<ScenarioSpec>& out) {
                  "multi-tenant extension (not in paper)",
                  {"tenant"},
                  run_tenant_mix});
+  out.push_back({"tenant_qos",
+                 "Tenant QoS: cache-share sweep x disk scheduler policies",
+                 "QoS extension (not in paper)",
+                 {"tenant", "qos"},
+                 run_tenant_qos});
   out.push_back({"chunk_analytics",
                  "Overlapping-window chunked array analytics",
                  "Zhang & Yang chunked access class (not in paper)",

@@ -128,6 +128,17 @@ void append_topology_key(std::string& key, const storage::TopologyConfig& t) {
     append_value(key, outage.start);
     append_value(key, outage.end);
   }
+  // Tenant QoS changes simulation results (cache partitioning and the
+  // disk scheduling policy), so it joins the keys the same way faults do.
+  append_value(key, t.qos.enabled);
+  append_value(key, t.qos.shares.size());
+  for (const std::uint32_t share : t.qos.shares) append_value(key, share);
+  append_value(key, t.qos.priorities.size());
+  for (const std::uint32_t prio : t.qos.priorities) append_value(key, prio);
+  append_value(key, t.qos.dynamic_shares);
+  append_value(key, t.qos.epoch_accesses);
+  append_value(key, t.qos.scheduler);
+  append_value(key, t.qos.sched_window);
 }
 
 std::uint64_t program_fingerprint(const ir::Program& program) {

@@ -1,5 +1,7 @@
 #include "core/tenant.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <memory>
 #include <stdexcept>
 #include <utility>
@@ -24,6 +26,17 @@ double jain_fairness(const std::vector<double>& values) {
 
 double tenant_slowdown(double shared_busy, double solo_busy) {
   return normalized_ratio(shared_busy, solo_busy);
+}
+
+double slowdown_percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 1.0;
+  std::sort(values.begin(), values.end());
+  if (p <= 0) return values.front();
+  if (p >= 100) return values.back();
+  // Nearest-rank: ceil(p/100 * n), 1-indexed.
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(values.size())));
+  return values[rank == 0 ? 0 : rank - 1];
 }
 
 MultiTenantResult run_multi_tenant(const std::vector<TenantJob>& jobs,
@@ -116,6 +129,8 @@ MultiTenantResult run_multi_tenant(const std::vector<TenantJob>& jobs,
   }
   out.mean_slowdown = safe_average(slowdown_sum, slowdowns.size());
   out.fairness = jain_fairness(slowdowns);
+  out.max_slowdown = slowdown_percentile(slowdowns, 100.0);
+  out.p99_slowdown = slowdown_percentile(slowdowns, 99.0);
   return out;
 }
 

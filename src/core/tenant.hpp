@@ -53,7 +53,18 @@ struct MultiTenantResult {
   std::vector<TenantOutcome> tenants;
   double mean_slowdown = 1.0;  ///< safe_average over tenant slowdowns
   double fairness = 1.0;       ///< Jain index over tenant slowdowns
+  /// Tail metrics for the QoS scenarios: the worst tenant slowdown and
+  /// the 99th-percentile slowdown (nearest-rank over the tenant vector;
+  /// with few tenants this equals the max, which is the honest reading of
+  /// "p99" for small n). Both default to 1.0 for an empty tenant list.
+  double max_slowdown = 1.0;
+  double p99_slowdown = 1.0;
 };
+
+/// Nearest-rank percentile over per-tenant values (p in [0, 100]); an
+/// empty vector reads as 1.0 — the "no change" convention the other
+/// slowdown metrics follow.
+double slowdown_percentile(std::vector<double> values, double p);
 
 /// Jain's fairness index (sum x)^2 / (n * sum x^2) over per-tenant values:
 /// 1.0 = perfectly even, 1/n = one tenant absorbs everything. Guarded by

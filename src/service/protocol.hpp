@@ -90,6 +90,8 @@ struct Response {
   std::string tier;         ///< "exact"/"template" (ok only)
   std::string cache;        ///< "hit"/"miss" (ok only)
   std::string solver;       ///< Step I backend that compiled the plan
+  std::string sched;        ///< disk scheduler of the daemon's QoS config
+                            ///< (FLO_QOS/FLO_SCHED); empty when QoS is off
   bool degraded = false;    ///< served below the requested tier
   std::string fingerprint;  ///< compile key actually served
   std::string body_hash;    ///< hex16(fnv1a(request program)) — leak canary

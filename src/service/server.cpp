@@ -15,6 +15,7 @@
 
 #include "ir/parser.hpp"
 #include "obs/metrics.hpp"
+#include "storage/qos.hpp"
 #include "util/framing.hpp"
 
 namespace flo::service {
@@ -384,6 +385,15 @@ Response Server::compile_response(Job& job) {
   // config.solver defaulted from FLO_SOLVER and joins the fingerprint, so
   // a rendered hit was necessarily compiled by this same backend.
   r.solver = core::solver_name(config.solver);
+  // Daemon-wide tenant QoS (FLO_QOS/FLO_SCHED, validated at startup):
+  // joins the topology, hence the compile fingerprint, so QoS'd and plain
+  // compiles never alias a cache key. The response echoes the scheduler so
+  // clients can see which discipline their plans were keyed under.
+  config.topology.qos = storage::qos_config_from_env();
+  if (config.topology.qos.enabled) {
+    r.sched = storage::sched_policy_name(config.topology.qos.scheduler);
+    count("service.qos.requests");
+  }
 
   const std::uint64_t program_fp = core::program_fingerprint(program);
   const std::string exact_key = core::compile_fingerprint(program_fp, config);

@@ -1,0 +1,66 @@
+#include "storage/disk_sched.hpp"
+
+#include <stdexcept>
+
+namespace flo::storage {
+
+void DiskScheduler::push(std::uint64_t lba, std::uint32_t thread,
+                         double arrival, std::uint32_t priority) {
+  Rec rec;
+  rec.thread = thread;
+  // The deadline is fixed at enqueue time: later arrivals of the same
+  // priority class always have later deadlines, so nothing starves.
+  rec.deadline =
+      arrival + window_ / static_cast<double>(priority == 0 ? 1 : priority);
+  pending_.emplace(std::pair{lba, seq_++}, rec);
+}
+
+std::uint32_t DiskScheduler::pop(std::uint64_t head) {
+  if (pending_.empty()) {
+    throw std::logic_error("DiskScheduler: pop from an empty queue");
+  }
+  auto it = pending_.begin();
+  switch (policy_) {
+    case SchedPolicyKind::kLook: {
+      // Continue the current sweep from the head position, reverse when
+      // the sweep is exhausted — verbatim the PR 6 inline elevator.
+      it = pending_.lower_bound({head, 0});
+      if (upward_) {
+        if (it == pending_.end()) {
+          upward_ = false;
+          it = std::prev(pending_.end());
+        }
+      } else {
+        if (it == pending_.begin()) {
+          upward_ = true;
+        } else {
+          it = std::prev(it);
+        }
+      }
+      break;
+    }
+    case SchedPolicyKind::kFcfs: {
+      // Strict arrival order: smallest sequence number.
+      for (auto cand = pending_.begin(); cand != pending_.end(); ++cand) {
+        if (cand->first.second < it->first.second) it = cand;
+      }
+      break;
+    }
+    case SchedPolicyKind::kPriority: {
+      // Earliest deadline first; ties broken by arrival sequence.
+      for (auto cand = pending_.begin(); cand != pending_.end(); ++cand) {
+        if (cand->second.deadline < it->second.deadline ||
+            (cand->second.deadline == it->second.deadline &&
+             cand->first.second < it->first.second)) {
+          it = cand;
+        }
+      }
+      break;
+    }
+  }
+  const std::uint32_t thread = it->second.thread;
+  pending_.erase(it);
+  return thread;
+}
+
+}  // namespace flo::storage

@@ -343,10 +343,10 @@ void EventEngine::enqueue_disk(std::uint32_t thread, double now) {
     return;
   }
   r.arrival = now;
-  d.pending.emplace(std::pair{r.lba, d.seq++}, thread);
-  note_wait(result_.queue.disk, d.pending.size());
+  d.sched.push(r.lba, thread, now, sim_.qos_priority_of_thread(thread));
+  note_wait(result_.queue.disk, d.sched.size());
   if (disk_depth_gauge_) {
-    disk_depth_gauge_->set(static_cast<std::int64_t>(d.pending.size()));
+    disk_depth_gauge_->set(static_cast<std::int64_t>(d.sched.size()));
   }
 }
 
@@ -411,28 +411,14 @@ void EventEngine::disk_done(std::uint32_t thread, double now) {
     d.free_at = now + static_cast<double>(staged) *
                           sim_.disks_.sequential_transfer();
   }
-  // Release the disk: LOOK elevator — continue the current sweep from the
-  // head position, reverse when the sweep is exhausted.
+  // Release the disk and hand the queue to the scheduling policy (LOOK by
+  // default — the elevator continues its sweep from the head position).
   d.busy = false;
-  if (!d.pending.empty()) {
-    auto it = d.pending.lower_bound({sim_.disks_.head(r.node), 0});
-    if (d.upward) {
-      if (it == d.pending.end()) {
-        d.upward = false;
-        it = std::prev(d.pending.end());
-      }
-    } else {
-      if (it == d.pending.begin()) {
-        d.upward = true;
-      } else {
-        it = std::prev(it);
-      }
-    }
-    const std::uint32_t w = it->second;
-    d.pending.erase(it);
+  if (!d.sched.empty()) {
+    const std::uint32_t w = d.sched.pop(sim_.disks_.head(r.node));
     charge_wait(result_.queue.disk, now - req_[w].arrival);
     if (disk_depth_gauge_) {
-      disk_depth_gauge_->set(static_cast<std::int64_t>(d.pending.size()));
+      disk_depth_gauge_->set(static_cast<std::int64_t>(d.sched.size()));
     }
     dispatch_disk(w, now);
   }
@@ -488,6 +474,14 @@ SimulationResult EventEngine::run(const TraceSource& source) {
   storage_wait_.assign(cfg.storage_nodes, {});
   storage_busy_.assign(cfg.storage_nodes, 0);
   disk_.assign(cfg.storage_nodes, DiskState{});
+  // Disk scheduling policy: QosConfig selects it; disabled QoS keeps the
+  // default-constructed LOOK scheduler (bit-identical to the PR 6 inline
+  // elevator).
+  if (cfg.qos.enabled) {
+    for (DiskState& d : disk_) {
+      d.sched = DiskScheduler(cfg.qos.scheduler, cfg.qos.sched_window);
+    }
+  }
 
   const bool tracing = obs::enabled();
   std::uint32_t lane = 0;

@@ -24,10 +24,9 @@
 
 #include <cstdint>
 #include <deque>
-#include <map>
-#include <utility>
 #include <vector>
 
+#include "storage/disk_sched.hpp"
 #include "storage/event_queue.hpp"
 #include "storage/lru_cache.hpp"
 #include "storage/stats.hpp"
@@ -78,13 +77,12 @@ class EventEngine {
     double arrival = 0;       ///< arrival time at the queue it waits in
   };
 
-  /// Per-disk service queue: requests keyed by (lba, arrival seq) so the
-  /// LOOK scheduler picks deterministically among equal LBAs.
+  /// Per-disk service queue. The queue + sweep state lives in the
+  /// pluggable DiskScheduler (disk_sched.hpp): LOOK by default,
+  /// fcfs/priority under QosConfig.
   struct DiskState {
-    std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint32_t> pending;
+    DiskScheduler sched;
     bool busy = false;
-    bool upward = true;  ///< current elevator sweep direction
-    std::uint64_t seq = 0;
     /// The asynchronous-readahead frontier: staging streams blocks under
     /// the head after a demand read departs, so the next dispatch cannot
     /// start before this. Free for the requester (overlaps its compute),

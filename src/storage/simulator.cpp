@@ -75,16 +75,28 @@ double HierarchySimulator::on_io_eviction(NodeId io, BlockKey victim,
 
 
 bool HierarchySimulator::storage_touch(NodeId node, BlockKey key) {
+  // qos_owner() is 0 when partitioning is off, which is the MQ touch
+  // default — the unpartitioned path is untouched.
   return policy_ == PolicyKind::kMqInclusive
-             ? storage_mq_[node].touch(key)
+             ? storage_mq_[node].touch(key, qos_owner())
              : storage_caches_[node].touch(key);
 }
 
 void HierarchySimulator::storage_insert(NodeId node, BlockKey key,
                                         SimulationResult& result) {
-  const std::optional<BlockKey> victim =
-      policy_ == PolicyKind::kMqInclusive ? storage_mq_[node].insert(key)
-                                          : storage_caches_[node].insert(key);
+  std::optional<BlockKey> victim;
+  if (qos_partitioning_) {
+    const std::uint32_t owner = qos_owner();
+    const bool was_resident = storage_contains(node, key);
+    victim = policy_ == PolicyKind::kMqInclusive
+                 ? storage_mq_[node].insert(key, owner)
+                 : storage_caches_[node].insert(key, owner);
+    qos_note_storage_insert(was_resident, victim.has_value(), result);
+  } else {
+    victim = policy_ == PolicyKind::kMqInclusive
+                 ? storage_mq_[node].insert(key)
+                 : storage_caches_[node].insert(key);
+  }
   ++result.storage.fills;
   result.storage.bytes_filled += topology_.config().block_size;
   if (victim) {
@@ -105,7 +117,14 @@ void HierarchySimulator::storage_insert(NodeId node, BlockKey key,
 void HierarchySimulator::io_insert(NodeId io, BlockKey key,
                                    SimulationResult& result,
                                    std::optional<BlockKey>* victim_out) {
-  const std::optional<BlockKey> victim = io_caches_[io].insert(key);
+  std::optional<BlockKey> victim;
+  if (qos_partitioning_) {
+    const bool was_resident = io_caches_[io].contains(key);
+    victim = io_caches_[io].insert(key, qos_owner());
+    qos_note_io_insert(io, was_resident, victim.has_value(), result);
+  } else {
+    victim = io_caches_[io].insert(key);
+  }
   ++result.io.fills;
   result.io.bytes_filled += topology_.config().block_size;
   if (victim) ++result.io.evictions;
@@ -113,6 +132,16 @@ void HierarchySimulator::io_insert(NodeId io, BlockKey key,
 }
 
 bool HierarchySimulator::storage_erase(NodeId node, BlockKey key) {
+  if (qos_partitioning_) {
+    // DEMOTE's exclusive erase frees the owning tenant's quota charge.
+    const std::optional<std::uint32_t> owner =
+        policy_ == PolicyKind::kMqInclusive
+            ? storage_mq_[node].owner_of(key)
+            : storage_caches_[node].owner_of(key);
+    if (owner && *owner < qos_occ_.size() && qos_occ_[*owner] > 0) {
+      --qos_occ_[*owner];
+    }
+  }
   return policy_ == PolicyKind::kMqInclusive
              ? storage_mq_[node].erase(key)
              : storage_caches_[node].erase(key);
@@ -556,12 +585,8 @@ void HierarchySimulator::tenant_settle(SimulationResult& result) {
   tenant_scope_.open = false;
 }
 
-void HierarchySimulator::tenant_switch(std::uint32_t thread,
-                                       SimulationResult& result) {
-  if (!tenants_enabled()) return;
-  const std::uint32_t tenant = tenant_of_thread_[thread];
-  if (tenant_scope_.open && tenant_scope_.tenant == tenant) return;
-  tenant_settle(result);
+void HierarchySimulator::tenant_open(std::uint32_t tenant,
+                                     SimulationResult& result) {
   tenant_scope_.open = true;
   tenant_scope_.tenant = tenant;
   tenant_scope_.accesses = result.accesses;
@@ -575,6 +600,21 @@ void HierarchySimulator::tenant_switch(std::uint32_t thread,
       result.io.bytes_filled + result.storage.bytes_filled;
 }
 
+void HierarchySimulator::tenant_switch(std::uint32_t thread,
+                                       SimulationResult& result) {
+  if (!tenants_enabled()) return;
+  // Dynamic-share epoch boundaries are driven by the virtual access
+  // counter and checked here because both cores funnel every scheduling
+  // step through tenant_switch; one compare when the mode is off.
+  if (qos_epoch_next_ != 0 && result.accesses >= qos_epoch_next_) {
+    maybe_rebalance_qos(result);
+  }
+  const std::uint32_t tenant = tenant_of_thread_[thread];
+  if (tenant_scope_.open && tenant_scope_.tenant == tenant) return;
+  tenant_settle(result);
+  tenant_open(tenant, result);
+}
+
 void HierarchySimulator::tenant_finish(SimulationResult& result) {
   if (!tenants_enabled()) return;
   tenant_settle(result);
@@ -582,6 +622,234 @@ void HierarchySimulator::tenant_finish(SimulationResult& result) {
       std::min(tenant_of_thread_.size(), result.thread_time.size());
   for (std::size_t t = 0; t < threads; ++t) {
     result.tenants[tenant_of_thread_[t]].busy_time += result.thread_time[t];
+  }
+  if (qos_partitioning_) {
+    const std::size_t n =
+        std::min<std::size_t>(result.tenants.size(), qos_occ_peak_.size());
+    for (std::size_t t = 0; t < n; ++t) {
+      result.tenants[t].occupancy_peak = qos_occ_peak_[t];
+    }
+  }
+}
+
+std::uint32_t HierarchySimulator::qos_priority_of_thread(
+    std::uint32_t thread) const {
+  const QosConfig& qos = topology_.config().qos;
+  if (!qos.enabled || qos.priorities.empty() || !tenants_enabled() ||
+      thread >= tenant_of_thread_.size()) {
+    return 1;
+  }
+  const std::uint32_t tenant = tenant_of_thread_[thread];
+  return tenant < qos.priorities.size() ? qos.priorities[tenant] : 1;
+}
+
+void HierarchySimulator::qos_note_io_insert(NodeId, bool was_resident,
+                                            bool evicted,
+                                            SimulationResult& result) {
+  const std::uint32_t owner = tenant_scope_.tenant;
+  if (evicted) {
+    // The victim came from the owner's own partition, so net occupancy is
+    // unchanged and the eviction is the owner's — that is the attribution
+    // guarantee partitioning buys.
+    if (owner < result.tenants.size()) ++result.tenants[owner].io_evictions;
+  } else if (!was_resident && owner < qos_occ_.size()) {
+    if (++qos_occ_[owner] > qos_occ_peak_[owner]) {
+      qos_occ_peak_[owner] = qos_occ_[owner];
+    }
+  }
+}
+
+void HierarchySimulator::qos_note_storage_insert(bool was_resident,
+                                                 bool evicted,
+                                                 SimulationResult& result) {
+  const std::uint32_t owner = tenant_scope_.tenant;
+  if (evicted) {
+    if (owner < result.tenants.size()) {
+      ++result.tenants[owner].storage_evictions;
+    }
+  } else if (!was_resident && owner < qos_occ_.size()) {
+    if (++qos_occ_[owner] > qos_occ_peak_[owner]) {
+      qos_occ_peak_[owner] = qos_occ_[owner];
+    }
+  }
+}
+
+void HierarchySimulator::apply_qos_partitions() {
+  const QosConfig& qos = topology_.config().qos;
+  qos_partitioning_ = qos.enabled && !qos.shares.empty() &&
+                      tenants_enabled() && policy_ != PolicyKind::kKarma;
+  qos_epoch_next_ = 0;
+  if (!qos_partitioning_) {
+    // Previous runs may have left partitions behind (set_tenants can
+    // change between runs on one simulator): return to global caches.
+    for (auto& c : io_caches_) c.set_partitions({});
+    for (auto& c : storage_caches_) c.set_partitions({});
+    for (auto& c : storage_mq_) c.set_partitions({});
+    qos_io_quota_.clear();
+    qos_storage_quota_.clear();
+    qos_prev_misses_.clear();
+    qos_occ_.clear();
+    qos_occ_peak_.clear();
+    return;
+  }
+  qos.validate();
+  if (qos.shares.size() < tenant_count_) {
+    throw std::invalid_argument(
+        "HierarchySimulator: fewer QoS shares than tenants");
+  }
+  qos_io_quota_ =
+      quota_partition(topology_.io_cache_blocks(), tenant_count_, qos.shares);
+  qos_storage_quota_ = quota_partition(topology_.storage_cache_blocks(),
+                                       tenant_count_, qos.shares);
+  for (auto& c : io_caches_) c.set_partitions(qos_io_quota_);
+  for (auto& c : storage_caches_) c.set_partitions(qos_storage_quota_);
+  for (auto& c : storage_mq_) c.set_partitions(qos_storage_quota_);
+  qos_prev_misses_.assign(tenant_count_, 0);
+  qos_occ_.assign(tenant_count_, 0);
+  qos_occ_peak_.assign(tenant_count_, 0);
+  if (qos.dynamic_shares) qos_epoch_next_ = qos.epoch_accesses;
+}
+
+namespace {
+
+/// Largest-remainder split of `amount` units by `weights` (no floor:
+/// zero-weight entries get nothing unless every positive-weight entry has
+/// been topped up). Deterministic: ties break by lower index.
+std::vector<std::size_t> apportion_slack(
+    std::size_t amount, const std::vector<std::uint64_t>& weights) {
+  std::vector<std::size_t> out(weights.size(), 0);
+  std::uint64_t total = 0;
+  for (std::uint64_t w : weights) total += w;
+  if (total == 0 || amount == 0) return out;
+  std::vector<std::pair<std::uint64_t, std::size_t>> rem(weights.size());
+  std::size_t granted = 0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const std::uint64_t scaled =
+        static_cast<std::uint64_t>(amount) * weights[i];
+    out[i] = static_cast<std::size_t>(scaled / total);
+    rem[i] = {scaled % total, i};
+    granted += out[i];
+  }
+  std::sort(rem.begin(), rem.end(), [](const auto& a, const auto& b) {
+    return a.first != b.first ? a.first > b.first : a.second < b.second;
+  });
+  for (std::size_t i = 0; granted < amount; ++i) {
+    ++out[rem[i % rem.size()].second];
+    ++granted;
+  }
+  return out;
+}
+
+}  // namespace
+
+void HierarchySimulator::maybe_rebalance_qos(SimulationResult& result) {
+  const auto& cfg = topology_.config();
+  const QosConfig& qos = cfg.qos;
+  while (qos_epoch_next_ <= result.accesses) {
+    qos_epoch_next_ += qos.epoch_accesses;
+  }
+  // Per-tenant miss counters must be current at the boundary: settle the
+  // open scope, then reopen it so attribution continues seamlessly.
+  if (tenant_scope_.open) {
+    const std::uint32_t cur = tenant_scope_.tenant;
+    tenant_settle(result);
+    tenant_open(cur, result);
+  }
+  // The marginal-gain signal: misses suffered during this epoch, per
+  // tenant — the same observed-pressure signal KARMA uses per range
+  // class, applied to capacity shares.
+  std::vector<std::uint64_t> gain(tenant_count_, 0);
+  std::uint64_t total_gain = 0;
+  for (std::uint32_t t = 0; t < tenant_count_; ++t) {
+    const TenantStats& s = result.tenants[t];
+    const std::uint64_t misses = (s.io_lookups - s.io_hits) +
+                                 (s.storage_lookups - s.storage_hits);
+    gain[t] = misses - qos_prev_misses_[t];
+    qos_prev_misses_[t] = misses;
+    total_gain += gain[t];
+  }
+  if (total_gain == 0) return;  // no pressure anywhere: keep the quotas
+
+  // Guaranteed floor: half the static quota (at least one block). The
+  // slack above the floors is what the epoch's miss pressure contends for.
+  const auto rebalanced = [&](const std::vector<std::size_t>& statiq,
+                              std::size_t capacity) {
+    std::vector<std::size_t> quota(tenant_count_);
+    std::size_t floored = 0;
+    for (std::uint32_t t = 0; t < tenant_count_; ++t) {
+      quota[t] = std::max<std::size_t>(1, statiq[t] / 2);
+      floored += quota[t];
+    }
+    if (floored >= capacity) return statiq;  // degenerate tiny cache
+    const std::vector<std::size_t> extra =
+        apportion_slack(capacity - floored, gain);
+    for (std::uint32_t t = 0; t < tenant_count_; ++t) quota[t] += extra[t];
+    return quota;
+  };
+  const std::vector<std::size_t> io_quota =
+      rebalanced(qos_io_quota_, topology_.io_cache_blocks());
+  const std::vector<std::size_t> st_quota =
+      rebalanced(qos_storage_quota_, topology_.storage_cache_blocks());
+
+  // A dirty trim victim is written straight down to disk in the background
+  // (deferred to the next request, like storage-eviction write-backs): the
+  // rebalance just ruled its tenant over-provisioned, so it is not
+  // re-inserted below.
+  const auto flush_dirty = [&](std::unordered_set<std::uint64_t>& dirty,
+                               BlockKey victim) {
+    if (!cfg.model_writes || dirty.erase(victim.packed()) == 0) return;
+    ++result.writebacks;
+    const NodeId node = striping_.storage_node_of(victim);
+    const std::uint64_t lba = striping_.lba_of(victim);
+    pending_writeback_cost_ += disks_.peek_service(node, lba);
+    ++pending_writeback_count_;
+    disks_.advance_head(node, lba);
+  };
+  const auto note_trim = [&](std::uint32_t t) {
+    if (qos_occ_[t] > 0) --qos_occ_[t];
+  };
+
+  for (std::size_t i = 0; i < io_caches_.size(); ++i) {
+    LruCache& cache = io_caches_[i];
+    // Shrink before growing so the quota sum never exceeds capacity.
+    for (std::uint32_t t = 0; t < tenant_count_; ++t) {
+      if (io_quota[t] >= cache.partition_quota(t)) continue;
+      for (BlockKey victim : cache.set_partition_quota(t, io_quota[t])) {
+        ++result.io.evictions;
+        if (t < result.tenants.size()) ++result.tenants[t].io_evictions;
+        note_trim(t);
+        flush_dirty(io_dirty_[i], victim);
+      }
+    }
+    for (std::uint32_t t = 0; t < tenant_count_; ++t) {
+      if (io_quota[t] > cache.partition_quota(t)) {
+        cache.set_partition_quota(t, io_quota[t]);
+      }
+    }
+  }
+  const auto trim_storage = [&](NodeId node, auto& cache) {
+    for (std::uint32_t t = 0; t < tenant_count_; ++t) {
+      if (st_quota[t] >= cache.partition_quota(t)) continue;
+      for (BlockKey victim : cache.set_partition_quota(t, st_quota[t])) {
+        ++result.storage.evictions;
+        if (t < result.tenants.size()) {
+          ++result.tenants[t].storage_evictions;
+        }
+        note_trim(t);
+        flush_dirty(storage_dirty_[node], victim);
+      }
+    }
+    for (std::uint32_t t = 0; t < tenant_count_; ++t) {
+      if (st_quota[t] > cache.partition_quota(t)) {
+        cache.set_partition_quota(t, st_quota[t]);
+      }
+    }
+  };
+  for (std::size_t i = 0; i < storage_caches_.size(); ++i) {
+    trim_storage(static_cast<NodeId>(i), storage_caches_[i]);
+  }
+  for (std::size_t i = 0; i < storage_mq_.size(); ++i) {
+    trim_storage(static_cast<NodeId>(i), storage_mq_[i]);
   }
 }
 
@@ -616,6 +884,7 @@ void HierarchySimulator::prepare_run(const TraceSource& source) {
   for (auto& c : io_caches_) c.clear();
   for (auto& c : storage_caches_) c.clear();
   for (auto& c : storage_mq_) c.clear();
+  apply_qos_partitions();
   faults_.reset();  // replay the identical fault stream on every run
 }
 

@@ -173,6 +173,34 @@ class HierarchySimulator {
   /// times are not touched — the drain is background device work.
   void settle_trailing_writebacks(SimulationResult& result);
 
+  /// --- tenant QoS (TopologyConfig::qos, DESIGN.md §4k) ------------------
+  /// Cache partitioning is active only when qos.enabled, qos.shares is
+  /// non-empty, tenancy is on, and the policy is not KARMA (whose range
+  /// classes are already a capacity-partitioning scheme). Both cores
+  /// inherit it through the shared primitives below.
+  bool qos_partitioning() const { return qos_partitioning_; }
+  /// The tenant charged for the block being serviced right now — the open
+  /// attribution scope's tenant (both cores call tenant_switch before
+  /// servicing, so the scope is always current here).
+  std::uint32_t qos_owner() const {
+    return qos_partitioning_ ? tenant_scope_.tenant : 0;
+  }
+  /// Disk-scheduling priority of a thread's tenant (>= 1; 1 when QoS or
+  /// tenancy is off, or no priority vector was given).
+  std::uint32_t qos_priority_of_thread(std::uint32_t thread) const;
+  /// Applies (or removes) per-tenant partitions on every cache; called
+  /// from prepare_run after the caches are cleared.
+  void apply_qos_partitions();
+  /// Dynamic-share epoch boundary check: every qos.epoch_accesses block
+  /// requests, reassigns each cache's slack above the guaranteed floors in
+  /// proportion to the misses each tenant suffered during the epoch.
+  void maybe_rebalance_qos(SimulationResult& result);
+  /// Per-tenant occupancy/eviction bookkeeping shared by both cores.
+  void qos_note_io_insert(NodeId io, bool was_resident, bool evicted,
+                          SimulationResult& result);
+  void qos_note_storage_insert(bool was_resident, bool evicted,
+                               SimulationResult& result);
+
   /// --- per-tenant attribution ledger (set_tenants) ----------------------
   /// Counter deltas are attributed scope-to-scope: tenant_switch(t) settles
   /// everything incremented since the previous switch into the previous
@@ -183,6 +211,10 @@ class HierarchySimulator {
   void tenant_switch(std::uint32_t thread, SimulationResult& result);
   /// Settles the open scope's counter deltas into its tenant's slice.
   void tenant_settle(SimulationResult& result);
+  /// Opens a fresh attribution scope for `tenant` (snapshotting the
+  /// aggregates); factored out of tenant_switch so the QoS rebalancer can
+  /// settle-and-reopen at an epoch boundary without losing attribution.
+  void tenant_open(std::uint32_t tenant, SimulationResult& result);
   /// Settles the open scope (if any) and fills per-tenant busy_time from
   /// result.thread_time; called once per run after the final barrier.
   void tenant_finish(SimulationResult& result);
@@ -220,6 +252,20 @@ class HierarchySimulator {
   std::vector<std::uint32_t> tenant_of_thread_;
   std::uint32_t tenant_count_ = 0;
   TenantScope tenant_scope_;
+
+  /// --- tenant QoS runtime state (prepare_run resets all of it) ----------
+  bool qos_partitioning_ = false;
+  /// Static quotas per cache capacity class (io / storage), recomputed
+  /// each run; the dynamic rebalancer's floors derive from these.
+  std::vector<std::size_t> qos_io_quota_;
+  std::vector<std::size_t> qos_storage_quota_;
+  std::uint64_t qos_epoch_next_ = 0;  ///< next rebalance boundary (accesses)
+  /// Miss totals per tenant at the previous epoch boundary, for deltas.
+  std::vector<std::uint64_t> qos_prev_misses_;
+  /// Per-tenant resident-block totals across all caches, and their peaks
+  /// (reported as TenantStats::occupancy_peak).
+  std::vector<std::uint64_t> qos_occ_;
+  std::vector<std::uint64_t> qos_occ_peak_;
 };
 
 }  // namespace flo::storage

@@ -134,11 +134,15 @@ namespace {
 // lines parse with bounds zero ("no claim"), matching what the runners
 // that wrote them computed. v4 appended the length-prefixed per-tenant
 // attribution slices; v1–v3 lines parse with tenants empty — exactly what
-// the single-tenant runners that wrote them produced.
+// the single-tenant runners that wrote them produced. v5 appended three
+// QoS fields to each tenant record (io/storage evictions, occupancy
+// peak); v4 lines parse with those zero — exactly what the pre-QoS
+// runners that wrote them produced.
 constexpr const char* kWireTagV1 = "sim-v1";
 constexpr const char* kWireTagV2 = "sim-v2";
 constexpr const char* kWireTagV3 = "sim-v3";
 constexpr const char* kWireTagV4 = "sim-v4";
+constexpr const char* kWireTagV5 = "sim-v5";
 
 void put_double(std::ostringstream& os, double value) {
   char buffer[48];
@@ -169,6 +173,8 @@ void put_tenant(std::ostringstream& os, const TenantStats& tenant) {
      << tenant.storage_lookups << ' ' << tenant.storage_hits << ' '
      << tenant.disk_reads << ' ' << tenant.bytes_filled;
   put_double(os, tenant.busy_time);
+  os << ' ' << tenant.io_evictions << ' ' << tenant.storage_evictions << ' '
+     << tenant.occupancy_peak;
 }
 
 /// Token cursor over a wire line; parse failures latch `ok = false`.
@@ -218,7 +224,7 @@ struct Reader {
     out.wait_time = f64();
     out.max_depth = u64();
   }
-  void tenant(TenantStats& out) {
+  void tenant(TenantStats& out, bool qos_fields) {
     out.accesses = u64();
     out.elements = u64();
     out.io_lookups = u64();
@@ -228,6 +234,11 @@ struct Reader {
     out.disk_reads = u64();
     out.bytes_filled = u64();
     out.busy_time = f64();
+    if (qos_fields) {
+      out.io_evictions = u64();
+      out.storage_evictions = u64();
+      out.occupancy_peak = u64();
+    }
   }
 };
 
@@ -235,7 +246,7 @@ struct Reader {
 
 std::string to_wire(const SimulationResult& result) {
   std::ostringstream os;
-  os << kWireTagV4;
+  os << kWireTagV5;
   put_layer(os, result.io);
   put_layer(os, result.storage);
   put_double(os, result.exec_time);
@@ -260,7 +271,8 @@ std::string to_wire(const SimulationResult& result) {
 std::optional<SimulationResult> from_wire(const std::string& line) {
   Reader reader(line);
   const std::string tag = reader.token();
-  const bool v4 = tag == kWireTagV4;
+  const bool v5 = tag == kWireTagV5;
+  const bool v4 = v5 || tag == kWireTagV4;
   const bool v3 = v4 || tag == kWireTagV3;
   const bool v2 = v3 || tag == kWireTagV2;
   if (!v2 && tag != kWireTagV1) return std::nullopt;
@@ -296,7 +308,7 @@ std::optional<SimulationResult> from_wire(const std::string& line) {
     const std::uint64_t tenant_count = reader.u64();
     if (!reader.ok || tenant_count > (1u << 16)) return std::nullopt;
     result.tenants.resize(static_cast<std::size_t>(tenant_count));
-    for (auto& tenant : result.tenants) reader.tenant(tenant);
+    for (auto& tenant : result.tenants) reader.tenant(tenant, v5);
   }
   std::string trailing;
   if (reader.is >> trailing) return std::nullopt;  // extra fields: reject
@@ -375,6 +387,7 @@ void publish_to_registry(const SimulationResult& result) {
   // stay free of tenant keys (same discipline as faults/queues/bounds).
   if (!result.tenants.empty()) {
     reg.counter("sim.tenant.runs").add(1);
+    bool qos_active = false;
     for (std::size_t k = 0; k < result.tenants.size(); ++k) {
       const TenantStats& t = result.tenants[k];
       const std::string p = "sim.tenant." + std::to_string(k);
@@ -382,6 +395,21 @@ void publish_to_registry(const SimulationResult& result) {
       reg.counter(p + ".disk_reads").add(t.disk_reads);
       reg.counter(p + ".bytes_filled").add(t.bytes_filled);
       reg.histogram(p + ".busy_seconds").observe(t.busy_time);
+      qos_active = qos_active || t.io_evictions != 0 ||
+                   t.storage_evictions != 0 || t.occupancy_peak != 0;
+    }
+    // QoS partition counters only when partitioning actually attributed
+    // something, so non-QoS tenant snapshots stay free of qos keys.
+    if (qos_active) {
+      reg.counter("sim.qos.runs").add(1);
+      for (std::size_t k = 0; k < result.tenants.size(); ++k) {
+        const TenantStats& t = result.tenants[k];
+        const std::string p = "sim.qos." + std::to_string(k);
+        reg.counter(p + ".io_evictions").add(t.io_evictions);
+        reg.counter(p + ".storage_evictions").add(t.storage_evictions);
+        reg.histogram(p + ".occupancy_peak")
+            .observe(static_cast<double>(t.occupancy_peak));
+      }
     }
   }
 }

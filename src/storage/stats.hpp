@@ -99,10 +99,20 @@ struct TenantStats {
   std::uint64_t bytes_filled = 0;
   double busy_time = 0;  ///< summed busy seconds of this tenant's threads
 
+  /// QoS cache-partitioning attribution (DESIGN.md §4k): only populated
+  /// when per-tenant quotas are active — partitioning guarantees every
+  /// victim comes from the inserting tenant's own partition, which is what
+  /// makes eviction attribution exact. All-zero without QoS, keeping
+  /// equality with pre-QoS baselines intact.
+  std::uint64_t io_evictions = 0;       ///< evictions from this tenant's quota
+  std::uint64_t storage_evictions = 0;  ///< ditto at the storage level
+  std::uint64_t occupancy_peak = 0;     ///< peak resident blocks, all caches
+
   bool any() const {
     return accesses != 0 || elements != 0 || io_lookups != 0 ||
            storage_lookups != 0 || disk_reads != 0 || bytes_filled != 0 ||
-           busy_time != 0;
+           busy_time != 0 || io_evictions != 0 || storage_evictions != 0 ||
+           occupancy_peak != 0;
   }
   friend bool operator==(const TenantStats&, const TenantStats&) = default;
 };

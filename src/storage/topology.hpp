@@ -10,6 +10,7 @@
 #include <string>
 
 #include "storage/fault_model.hpp"
+#include "storage/qos.hpp"
 
 namespace flo::storage {
 
@@ -93,6 +94,12 @@ struct TopologyConfig {
   /// disabled config takes the exact pre-fault simulator paths, so
   /// baseline results stay byte-identical.
   FaultConfig fault;
+
+  /// Tenant QoS (storage/qos.hpp): weighted cache partitioning and the
+  /// pluggable disk scheduler. Disabled by default; a disabled config
+  /// takes the exact pre-QoS simulator paths, so baseline results stay
+  /// byte-identical.
+  QosConfig qos;
 
   /// Returns the paper's Table 1 configuration scaled down for fast
   /// simulation. Block size is divided by `block_scale` and cache capacities

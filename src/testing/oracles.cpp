@@ -18,6 +18,7 @@
 #include "layout/internode.hpp"
 #include "linalg/unimodular.hpp"
 #include "util/log.hpp"
+#include "storage/qos.hpp"
 #include "storage/sim_core.hpp"
 #include "storage/simulator.hpp"
 #include "storage/stats.hpp"
@@ -790,6 +791,95 @@ std::optional<std::string> check_tenant_isolation(const FuzzCase& fc) {
   return std::nullopt;
 }
 
+std::optional<std::string> check_qos_neutrality(const FuzzCase& fc) {
+  // The QoS layer's neutrality contract (DESIGN.md §4k): the degenerate
+  // QoS configurations must be exact no-ops. One tenant holding 100% of
+  // the shares under the `look` scheduler and default priority is the
+  // old simulator spelled differently — the single partition IS the
+  // unpartitioned cache and the explicit LOOK scheduler IS the event
+  // core's built-in elevator — so the run must be bit-identical to the
+  // plain baseline in BOTH cores, static and dynamic modes alike. The
+  // scheduler-only config (enabled, empty shares — what a bare FLO_SCHED
+  // produces) must be neutral too. Everything the QoS scenarios measure
+  // rests on this floor: a delta under real shares is only attributable
+  // to policy if the do-nothing policy costs nothing.
+  static constexpr storage::SimCoreKind kCores[] = {
+      storage::SimCoreKind::kClock, storage::SimCoreKind::kEvent};
+  const core::ExperimentConfig config =
+      config_for(fc, core::Scheme::kDefault);
+  const storage::StorageTopology topology(config.topology);
+  const core::CompiledExperiment compiled =
+      core::compile_experiment(fc.program, config);
+  trace::TraceOptions options;
+  options.emit_extents = storage::extents_enabled();
+  const trace::StreamingTraceSource source(
+      fc.program, compiled.schedule, compiled.layouts, topology, options);
+  std::vector<storage::RangeHint> hints;
+  if (fc.system.policy == storage::PolicyKind::kKarma) {
+    const std::uint64_t segment =
+        std::max<std::uint64_t>(1, topology.io_cache_blocks() / 8);
+    hints = trace::profile_range_hints(source, segment);
+  }
+
+  const auto run_once = [&](const storage::StorageTopology& topo,
+                            storage::SimCoreKind core, bool tenants) {
+    storage::HierarchySimulator simulator(
+        topo, fc.system.policy,
+        io_nodes_of_threads(compiled.schedule, topo), hints);
+    simulator.set_core(core);
+    if (tenants) {
+      simulator.set_tenants(
+          std::vector<std::uint32_t>(source.thread_count(), 0), 1);
+    }
+    return simulator.run(source);
+  };
+
+  struct Mode {
+    const char* label;
+    storage::QosConfig qos;
+    bool tenants;
+  };
+  std::vector<Mode> modes(3);
+  modes[0].label = "static 100% share";
+  modes[0].qos.enabled = true;
+  modes[0].qos.shares = {1};
+  modes[0].tenants = true;
+  modes[1].label = "dynamic 100% share";
+  modes[1].qos.enabled = true;
+  modes[1].qos.shares = {1};
+  modes[1].qos.dynamic_shares = true;
+  modes[1].qos.epoch_accesses = 64;  // small: epochs must actually fire
+  modes[1].tenants = true;
+  modes[2].label = "scheduler-only (bare FLO_SCHED)";
+  modes[2].qos.enabled = true;
+  modes[2].tenants = false;
+
+  for (storage::SimCoreKind core : kCores) {
+    const storage::SimulationResult plain = run_once(topology, core, false);
+    for (const Mode& mode : modes) {
+      storage::TopologyConfig qos_config = config.topology;
+      qos_config.qos = mode.qos;
+      const storage::StorageTopology qos_topology(qos_config);
+      storage::SimulationResult shared =
+          run_once(qos_topology, core, mode.tenants);
+
+      const std::string where = std::string(storage::sim_core_name(core)) +
+                                " core, " + mode.label;
+      if (mode.tenants && shared.tenants.size() != 1) {
+        return where + ": expected one tenant slice, got " +
+               std::to_string(shared.tenants.size());
+      }
+      shared.tenants.clear();
+      if (!(shared == plain)) {
+        return where + ": degenerate QoS run diverges from the "
+               "unpartitioned baseline:\n  qos:   " + shared.summary() +
+               "\n  plain: " + plain.summary();
+      }
+    }
+  }
+  return std::nullopt;
+}
+
 std::optional<std::string> check_engine_workers(const FuzzCase& fc) {
   std::vector<core::ExperimentJob> jobs;
   jobs.push_back({"default", &fc.program,
@@ -958,6 +1048,11 @@ const std::vector<Oracle>& all_oracles() {
        "an N=1 interleaved run is bit-identical to the plain run in both "
        "cores, with the tenant slice conserving the aggregates",
        true, check_tenant_isolation},
+      {"qos-neutrality",
+       "a single tenant with 100% share, default priority and the look "
+       "scheduler — static, dynamic, and scheduler-only modes — is "
+       "bit-identical to the unpartitioned baseline in both cores",
+       true, check_qos_neutrality},
       {"layout-bijection",
        "optimized layouts are injective slot maps with per-thread chunk "
        "contiguity",

@@ -23,7 +23,7 @@ TEST(ScenarioRegistryTest, EveryHistoricalBinaryHasAScenario) {
       "ablation_scale", "ablation_prefetch", "ablation_template",
       "solver_ablation", "fault_sweep",    "calibrate",
       "smoke",         "tenant_mix",       "chunk_analytics",
-      "write_path"};
+      "write_path",    "tenant_qos"};
   std::set<std::string> actual;
   for (const auto& spec : scenarios()) {
     EXPECT_TRUE(actual.insert(spec.name).second)

@@ -61,6 +61,37 @@ TEST(CompileCacheTest, FingerprintsFollowContentNotIdentity) {
             compile_fingerprint(program_fingerprint(a), member2));
 }
 
+TEST(CompileCacheTest, QosConfigJoinsTheFingerprint) {
+  // QoS changes simulation results, so every knob must split the key for
+  // topology-dependent schemes. (Scheme::kDefault compiles from the
+  // program alone; its cells stay distinct via the journal key, which
+  // appends the full topology — QoS included — for every scheme.)
+  const auto program = tiny_program();
+  const auto fp = program_fingerprint(program);
+  ExperimentConfig plain;
+  plain.scheme = Scheme::kInterNode;
+  ExperimentConfig qos = plain;
+  qos.topology.qos.enabled = true;
+  EXPECT_NE(compile_fingerprint(fp, plain), compile_fingerprint(fp, qos));
+
+  ExperimentConfig shares = qos;
+  shares.topology.qos.shares = {2, 1};
+  EXPECT_NE(compile_fingerprint(fp, qos), compile_fingerprint(fp, shares));
+
+  ExperimentConfig sched = qos;
+  sched.topology.qos.scheduler = storage::SchedPolicyKind::kPriority;
+  EXPECT_NE(compile_fingerprint(fp, qos), compile_fingerprint(fp, sched));
+
+  ExperimentConfig dynamic = shares;
+  dynamic.topology.qos.dynamic_shares = true;
+  EXPECT_NE(compile_fingerprint(fp, shares),
+            compile_fingerprint(fp, dynamic));
+
+  ExperimentConfig window = qos;
+  window.topology.qos.sched_window = 40e-3;
+  EXPECT_NE(compile_fingerprint(fp, qos), compile_fingerprint(fp, window));
+}
+
 TEST(CompileCacheTest, GetOrCompileDedupsAndCounts) {
   CompileCache cache;
   std::atomic<int> compiles{0};

@@ -29,6 +29,34 @@ TEST(TenantSlowdownTest, ZeroSoloBaselineReadsAsUnchanged) {
   EXPECT_DOUBLE_EQ(tenant_slowdown(3.0, 2.0), 1.5);
 }
 
+TEST(SlowdownPercentileTest, EmptyVectorReadsAsUnchanged) {
+  EXPECT_DOUBLE_EQ(slowdown_percentile({}, 99.0), 1.0);
+  EXPECT_DOUBLE_EQ(slowdown_percentile({}, 0.0), 1.0);
+}
+
+TEST(SlowdownPercentileTest, SingleValueIsEveryPercentile) {
+  EXPECT_DOUBLE_EQ(slowdown_percentile({1.7}, 0.0), 1.7);
+  EXPECT_DOUBLE_EQ(slowdown_percentile({1.7}, 50.0), 1.7);
+  EXPECT_DOUBLE_EQ(slowdown_percentile({1.7}, 99.0), 1.7);
+  EXPECT_DOUBLE_EQ(slowdown_percentile({1.7}, 100.0), 1.7);
+}
+
+TEST(SlowdownPercentileTest, NearestRankOverUnsortedInput) {
+  const std::vector<double> values = {1.4, 1.1, 1.3, 1.2};
+  EXPECT_DOUBLE_EQ(slowdown_percentile(values, 100.0), 1.4);
+  // Nearest-rank: ceil(0.5 * 4) = rank 2 of the sorted vector.
+  EXPECT_DOUBLE_EQ(slowdown_percentile(values, 50.0), 1.2);
+  EXPECT_DOUBLE_EQ(slowdown_percentile(values, 25.0), 1.1);
+  // With few tenants p99 is the max — the honest small-n reading.
+  EXPECT_DOUBLE_EQ(slowdown_percentile(values, 99.0), 1.4);
+}
+
+TEST(SlowdownPercentileTest, ZeroSlowdownVectorStaysZero) {
+  // Degenerate all-zero vectors pass through, matching jain_fairness's
+  // treatment of runs that cost nothing.
+  EXPECT_DOUBLE_EQ(slowdown_percentile({0.0, 0.0, 0.0}, 99.0), 0.0);
+}
+
 ir::Program make_sweep(const char* name, std::int64_t rows,
                        std::int64_t cols) {
   ir::ProgramBuilder pb(name);

@@ -282,7 +282,7 @@ TEST(WireCodecTest, RejectsMalformedLines) {
   EXPECT_FALSE(from_wire(good + " 7").has_value());  // trailing fields
 }
 
-TEST(WireCodecTest, TenantSlicesRoundTripInV4) {
+TEST(WireCodecTest, TenantSlicesRoundTripInV5) {
   SimulationResult result;
   result.accesses = 10;
   result.exec_time = 1.25;
@@ -296,7 +296,7 @@ TEST(WireCodecTest, TenantSlicesRoundTripInV4) {
   result.tenants[1].disk_reads = 2;
   result.tenants[1].busy_time = 0.5;
   const std::string wire = to_wire(result);
-  EXPECT_EQ(wire.rfind("sim-v4", 0), 0u);
+  EXPECT_EQ(wire.rfind("sim-v5", 0), 0u);
   const auto decoded = from_wire(wire);
   ASSERT_TRUE(decoded.has_value());
   EXPECT_EQ(*decoded, result);

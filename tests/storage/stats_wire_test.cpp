@@ -1,0 +1,101 @@
+// Wire-format coverage for the sim-v5 revision (DESIGN.md §4k): the
+// per-tenant QoS fields ride at the end of each tenant record, doubles
+// stay C99 hexfloats (bit-exact round trips), sim-v4 lines still parse
+// with the QoS fields zero, and trailing fields are rejected.
+#include "storage/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace flo::storage {
+namespace {
+
+SimulationResult sample_result() {
+  SimulationResult r;
+  r.io = {100, 60, 40, 12, 40 * 2048};
+  r.storage = {40, 10, 30, 3, 30 * 2048};
+  r.exec_time = 0.1 + 0.2;  // not exactly representable: hexfloat territory
+  r.thread_time = {0.3, 1.0 / 3.0};
+  r.disk_reads = 30;
+  r.accesses = 100;
+  r.elements = 400;
+
+  TenantStats t0;
+  t0.accesses = 70;
+  t0.elements = 280;
+  t0.io_lookups = 70;
+  t0.io_hits = 45;
+  t0.busy_time = 2.0 / 7.0;
+  t0.io_evictions = 9;
+  t0.storage_evictions = 2;
+  t0.occupancy_peak = 5;
+  TenantStats t1;
+  t1.accesses = 30;
+  t1.io_lookups = 30;
+  t1.io_hits = 15;
+  t1.busy_time = 0.125;
+  r.tenants = {t0, t1};
+  return r;
+}
+
+/// Drops the last `n` space-separated tokens from a wire line.
+std::string drop_tokens(std::string line, int n) {
+  for (int i = 0; i < n; ++i) {
+    line.resize(line.find_last_of(' '));
+  }
+  return line;
+}
+
+TEST(StatsWireTest, V5RoundTripIsBitExact) {
+  const SimulationResult result = sample_result();
+  const std::string wire = to_wire(result);
+  EXPECT_EQ(wire.rfind("sim-v5 ", 0), 0u) << wire;
+  const auto back = from_wire(wire);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, result);  // doubles included — hexfloats are lossless
+  ASSERT_EQ(back->tenants.size(), 2u);
+  EXPECT_EQ(back->tenants[0].io_evictions, 9u);
+  EXPECT_EQ(back->tenants[0].storage_evictions, 2u);
+  EXPECT_EQ(back->tenants[0].occupancy_peak, 5u);
+  EXPECT_DOUBLE_EQ(back->tenants[0].busy_time, 2.0 / 7.0);
+}
+
+TEST(StatsWireTest, V4LinesStillParseWithZeroQosFields) {
+  SimulationResult result = sample_result();
+  result.tenants.resize(1);  // one tenant: its record is the line's tail
+  std::string v4 = to_wire(result);
+  v4.replace(0, 6, "sim-v4");
+  v4 = drop_tokens(v4, 3);  // strip io_evictions storage_evictions occ_peak
+  const auto back = from_wire(v4);
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->tenants.size(), 1u);
+  EXPECT_EQ(back->tenants[0].io_evictions, 0u);
+  EXPECT_EQ(back->tenants[0].storage_evictions, 0u);
+  EXPECT_EQ(back->tenants[0].occupancy_peak, 0u);
+  // Everything else survives: zero the QoS fields and require equality.
+  result.tenants[0].io_evictions = 0;
+  result.tenants[0].storage_evictions = 0;
+  result.tenants[0].occupancy_peak = 0;
+  EXPECT_EQ(*back, result);
+}
+
+TEST(StatsWireTest, TrailingFieldsAreRejected) {
+  const std::string wire = to_wire(sample_result());
+  EXPECT_FALSE(from_wire(wire + " 7").has_value());
+  // A v4-tagged line that still carries the v5 per-tenant fields has
+  // three extra tokens per tenant — trailing garbage, rejected.
+  std::string v4 = wire;
+  v4.replace(0, 6, "sim-v4");
+  EXPECT_FALSE(from_wire(v4).has_value());
+}
+
+TEST(StatsWireTest, TruncatedLinesAreRejectedNotCrashed) {
+  const std::string wire = to_wire(sample_result());
+  for (std::size_t cut = 0; cut < wire.size(); cut += 11) {
+    EXPECT_FALSE(from_wire(wire.substr(0, cut)).has_value()) << cut;
+  }
+}
+
+}  // namespace
+}  // namespace flo::storage

@@ -8,18 +8,25 @@ throughput depends on the runner, so the gate works on *within-run ratios*
 are machine-independent: both sides of each ratio ran on the same machine
 seconds apart.
 
-Two kinds of gate:
+Three kinds of gate:
   1. hard floors — invariants of the implementation (the event core's
      closed-form phase path must deliver >= 2x the clock extent path on
      the cache-less sequential grid);
   2. regression tolerance — each tracked ratio must stay within
      --tolerance (default 0.5, i.e. no worse than half) of the ratio
-     recorded in the committed baseline snapshot.
+     recorded in the committed baseline snapshot;
+  3. snapshot freshness (--require-fresh) — every committed snapshot is
+     stamped (--stamp) with a fingerprint of the bench-visible sources;
+     when the working tree's fingerprint no longer matches the latest
+     snapshot's stamp, bench-visible code changed without a new snapshot
+     and the gate fails. Pre-stamp snapshots only warn.
 
 Exit status 0 when every gate holds, 1 otherwise.
 """
 
 import argparse
+import glob
+import hashlib
 import json
 import os
 import re
@@ -37,6 +44,62 @@ TRACKED_RATIOS = [
     ("disk_run_over_per_block", "BM_DiskServiceRun/64",
      "BM_DiskServicePerBlock/64", None),
 ]
+
+
+# Everything bench_micro's tracked benchmarks can see: the storage
+# simulator stack plus the benchmark definitions themselves. Editing any
+# of these without re-recording a snapshot is exactly the drift the
+# freshness gate exists to catch.
+FINGERPRINTED_GLOBS = [
+    "src/storage/*.hpp",
+    "src/storage/*.cpp",
+    "bench/bench_micro.cpp",
+]
+
+STAMP_KEY = "flo_source_fingerprint"
+
+
+def source_fingerprint(repo_root):
+    """Content hash of the bench-visible sources, stable across machines."""
+    digest = hashlib.sha256()
+    paths = []
+    for pattern in FINGERPRINTED_GLOBS:
+        paths.extend(glob.glob(os.path.join(repo_root, pattern)))
+    if not paths:
+        raise SystemExit(f"error: no bench-visible sources under {repo_root}")
+    for path in sorted(paths):
+        digest.update(os.path.relpath(path, repo_root).encode())
+        digest.update(b"\0")
+        with open(path, "rb") as f:
+            digest.update(f.read())
+        digest.update(b"\0")
+    return digest.hexdigest()[:16]
+
+
+def stamp_snapshot(path, repo_root):
+    with open(path) as f:
+        doc = json.load(f)
+    doc[STAMP_KEY] = source_fingerprint(repo_root)
+    with open(path, "w") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+    print(f"stamped {path} with {STAMP_KEY}={doc[STAMP_KEY]}")
+
+
+def check_freshness(baseline_path, repo_root):
+    """Returns an error string, a warning string, or (None, None)."""
+    with open(baseline_path) as f:
+        stamp = json.load(f).get(STAMP_KEY)
+    if stamp is None:
+        return None, (f"{baseline_path} predates snapshot stamping; "
+                      "freshness not enforced")
+    current = source_fingerprint(repo_root)
+    if current != stamp:
+        return (f"bench-visible sources (fingerprint {current}) changed "
+                f"since the latest snapshot {baseline_path} (stamp {stamp}); "
+                "re-run bench_micro and commit a new stamped "
+                "results/trajectory/BENCH_simulator.pr<N>.json"), None
+    return None, None
 
 
 def items_per_second(path):
@@ -90,9 +153,22 @@ def main():
     parser.add_argument("--tolerance", type=float, default=0.5,
                         help="allowed fractional regression of each ratio "
                              "vs the baseline (default 0.5)")
+    parser.add_argument("--stamp", action="store_true",
+                        help="write the bench-visible source fingerprint "
+                             "into the given JSON file and exit")
+    parser.add_argument("--repo-root", default=".",
+                        help="repository root for the source fingerprint "
+                             "(default: current directory)")
+    parser.add_argument("--require-fresh", action="store_true",
+                        help="fail when the baseline snapshot's stamp does "
+                             "not match the working tree's bench-visible "
+                             "sources (unstamped baselines only warn)")
     args = parser.parse_args()
     if args.baseline and args.baseline_dir:
         parser.error("--baseline and --baseline-dir are mutually exclusive")
+    if args.stamp:
+        stamp_snapshot(args.current, args.repo_root)
+        return 0
     if args.baseline_dir:
         args.baseline = latest_snapshot(args.baseline_dir)
         print(f"baseline: {args.baseline}")
@@ -106,6 +182,12 @@ def main():
         baseline = ratios_of(items_per_second(args.baseline))
 
     failures = []
+    if args.require_fresh and args.baseline:
+        error, warning = check_freshness(args.baseline, args.repo_root)
+        if error:
+            failures.append(error)
+        if warning:
+            print("warning:", warning)
     print(f"{'ratio':34} {'current':>10} {'baseline':>10}  gate")
     for name, _num, _den, floor in TRACKED_RATIOS:
         if name not in current:

@@ -2,7 +2,8 @@
 //
 //   flo_opt <program.flo> [--check] [--threads N] [--mask both|io|storage]
 //           [--solver unimodular|constraint] [--simulate] [--pseudocode]
-//           [--faults SPEC] [--metrics off|text|json|chrome]
+//           [--faults SPEC] [--qos SPEC] [--sched look|fcfs|priority]
+//           [--metrics off|text|json|chrome]
 //
 // `--check` parses and validates only (no optimization, no output beyond
 // diagnostics) — the corpus tests and fuzzer repros use it as a fast
@@ -13,7 +14,11 @@
 // prints the per-array transform plans, and optionally simulates the
 // default vs optimized executions. `--faults` (or the FLO_FAULTS
 // environment variable) injects storage faults into the simulation — see
-// src/storage/fault_model.hpp for the spec syntax. `--metrics` (or
+// src/storage/fault_model.hpp for the spec syntax. `--qos` / `--sched`
+// (or FLO_QOS / FLO_SCHED) apply a tenant QoS configuration — cache
+// partitioning shares and the disk scheduling policy, src/storage/qos.hpp
+// syntax; a malformed spec is a configuration error (exit 2), never a
+// silent fallback. `--metrics` (or
 // FLO_METRICS) dumps compile/simulation counters and spans to
 // flo_opt.metrics.* / flo_opt.trace.json next to the working directory;
 // stdout is unaffected.
@@ -31,6 +36,7 @@
 #include "ir/printer.hpp"
 #include "obs/sink.hpp"
 #include "storage/fault_model.hpp"
+#include "storage/qos.hpp"
 #include "util/format.hpp"
 
 namespace {
@@ -41,6 +47,7 @@ int usage(const char* argv0) {
                " [--mask both|io|storage]"
                " [--solver unimodular|constraint]"
                " [--simulate] [--pseudocode] [--faults SPEC]"
+               " [--qos SPEC] [--sched look|fcfs|priority]"
                " [--metrics off|text|json|chrome]\n";
   return 2;
 }
@@ -59,6 +66,8 @@ int main(int argc, char** argv) {
   bool check_only = false;
   core::SolverKind solver = core::solver_from_env();
   std::string fault_spec;
+  std::string qos_spec;
+  std::string sched_name;
   obs::SinkMode metrics = obs::sink_mode_from_env();
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -66,6 +75,11 @@ int main(int argc, char** argv) {
       threads = static_cast<std::size_t>(std::atoll(argv[++i]));
     } else if (arg == "--faults" && i + 1 < argc) {
       fault_spec = argv[++i];
+    } else if (arg == "--qos" && i + 1 < argc) {
+      qos_spec = argv[++i];
+    } else if (arg == "--sched" && i + 1 < argc) {
+      sched_name = argv[++i];
+      if (!storage::parse_sched_policy(sched_name)) return usage(argv[0]);
     } else if (arg == "--metrics" && i + 1 < argc) {
       const std::string mode = argv[++i];
       metrics = obs::parse_sink_mode(mode);
@@ -104,6 +118,24 @@ int main(int argc, char** argv) {
     }
   }
   if (path.empty()) return usage(argv[0]);
+
+  // QoS is configuration, not input: a malformed spec (flag or FLO_QOS /
+  // FLO_SCHED) is diagnosed up front and exits 2 like a parse error, so a
+  // typo never silently simulates without the partitioning asked for.
+  storage::QosConfig qos;
+  try {
+    qos = qos_spec.empty() ? storage::qos_config_from_env()
+                           : storage::parse_qos_spec(qos_spec);
+  } catch (const std::exception& err) {
+    std::cerr << "flo_opt.cpp: " << (qos_spec.empty() ? "FLO_QOS" : "--qos")
+              << ": " << err.what() << '\n';
+    return 2;
+  }
+  if (!sched_name.empty()) {
+    qos.scheduler = *storage::parse_sched_policy(sched_name);
+    qos.enabled = true;
+  }
+
   if (metrics != obs::SinkMode::kOff) obs::set_enabled(true);
 
   std::ifstream in(path);
@@ -129,6 +161,7 @@ int main(int argc, char** argv) {
     config.topology.fault = fault_spec.empty()
                                 ? storage::fault_config_from_env()
                                 : storage::parse_fault_spec(fault_spec);
+    config.topology.qos = qos;
     const storage::StorageTopology topology(config.topology);
     const parallel::ParallelSchedule schedule(program, threads);
     const core::FileLayoutOptimizer optimizer(topology);

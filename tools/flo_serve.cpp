@@ -30,6 +30,7 @@
 #include "obs/metrics.hpp"
 #include "obs/sink.hpp"
 #include "service/server.hpp"
+#include "storage/qos.hpp"
 #include "storage/sim_core.hpp"
 
 namespace {
@@ -193,6 +194,13 @@ int main(int argc, char** argv) {
       (void)storage::sim_core_from_env();
     } catch (const std::exception& e) {
       throw ConfigError("FLO_SIM", e.what());
+    }
+    // Same startup discipline for the tenant QoS knobs the compile path
+    // reads per request: a malformed spec fails here, not mid-service.
+    try {
+      (void)storage::qos_config_from_env();
+    } catch (const std::exception& e) {
+      throw ConfigError("FLO_QOS", e.what());
     }
   } catch (const ConfigError& e) {
     std::cerr << "flo_serve: " << e.what() << "\n";
